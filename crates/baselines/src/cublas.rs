@@ -1,0 +1,93 @@
+//! cuBLAS-style comparator (§5.4, Fig 12; §3.1, Fig 3).
+//!
+//! cuBLAS's batched path runs its generic fixed-tile streaming kernels
+//! on every entry: a 16³ problem still pays a 64×64×32 tile's worth of
+//! global traffic, staging, and (padded) MMA work, plus a heavyweight
+//! host-side launch (pointer-array setup). The "limited optimization of
+//! small-scale GEMM operations" the paper attributes its 96–340×
+//! speedups to is exactly this fixed overhead.
+
+use crate::common::BaselineResult;
+use crate::streaming;
+use kami_core::error::KamiError;
+use kami_core::schedule_cycles;
+use kami_gpu_sim::{DeviceSpec, Matrix, Precision};
+
+/// Generic kernel tile.
+pub const TILE: (usize, usize, usize) = (64, 64, 32);
+/// Warps per block.
+pub const WARPS: usize = 4;
+
+/// Host-side overhead of one batched launch (pointer-array setup +
+/// dispatch), in microseconds.
+pub const LAUNCH_OVERHEAD_US: f64 = 20.0;
+
+/// One device-level GEMM (also the Fig 3 functional comparator for the
+/// sizes where functional simulation is tractable; the full 1–8192 sweep
+/// uses the analytic model in `kami_core::model::roofline`).
+pub fn gemm(
+    device: &DeviceSpec,
+    prec: Precision,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<BaselineResult, KamiError> {
+    let (tm, tn, tk) = TILE;
+    streaming::gemm(device, prec, tm, tn, tk, WARPS, a, b)
+}
+
+/// Per-entry host/driver dispatch cost in microseconds, amortized once
+/// the library switches to its fully fused grid beyond
+/// [`DISPATCH_AMORTIZE_CAP`] entries — the fixed per-matrix setup that
+/// dominates real batched libraries at small orders (and the reason the
+/// paper's speedups shrink from batch 1000 to 10000).
+pub const DISPATCH_US_PER_ENTRY: f64 = 2.0;
+/// Entries beyond this share the dispatch cost of the cap.
+pub const DISPATCH_AMORTIZE_CAP: usize = 2000;
+
+/// Modelled seconds for a uniform batch: launch overhead + per-entry
+/// dispatch + block waves.
+pub fn batched_seconds(
+    device: &DeviceSpec,
+    prec: Precision,
+    m: usize,
+    n: usize,
+    k: usize,
+    batch: usize,
+) -> Result<f64, KamiError> {
+    let a = Matrix::seeded_uniform(m, k, 0xCB);
+    let b = Matrix::seeded_uniform(k, n, 0xCC);
+    let one = gemm(device, prec, &a, &b)?;
+    let cycles = schedule_cycles(device, one.report.cycles, batch);
+    let dispatch = DISPATCH_US_PER_ENTRY * batch.min(DISPATCH_AMORTIZE_CAP) as f64;
+    Ok((LAUNCH_OVERHEAD_US + dispatch) * 1e-6 + cycles / device.clock_hz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_gpu_sim::device::gh200;
+
+    #[test]
+    fn small_batched_entry_is_expensive() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(16, 16, 1);
+        let b = Matrix::seeded_uniform(16, 16, 2);
+        let res = gemm(&dev, Precision::Fp64, &a, &b).unwrap();
+        // Padded 64x64x32 work for a 16³ problem: 32x flop waste.
+        assert_eq!(
+            res.report.flops_charged,
+            2 * 64 * 64 * 32,
+        );
+        assert_eq!(res.useful_flops, 2 * 16 * 16 * 16);
+    }
+
+    #[test]
+    fn batched_seconds_scale_with_batch() {
+        let dev = gh200();
+        let t1 = batched_seconds(&dev, Precision::Fp64, 16, 16, 16, 132).unwrap();
+        let t2 = batched_seconds(&dev, Precision::Fp64, 16, 16, 16, 1320).unwrap();
+        assert!(t2 > t1);
+        // Launch overhead floors the small batch.
+        assert!(t1 >= LAUNCH_OVERHEAD_US * 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! group prints the *simulated device cycles* of the ablated variants to
+//! stderr once, then times the harness; the cycle deltas are the
+//! interesting output.
+//!
+//! 1. slice ratio (register/shared-memory cooperation, §4.7 / Fig 10);
+//! 2. serial vs overlap cost composition (§4.7 / §5.6.2);
+//! 3. Z-Morton vs row-major sparse layout (Fig 7);
+//! 4. algorithm choice vs warp count (Fig 9's mechanism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kami_core::{gemm, gemm_auto, Algo, KamiConfig};
+use kami_gpu_sim::{device, CostConfig, Matrix, Precision};
+use kami_sparse::{gen::random_block_sparse, spmm::spmm, BlockOrder};
+use std::hint::black_box;
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn report_cycles() {
+    REPORT.call_once(|| {
+        let dev = device::gh200();
+        let a = Matrix::seeded_uniform(64, 64, 1);
+        let b = Matrix::seeded_uniform(64, 64, 2);
+        eprintln!("\n--- ablation: simulated cycles (64x64x64 FP16, GH200) ---");
+        for f in [0.0, 0.25, 0.5, 0.75] {
+            let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16).with_smem_fraction(f);
+            if let Ok(r) = gemm(&dev, &cfg, &a, &b) {
+                eprintln!(
+                    "slice ratio {f:4}: {:7.0} cycles ({} regs/thread)",
+                    r.report.cycles,
+                    r.report.max_registers().measured_regs
+                );
+            }
+        }
+        for (label, cost) in [
+            ("serial ", CostConfig::default()),
+            ("overlap", CostConfig::overlap()),
+        ] {
+            let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16).with_cost(cost);
+            if let Ok(r) = gemm(&dev, &cfg, &a, &b) {
+                eprintln!(
+                    "cost mode {label}: {:7.0} on-chip cycles",
+                    r.report.on_chip_cycles()
+                );
+            }
+        }
+        for p in [1usize, 2, 4, 8] {
+            let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16).with_warps(p);
+            if let Ok(r) = gemm_auto(&dev, &cfg, &a, &b) {
+                eprintln!(
+                    "1D p={p}: {:7.0} cycles (comm {:5.0}, compute {:5.0})",
+                    r.report.cycles, r.report.totals.comm, r.report.totals.compute
+                );
+            }
+        }
+        eprintln!("---------------------------------------------------------\n");
+    });
+}
+
+fn bench_slice_ratio(c: &mut Criterion) {
+    report_cycles();
+    let dev = device::rtx5090();
+    let a = Matrix::seeded_uniform(64, 64, 1);
+    let b = Matrix::seeded_uniform(64, 64, 2);
+    let mut g = c.benchmark_group("ablation_slice_ratio_fp16_64");
+    for f in [0.0, 0.5] {
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16).with_smem_fraction(f);
+        g.bench_with_input(BenchmarkId::from_parameter(f), &f, |bench, _| {
+            bench.iter(|| gemm(&dev, &cfg, black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_cost_mode(c: &mut Criterion) {
+    let dev = device::gh200();
+    let a = Matrix::seeded_uniform(64, 64, 1);
+    let b = Matrix::seeded_uniform(64, 64, 2);
+    let mut g = c.benchmark_group("ablation_cost_mode");
+    for (label, cost) in [
+        ("serial", CostConfig::default()),
+        ("overlap", CostConfig::overlap()),
+    ] {
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16).with_cost(cost);
+        g.bench_function(label, |bench| {
+            bench.iter(|| gemm(&dev, &cfg, black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_layout(c: &mut Criterion) {
+    let dev = device::gh200();
+    let b = Matrix::seeded_uniform(128, 128, 4);
+    let mut g = c.benchmark_group("ablation_sparse_layout_128");
+    for order in [BlockOrder::RowMajor, BlockOrder::ZMorton] {
+        let a = random_block_sparse(128, 128, 16, 0.5, order, 3);
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+        g.bench_function(format!("{order:?}"), |bench| {
+            bench.iter(|| spmm(&dev, &cfg, black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_slice_ratio, bench_cost_mode, bench_sparse_layout
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches over the batched interface (Fig 12's workload):
+//! host wall-time of the functionally-parallel batch (rayon fan-out of
+//! independent block simulations) and of the cost-only estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kami_core::{batched_gemm, estimate_batched, Algo, KamiConfig};
+use kami_gpu_sim::{device, Matrix, Precision};
+use std::hint::black_box;
+
+fn bench_functional_batch(c: &mut Criterion) {
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+    let mut g = c.benchmark_group("batched_functional_fp64_16cubed");
+    for batch in [8usize, 64] {
+        let pairs: Vec<_> = (0..batch)
+            .map(|i| {
+                (
+                    Matrix::seeded_uniform(16, 16, i as u64),
+                    Matrix::seeded_uniform(16, 16, 1000 + i as u64),
+                )
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, _| {
+            bench.iter(|| batched_gemm(&dev, &cfg, black_box(&pairs)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+    c.bench_function("batched_estimate_fp64_64cubed_batch10000", |bench| {
+        bench.iter(|| estimate_batched(&dev, &cfg, 64, 64, 64, black_box(10000)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_functional_batch, bench_estimator
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches over the sparse kernels (Fig 13's workload):
+//! SpMM and SpGEMM simulation time across densities and block orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kami_core::{Algo, KamiConfig};
+use kami_gpu_sim::{device, Matrix, Precision};
+use kami_sparse::{gen::random_block_sparse, spgemm::spgemm, spmm::spmm, BlockOrder};
+use std::hint::black_box;
+
+fn bench_spmm(c: &mut Criterion) {
+    let dev = device::gh200();
+    let mut g = c.benchmark_group("spmm_fp16_64");
+    for density in [0.25, 0.5, 1.0] {
+        let a = random_block_sparse(64, 64, 16, density, BlockOrder::ZMorton, 3);
+        let b = Matrix::seeded_uniform(64, 64, 4);
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("density_{density}")),
+            &density,
+            |bench, _| bench.iter(|| spmm(&dev, &cfg, black_box(&a), black_box(&b)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let dev = device::gh200();
+    let mut g = c.benchmark_group("spgemm_fp16_64");
+    for algo in [Algo::OneD, Algo::TwoD] {
+        let order = if algo == Algo::OneD {
+            BlockOrder::RowMajor
+        } else {
+            BlockOrder::ZMorton
+        };
+        let a = random_block_sparse(64, 64, 16, 0.5, order, 5);
+        let b = random_block_sparse(64, 64, 16, 0.5, order, 6);
+        let cfg = KamiConfig::new(algo, Precision::Fp16);
+        g.bench_function(algo.label(), |bench| {
+            bench.iter(|| spgemm(&dev, &cfg, black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a = random_block_sparse(256, 256, 16, 0.5, BlockOrder::RowMajor, 7);
+    let b = random_block_sparse(256, 256, 16, 0.5, BlockOrder::RowMajor, 8);
+    c.bench_function("spgemm_symbolic_256", |bench| {
+        bench.iter(|| kami_sparse::symbolic(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmm, bench_spgemm, bench_symbolic
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Analysis tool: where do 2D / 2.5D / 3D overtake 1D?
+//!
+//! The paper observes that "KAMI-1D is more suitable for current
+//! single-GPU use" while "KAMI-2D/3D is preferable when larger block
+//! sizes are available" (§5.2.4) — a statement about where the
+//! `L_sm·stages` latency term and the `(g−1)·V/B_sm` bandwidth term
+//! cross over. This binary sweeps the analytic model (Formulas 4/8/12
+//! plus the 2.5D extension) over warp count and shared-memory latency
+//! to chart that frontier, for any device.
+//!
+//! ```text
+//! cargo run --release -p kami-bench --bin crossover [-- n]
+//! ```
+
+use kami_core::algo25d::t_all_25d;
+use kami_core::model::cycles::{t_all, ModelParams};
+use kami_core::Algo;
+use kami_gpu_sim::{device, Precision};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    let base = ModelParams::from_device(&dev, prec).expect("FP16 on GH200");
+
+    println!(
+        "Analytic crossover study, {n}x{n}x{n} {} on {} (Formulas 4/8/12 + 2.5D)\n",
+        prec.label(),
+        dev.name
+    );
+
+    // 1. Cycles vs warp count at the device's real L_sm.
+    println!("cycles vs warp budget (L_sm = {}):", base.l_sm);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12}",
+        "warps", "1D", "2D", "3D", "2.5D(best c)"
+    );
+    for &p in &[4usize, 8, 16, 27, 32, 64] {
+        let c1 = is_valid_1d(p).then(|| t_all(Algo::OneD, n, n, n, p, &base));
+        let c2 = perfect_sqrt(p).map(|_| t_all(Algo::TwoD, n, n, n, p, &base));
+        let c3 = perfect_cbrt(p).map(|_| t_all(Algo::ThreeD, n, n, n, p, &base));
+        let c25 = best_25d(n, p, &base);
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>12}",
+            p,
+            fmt(c1),
+            fmt(c2),
+            fmt(c3),
+            c25.map(|(t, q, c)| format!("{t:.0} (q={q},c={c})"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // 2. Model vs simulator at p = 4: the pure CA formulas slightly
+    //    favour 2D, but the simulator also charges instruction-
+    //    granularity padding (2D's fragments are 1/√p-sized in both
+    //    dimensions, so small orders pad more) — the same effect behind
+    //    the paper's "KAMI-2D/3D incur 45%/152% more nop instructions"
+    //    profiling note (§5.2.1).
+    println!("\nmodel vs simulator, 4 warps, 1D and 2D:");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "n", "1D(model)", "1D(sim)", "2D(model)", "2D(sim)", "winner"
+    );
+    for nn in [16usize, 32, 48, 64, 96] {
+        let m1 = t_all(Algo::OneD, nn, nn, nn, 4, &base);
+        let m2 = t_all(Algo::TwoD, nn, nn, nn, 4, &base);
+        let sim = |algo: Algo| -> Option<f64> {
+            let cfg = kami_core::KamiConfig::new(algo, prec).with_warps(4);
+            let a = kami_gpu_sim::Matrix::seeded_uniform(nn, nn, 1);
+            let b = kami_gpu_sim::Matrix::seeded_uniform(nn, nn, 2);
+            kami_core::gemm_auto(&dev, &cfg, &a, &b)
+                .ok()
+                .map(|r| r.report.on_chip_cycles())
+        };
+        let s1 = sim(Algo::OneD);
+        let s2 = sim(Algo::TwoD);
+        let winner = match (s1, s2) {
+            (Some(a), Some(b)) if a < b => "1D",
+            (Some(_), Some(_)) => "2D",
+            _ => "-",
+        };
+        println!(
+            "{:>6} {:>12.0} {:>12} {:>12.0} {:>12} {:>8}",
+            nn,
+            m1,
+            fmt(s1),
+            m2,
+            fmt(s2),
+            winner
+        );
+    }
+
+    println!(
+        "\nReading: at a *fixed* grid (p = 4), 2D's fewer stages win in both\n\
+         model and simulator, and the simulator's gap is narrower because\n\
+         MMA-granularity padding falls hardest on 2D's 1/√p-sized tiles —\n\
+         the cycle-level analogue of the paper's finding that 2D/3D execute\n\
+         45%/152% more nop instructions (§5.2.1). 1D's practical edge in\n\
+         Fig 8 comes from its *flexibility*: its warp count can be any\n\
+         divisor of the order (not just a perfect square/cube), so it can\n\
+         match the stage count to the problem, while 2D/3D need the large\n\
+         blocks of Fig 9 before their volume advantage tells — §5.2.4's\n\
+         conclusion. The 2.5D interpolation tracks the better of 2D and 3D\n\
+         at every warp budget in the first table."
+    );
+}
+
+fn fmt(x: Option<f64>) -> String {
+    x.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into())
+}
+
+fn is_valid_1d(p: usize) -> bool {
+    p >= 1
+}
+
+fn perfect_sqrt(p: usize) -> Option<usize> {
+    let q = (p as f64).sqrt().round() as usize;
+    (q * q == p).then_some(q)
+}
+
+fn perfect_cbrt(p: usize) -> Option<usize> {
+    let q = (p as f64).cbrt().round() as usize;
+    (q * q * q == p).then_some(q)
+}
+
+fn best_25d(n: usize, p: usize, prm: &ModelParams) -> Option<(f64, usize, usize)> {
+    let mut best: Option<(f64, usize, usize)> = None;
+    for q in 1..=12usize {
+        if !p.is_multiple_of(q * q) {
+            continue;
+        }
+        let c = p / (q * q);
+        if c > q || !n.is_multiple_of(q.max(1)) || !n.is_multiple_of(c * q) {
+            continue;
+        }
+        let t = t_all_25d(n, n, n, q, c, prm);
+        if best.is_none_or(|(bt, _, _)| t < bt) {
+            best = Some((t, q, c));
+        }
+    }
+    best
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 8: block-level square GEMM across all four GPUs
+//! and five precisions, plus the §5.2.1 speedup summaries.
+//! Usage: fig08_square_gemm [--summary]
+fn main() {
+    let summary = std::env::args().any(|a| a == "--summary");
+    for t in kami_bench::fig8_all_panels() {
+        println!("{}", t.render());
+        if summary {
+            let s = t.summary(
+                &["KAMI-1D", "KAMI-2D", "KAMI-3D"],
+                &["cuBLASDx", "CUTLASS", "SYCL-Bench"],
+            );
+            if !s.is_empty() {
+                println!("{s}");
+            }
+        }
+    }
+}

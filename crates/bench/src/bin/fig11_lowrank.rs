@@ -1,0 +1,8 @@
+//! Regenerates Figure 11: low-rank GEMM (k = 16 and 32), FP16, GH200.
+fn main() {
+    for k in [16, 32] {
+        let t = kami_bench::fig11_lowrank(k);
+        println!("{}", t.render());
+        println!("{}", t.summary(&["KAMI"], &["cuBLASDx", "CUTLASS"]));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 12: batched FP64 GEMM vs MAGMA- and cuBLAS-style
+//! paths, GH200, batch sizes 1000 and 10000.
+fn main() {
+    for batch in [1000usize, 10000] {
+        let t = kami_bench::fig12_batched(batch);
+        println!("{}", t.render());
+        println!("{}", t.summary(&["KAMI"], &["MAGMA", "cuBLAS"]));
+    }
+}

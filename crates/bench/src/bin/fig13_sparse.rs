@@ -1,0 +1,10 @@
+//! Regenerates Figure 13: SpMM and SpGEMM, FP16, 50% block sparsity, GH200.
+fn main() {
+    let (tm, tg) = kami_bench::fig13_sparse();
+    println!("{}", tm.render());
+    println!("{}", tg.render());
+    println!(
+        "Paper shape check: SpMM tracks dense GEMM (B and C dense); SpGEMM\n\
+         lands lower (irregular indexing, metadata traffic, extra sync)."
+    );
+}

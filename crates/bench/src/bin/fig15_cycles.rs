@@ -1,0 +1,14 @@
+//! Regenerates Figure 15: theoretical vs measured cycle breakdown, FP16,
+//! GH200 and RTX 5090.
+use kami_core::Algo;
+use kami_gpu_sim::device;
+fn main() {
+    for dev in [device::gh200(), device::rtx5090()] {
+        for algo in Algo::ALL {
+            match kami_bench::fig15_cycles(&dev, algo) {
+                Ok(t) => println!("{}", t.render()),
+                Err(e) => println!("skipped {} on {}: {e}", algo.label(), dev.name),
+            }
+        }
+    }
+}

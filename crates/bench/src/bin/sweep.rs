@@ -1,0 +1,125 @@
+//! Interactive inspector: run one KAMI configuration end to end and
+//! print everything the simulator knows about it — cycle breakdown,
+//! volumes vs. the analytic model, register pressure, and the phase
+//! timeline.
+//!
+//! ```text
+//! cargo run --release -p kami-bench --bin sweep -- \
+//!     [--device gh200|5090|amd|intel] [--device-file spec.json] \
+//!     [--algo 1d|2d|3d] \
+//!     [--prec fp64|tf32|fp16|fp8] [--m M] [--n N] [--k K] \
+//!     [--warps P] [--fraction F]
+//! ```
+
+use kami_core::model::cycles::{self, ModelParams};
+use kami_core::{Algo, KamiConfig};
+use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let dev: DeviceSpec = if let Some(path) = arg("--device-file") {
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        DeviceSpec::from_json(&json).unwrap_or_else(|e| panic!("bad device spec: {e}"))
+    } else {
+        match arg("--device").as_deref() {
+            Some("5090") => device::rtx5090(),
+            Some("amd") => device::amd_7900xtx(),
+            Some("intel") => device::intel_max1100(),
+            _ => device::gh200(),
+        }
+    };
+    let algo = match arg("--algo").as_deref() {
+        Some("2d") => Algo::TwoD,
+        Some("3d") => Algo::ThreeD,
+        _ => Algo::OneD,
+    };
+    let prec = match arg("--prec").as_deref() {
+        Some("fp64") => Precision::Fp64,
+        Some("tf32") => Precision::Tf32,
+        Some("fp8") => Precision::Fp8E4M3,
+        _ => Precision::Fp16,
+    };
+    let m: usize = arg("--m").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = arg("--n").and_then(|s| s.parse().ok()).unwrap_or(m);
+    let k: usize = arg("--k").and_then(|s| s.parse().ok()).unwrap_or(m);
+    let mut cfg = KamiConfig::new(algo, prec);
+    if let Some(p) = arg("--warps").and_then(|s| s.parse().ok()) {
+        cfg.warps = p;
+    }
+    if let Some(f) = arg("--fraction").and_then(|s| s.parse().ok()) {
+        cfg.smem_fraction = f;
+    }
+
+    println!(
+        "{} {}x{}x{} {} on {} ({} warps, smem fraction {})\n",
+        algo.label(),
+        m,
+        n,
+        k,
+        prec.label(),
+        dev.name,
+        cfg.warps,
+        cfg.smem_fraction
+    );
+
+    let a = Matrix::seeded_uniform(m, k, 1);
+    let b = Matrix::seeded_uniform(k, n, 2);
+    let res = match kami_core::gemm_auto(&dev, &cfg, &a, &b) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("configuration does not run: {e}");
+            std::process::exit(1);
+        }
+    };
+    let r = &res.report;
+
+    println!("cycles (serial model): {:>10.1}", r.cycles);
+    println!("  communication:       {:>10.1}", r.totals.comm);
+    println!("  computation:         {:>10.1}", r.totals.compute);
+    println!("  global memory:       {:>10.1}", r.totals.global);
+    println!("  register copies:     {:>10.1}", r.totals.reg);
+    println!("phases: {}", r.phase_costs.len());
+    println!();
+    println!("shared memory: {} B written, {} B read, {} B footprint",
+        r.smem_bytes_written, r.smem_bytes_read, r.smem_extent);
+    println!("global memory: {} B read, {} B written",
+        r.gmem_bytes_read, r.gmem_bytes_written);
+    println!("registers/thread: {} measured ({} theoretical), limit {}",
+        r.max_registers().measured_regs,
+        r.max_registers().theoretical_regs,
+        dev.max_regs_per_thread);
+    println!("flops: {} charged / {} useful ({:.1}% padding)",
+        r.flops_charged,
+        res.useful_flops,
+        100.0 * (r.flops_charged as f64 / res.useful_flops as f64 - 1.0));
+    println!("smem fraction actually used: {}", res.smem_fraction);
+    println!();
+    println!("block-level throughput: {:.1} TFLOPS ({} SMs at {} MHz)",
+        res.block_tflops(&dev), dev.num_sms, dev.boost_clock_mhz);
+
+    let occ = kami_gpu_sim::analyze_occupancy(&dev, r, res.useful_flops);
+    println!(
+        "occupancy: {} resident blocks/SM (limited by {:?});\n\
+         steady-state {:.1} TFLOPS (limited by {:?})",
+        occ.resident_blocks, occ.residency_limiter, occ.steady_tflops, occ.rate_limiter
+    );
+
+    if let Some(prm) = ModelParams::from_device(&dev, prec) {
+        let t_comm = cycles::t_all_comm(algo, m, n, k, cfg.warps, &prm);
+        let t_comp = cycles::t_all_compute(m, n, k, &prm);
+        println!();
+        println!("analytic model (Formulas 1-12, unparked, unpadded):");
+        println!("  comm {:.1} (measured {:.1}), compute {:.1} (measured {:.1})",
+            t_comm, r.totals.comm, t_comp, r.totals.compute);
+        println!("  per-stage V_cm: {} B",
+            cycles::v_cm_per_stage(algo, m, n, k, cfg.warps, prm.s_e) as u64);
+    }
+}

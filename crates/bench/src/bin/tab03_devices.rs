@@ -1,0 +1,13 @@
+//! Prints Table 3 (device specifications) and the derived O_tc values.
+use kami_gpu_sim::{DeviceSpec, Precision};
+fn main() {
+    println!("{}", kami_bench::tab3_devices());
+    println!("Derived O_tc (ops/cycle/tensor-core):");
+    for d in DeviceSpec::all_evaluated() {
+        for p in Precision::ALL_EVALUATED {
+            if let Some(o) = d.ops_per_cycle_per_tc(p) {
+                println!("  {:<18} {:>5}: {o:8.1}", d.name, p.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints Table 4 (programming APIs / native MMA shapes).
+fn main() {
+    println!("{}", kami_bench::tab4_shapes());
+}

@@ -1,0 +1,111 @@
+//! Automatic configuration selection for benchmark sweeps — the
+//! "preset" role of §4.7/§5.2.5: pick a warp count suited to the matrix
+//! order, and let `gemm_auto`'s fraction ladder handle register spills.
+
+use kami_core::{Algo, KamiConfig};
+use kami_gpu_sim::Precision;
+
+/// Warp count for a square order-`n` problem.
+///
+/// * 1D: `p = clamp(n/16, 1, 16)` keeps the per-stage k-chunk at the
+///   16-wide MMA granularity (§4.7).
+/// * 2D: the largest grid `q ≤ 4` with `q | n` and `n/q ≥ 16`.
+/// * 3D: a 2×2×2 cube whenever `4 | n` (the paper measures 3D with 8
+///   warps), else a single warp.
+pub fn square_warps(algo: Algo, n: usize) -> usize {
+    match algo {
+        Algo::OneD => {
+            let p = (n / 16).clamp(1, 16);
+            // Ensure divisibility (n is a multiple of 16 in all sweeps,
+            // but stay safe for odd callers).
+            (1..=p).rev().find(|p| n.is_multiple_of(*p)).unwrap_or(1)
+        }
+        Algo::TwoD => (1..=4usize)
+            .rev()
+            .find(|&q| n.is_multiple_of(q) && n / q >= 16)
+            .unwrap_or(1)
+            .pow(2),
+        Algo::ThreeD => {
+            if n.is_multiple_of(4) {
+                8
+            } else {
+                1
+            }
+        }
+    }
+}
+
+/// Paper-style configuration for a square block GEMM sweep.
+pub fn square_config(algo: Algo, prec: Precision, n: usize) -> KamiConfig {
+    KamiConfig::new(algo, prec).with_warps(square_warps(algo, n))
+}
+
+/// Matrix orders evaluated per precision (§5.1): 16–128 everywhere,
+/// plus 192 for FP16 and 256 for FP8.
+pub fn paper_orders(prec: Precision) -> Vec<usize> {
+    let mut v = vec![16, 32, 48, 64, 96, 128];
+    match prec {
+        Precision::Fp16 => v.push(192),
+        Precision::Fp8E4M3 => {
+            v.push(192);
+            v.push(256);
+        }
+        _ => {}
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_scales_with_order() {
+        assert_eq!(square_warps(Algo::OneD, 16), 1);
+        assert_eq!(square_warps(Algo::OneD, 32), 2);
+        assert_eq!(square_warps(Algo::OneD, 64), 4);
+        assert_eq!(square_warps(Algo::OneD, 128), 8);
+        assert_eq!(square_warps(Algo::OneD, 192), 12);
+        assert_eq!(square_warps(Algo::OneD, 256), 16);
+    }
+
+    #[test]
+    fn two_d_grid_divides() {
+        for n in [16, 32, 48, 64, 96, 128, 192, 256] {
+            let p = square_warps(Algo::TwoD, n);
+            let q = (p as f64).sqrt() as usize;
+            assert_eq!(q * q, p);
+            assert_eq!(n % q, 0, "n={n} q={q}");
+        }
+        assert_eq!(square_warps(Algo::TwoD, 64), 16);
+        assert_eq!(square_warps(Algo::TwoD, 16), 1);
+    }
+
+    #[test]
+    fn three_d_uses_eight_warps() {
+        assert_eq!(square_warps(Algo::ThreeD, 64), 8);
+        assert_eq!(square_warps(Algo::ThreeD, 30), 1);
+    }
+
+    #[test]
+    fn orders_match_paper() {
+        assert!(paper_orders(Precision::Fp64).contains(&128));
+        assert!(!paper_orders(Precision::Fp64).contains(&192));
+        assert!(paper_orders(Precision::Fp16).contains(&192));
+        assert!(paper_orders(Precision::Fp8E4M3).contains(&256));
+    }
+
+    #[test]
+    fn configs_validate_on_gh200() {
+        let dev = kami_gpu_sim::device::gh200();
+        for prec in [Precision::Fp64, Precision::Fp16] {
+            for n in paper_orders(prec) {
+                for algo in Algo::ALL {
+                    let cfg = square_config(algo, prec, n);
+                    cfg.validate(&dev, n, n, n)
+                        .unwrap_or_else(|e| panic!("{} n={n} {prec:?}: {e}", algo.label()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Shape assertions on the experiment runners: the qualitative claims
+//! EXPERIMENTS.md records must hold on every run (the runners are
+//! deterministic, so these are exact regression tests of the paper's
+//! reproduced findings).
+
+use kami_bench::{fig14_registers, fig9_block_size, tab_onchip_usage};
+
+#[test]
+fn fig9_block_size_shape() {
+    let t = fig9_block_size();
+    let get = |label: &str, i: usize| t.series_by_label(label).unwrap().values[i].unwrap();
+    // x = [64, 128, 256, 512, 1024] threads.
+    // 2D at 64 threads lands near half of 1D (paper: 54.22%).
+    let ratio = get("KAMI-2D", 0) / get("KAMI-1D", 0);
+    assert!((0.35..0.75).contains(&ratio), "2D/1D at 64 threads = {ratio:.2}");
+    // 3D is flat-low until 256 threads, then jumps.
+    let jump = get("KAMI-3D", 2) / get("KAMI-3D", 1);
+    assert!(jump > 2.0, "3D jump at 256 threads = {jump:.2}");
+    // 1D robust: its worst point is within 2x of its best.
+    let one_d: Vec<f64> = (0..t.x.len()).map(|i| get("KAMI-1D", i)).collect();
+    let (min, max) = one_d
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    assert!(max / min < 2.0, "1D spread {:.2}", max / min);
+}
+
+#[test]
+fn fig14_actual_below_theoretical_everywhere() {
+    let t = fig14_registers();
+    for algo in ["KAMI-1D", "KAMI-2D", "KAMI-3D"] {
+        let theo = t.series_by_label(&format!("{algo} theory")).unwrap();
+        let act = t.series_by_label(&format!("{algo} actual")).unwrap();
+        for (i, (th, ac)) in theo.values.iter().zip(&act.values).enumerate() {
+            if let (Some(th), Some(ac)) = (th, ac) {
+                assert!(ac < th, "{algo} k-index {i}: actual {ac} !< theory {th}");
+            }
+        }
+        // Overall ratio in the paper's band (60-90%).
+        let (avg, _) = t
+            .speedup(&format!("{algo} actual"), &format!("{algo} theory"))
+            .unwrap();
+        assert!((0.5..0.95).contains(&avg), "{algo} reuse ratio {avg:.2}");
+    }
+}
+
+#[test]
+fn onchip_usage_ordering() {
+    // §5.6.1: KAMI's shared-memory footprint sits far below the staged
+    // baselines'; its register usage is in the same band.
+    let t = tab_onchip_usage();
+    let smem = |label: &str| t.series_by_label(label).unwrap().values[1].unwrap();
+    let kami_max = ["KAMI-1D", "KAMI-2D", "KAMI-3D"]
+        .iter()
+        .map(|l| smem(l))
+        .fold(f64::MIN, f64::max);
+    assert!(kami_max <= 8.0, "KAMI smem {kami_max:.1} KB should be <= 8 KB");
+    assert!(smem("cuBLASDx") > kami_max);
+    assert!(smem("CUTLASS") > smem("cuBLASDx"));
+}

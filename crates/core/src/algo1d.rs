@@ -1,0 +1,373 @@
+//! KAMI-1D (paper §4.3, Algorithm 1).
+//!
+//! `p` warps partition all three matrices row-wise. Warp `i` holds
+//! `A_i` (`m/p × k`), `B_i` (`k/p × n`) and accumulates `C_i` (`m/p × n`).
+//! The multiplication runs in `p` stages; at stage `z` only matrix **B**
+//! is communicated: warp `z` broadcasts its `B_z` through shared memory
+//! (and keeps its own copy via a register copy, §4.3), then every warp
+//! multiplies the `z`-th k-chunk of its `A_i` with the received block:
+//!
+//! ```text
+//! C_i += A_i[:, z·k/p : (z+1)·k/p] · B_zRecv
+//! ```
+//!
+//! ## Register/shared-memory cooperation (§4.7)
+//!
+//! With `smem_fraction == 0` the kernel runs in *direct* mode: whole
+//! fragments in registers, the sender keeping its copy with a register
+//! copy. With `smem_fraction > 0` it runs in *sliced* mode, "storing
+//! only a portion of A and B in registers, while offloading the inactive
+//! sub-matrices to shared memory", with every k-slice sized to the MMA
+//! granularity (16, §4.7):
+//!
+//! * the trailing fraction of `A_i`'s stage chunks is parked in a
+//!   per-warp shared-memory area and fetched back when its stage runs;
+//! * the trailing fraction of `B_i`'s rows is parked likewise and
+//!   reassembled into the broadcast region at send time;
+//! * reception is *sliced*: instead of one `k/p × n` `BRecv` fragment,
+//!   warps stream 16-row slices of the broadcast through a small
+//!   staging fragment, multiplying as they go.
+//!
+//! Sliced mode trades extra shared-memory latency for a much smaller
+//! register footprint — exactly the Fig 10 trade-off.
+
+use crate::config::KamiConfig;
+use crate::layout::{split_chunks, tile_bytes, SmemMap};
+use kami_gpu_sim::{BlockKernel, BufferId, Precision};
+
+/// k-slice granularity (§4.7: "each k-slice has a dimension of 16 to
+/// align with the MMA unit granularity").
+pub const SLICE_K: usize = 16;
+
+/// Largest divisor of `ki` no bigger than [`SLICE_K`].
+fn slice_height(ki: usize) -> usize {
+    (1..=SLICE_K.min(ki)).rev().find(|s| ki.is_multiple_of(*s)).unwrap_or(1)
+}
+
+/// Rows of `B_i` parked in shared memory for a fraction `f`, quantized
+/// to whole slices and always leaving at least one slice in registers.
+fn b_park_rows(ki: usize, f: f64) -> usize {
+    let slice = slice_height(ki);
+    let want = ((ki as f64 * f) / slice as f64).round() as usize * slice;
+    want.min(ki - slice)
+}
+
+/// Shared-memory address map of a 1D kernel.
+pub fn smem_map(cfg: &KamiConfig, m: usize, n: usize, k: usize) -> SmemMap {
+    let p = cfg.warps;
+    let (mi, ki) = (m / p, k / p);
+    let se = cfg.precision;
+    let (_, parked_a) = split_chunks(p, cfg.smem_fraction);
+    let parked_b = if cfg.smem_fraction > 0.0 {
+        b_park_rows(ki, cfg.smem_fraction)
+    } else {
+        0
+    };
+    SmemMap::new(
+        0,
+        0,
+        1,
+        tile_bytes(ki, n, se),
+        parked_a * tile_bytes(mi, ki, se) + tile_bytes(parked_b, n, se),
+    )
+}
+
+/// Build the 1D block kernel for `C = A·B`.
+///
+/// Preconditions (checked by [`KamiConfig::validate`]): `p | m`, `p | k`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_kernel(
+    cfg: &KamiConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_buf: BufferId,
+    b_buf: BufferId,
+    c_buf: BufferId,
+    c_prec: Precision,
+) -> BlockKernel {
+    if cfg.smem_fraction > 0.0 {
+        build_sliced(cfg, m, n, k, a_buf, b_buf, c_buf, c_prec)
+    } else {
+        build_direct(cfg, m, n, k, a_buf, b_buf, c_buf, c_prec)
+    }
+}
+
+/// Direct mode: everything in registers (Algorithm 1 verbatim).
+#[allow(clippy::too_many_arguments)]
+fn build_direct(
+    cfg: &KamiConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_buf: BufferId,
+    b_buf: BufferId,
+    c_buf: BufferId,
+    c_prec: Precision,
+) -> BlockKernel {
+    let p = cfg.warps;
+    let (mi, ki) = (m / p, k / p);
+    let prec = cfg.precision;
+    let map = smem_map(cfg, m, n, k);
+
+    BlockKernel::spmd(p, |i, w| {
+        let a_i = w.frag("Ai", mi, k, prec);
+        let b_own = w.frag("Bi", ki, n, prec);
+        let b_recv = w.frag("BRecv", ki, n, prec);
+        let c_i = w.frag("Ci", mi, n, c_prec);
+
+        // GMem2Reg (Algorithm 1 line 2).
+        w.global_load(a_i, a_buf, i * mi, 0);
+        w.global_load(b_own, b_buf, i * ki, 0);
+        w.zero_acc(c_i);
+
+        // p stages (lines 4-12).
+        for z in 0..p {
+            if i == z {
+                w.shared_store(b_own, map.b_addr(0));
+                w.reg_copy(b_recv, b_own);
+            }
+            w.barrier();
+            if i != z {
+                w.shared_load(b_recv, map.b_addr(0));
+            }
+            w.barrier();
+            w.mma_a_cols(c_i, a_i, b_recv, z * ki, ki);
+        }
+
+        // Reg2GMem (line 13).
+        w.global_store(c_i, c_buf, i * mi, 0);
+    })
+}
+
+/// Sliced mode (§4.7): A chunks and B rows parked in shared memory,
+/// reception streamed in k-slices.
+#[allow(clippy::too_many_arguments)]
+fn build_sliced(
+    cfg: &KamiConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_buf: BufferId,
+    b_buf: BufferId,
+    c_buf: BufferId,
+    c_prec: Precision,
+) -> BlockKernel {
+    let p = cfg.warps;
+    let (mi, ki) = (m / p, k / p);
+    let prec = cfg.precision;
+    let map = smem_map(cfg, m, n, k);
+    let (reg_chunks, parked_chunks) = split_chunks(p, cfg.smem_fraction);
+    let a_chunk_bytes = tile_bytes(mi, ki, prec);
+    let slice = slice_height(ki);
+    let b_park = b_park_rows(ki, cfg.smem_fraction);
+    let b_reg = ki - b_park;
+    let slice_bytes = tile_bytes(slice, n, prec);
+    let b_park_base = parked_chunks * a_chunk_bytes; // within park area
+
+    BlockKernel::spmd(p, |i, w| {
+        let a_reg = w.frag("Ai", mi, reg_chunks * ki, prec);
+        let a_stage = (parked_chunks > 0).then(|| w.frag("AStage", mi, ki, prec));
+        let b_own = w.frag("Bi", b_reg, n, prec);
+        let b_slice = w.frag("BSlice", slice, n, prec);
+        let c_i = w.frag("Ci", mi, n, c_prec);
+
+        // GMem2Reg + parking (§4.7).
+        w.global_load(a_reg, a_buf, i * mi, 0);
+        if let Some(a_stage) = a_stage {
+            for j in 0..parked_chunks {
+                w.global_load(a_stage, a_buf, i * mi, (reg_chunks + j) * ki);
+                w.shared_store(a_stage, map.park_addr(i, j * a_chunk_bytes));
+            }
+        }
+        w.global_load(b_own, b_buf, i * ki, 0);
+        for s in 0..b_park / slice {
+            w.global_load(b_slice, b_buf, i * ki + b_reg + s * slice, 0);
+            w.shared_store(b_slice, map.park_addr(i, b_park_base + s * slice_bytes));
+        }
+        w.zero_acc(c_i);
+
+        for z in 0..p {
+            if i == z {
+                // Assemble the broadcast region: register rows first,
+                // parked rows re-staged behind them.
+                w.shared_store(b_own, map.b_addr(0));
+                for s in 0..b_park / slice {
+                    w.shared_load(
+                        b_slice,
+                        map.park_addr(i, b_park_base + s * slice_bytes),
+                    );
+                    w.shared_store(b_slice, map.b_addr(0) + tile_bytes(b_reg, n, prec) + s * slice_bytes);
+                }
+            }
+            if z >= reg_chunks {
+                // This stage's A chunk was parked: fetch it back.
+                let a_stage = a_stage.expect("parked stage without staging fragment");
+                w.shared_load(a_stage, map.park_addr(i, (z - reg_chunks) * a_chunk_bytes));
+            }
+            w.barrier();
+            // Sliced reception + compute: stream the broadcast through a
+            // slice-high staging fragment (the sender re-reads its own
+            // broadcast — its operand is split across fragments).
+            for s in 0..ki / slice {
+                w.shared_load(b_slice, map.b_addr(0) + s * slice_bytes);
+                if z < reg_chunks {
+                    w.mma_a_cols(c_i, a_reg, b_slice, z * ki + s * slice, slice);
+                } else {
+                    w.mma_a_cols(c_i, a_stage.expect("parked stage"), b_slice, s * slice, slice);
+                }
+            }
+            w.barrier();
+        }
+
+        w.global_store(c_i, c_buf, i * mi, 0);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algo;
+    use kami_gpu_sim::{device::gh200, Engine, GlobalMemory, Matrix};
+
+    fn run_1d(
+        n: usize,
+        warps: usize,
+        prec: Precision,
+        fraction: f64,
+    ) -> (Matrix, kami_gpu_sim::ExecutionReport) {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::OneD, prec)
+            .with_warps(warps)
+            .with_smem_fraction(fraction);
+        cfg.validate(&dev, n, n, n).unwrap();
+        let a = Matrix::seeded_uniform(n, n, 11);
+        let b = Matrix::seeded_uniform(n, n, 22);
+        let mut gmem = GlobalMemory::new();
+        let ab = gmem.upload("A", &a, prec);
+        let bb = gmem.upload("B", &b, prec);
+        let acc = prec.accumulator();
+        let cb = gmem.alloc_zeroed("C", n, n, acc);
+        let kern = build_kernel(&cfg, n, n, n, ab, bb, cb, acc);
+        let rep = Engine::new(&dev).run(&kern, &mut gmem).unwrap();
+        (gmem.download(cb), rep)
+    }
+
+    fn reference(n: usize, prec: Precision) -> Matrix {
+        let a = Matrix::seeded_uniform(n, n, 11).quantized(prec);
+        let b = Matrix::seeded_uniform(n, n, 22).quantized(prec);
+        let acc = prec.accumulator();
+        Matrix::from_fn(n, n, |i, j| {
+            let mut s = 0.0;
+            for l in 0..n {
+                s = kami_gpu_sim::precision::fma_acc(acc, a[(i, l)], b[(l, j)], s);
+            }
+            s
+        })
+    }
+
+    #[test]
+    fn fp64_matches_reference_exactly() {
+        let (c, _) = run_1d(16, 2, Precision::Fp64, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(16, Precision::Fp64)), 0.0);
+    }
+
+    #[test]
+    fn fp16_matches_reference_exactly() {
+        // Same accumulation order (k ascending, FP32 accumulator) as the
+        // reference: bit-exact.
+        let (c, _) = run_1d(32, 4, Precision::Fp16, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(32, Precision::Fp16)), 0.0);
+    }
+
+    #[test]
+    fn sliced_mode_preserves_results() {
+        for f in [0.25, 0.5, 0.75] {
+            let (c0, r0) = run_1d(32, 4, Precision::Fp16, 0.0);
+            let (cf, rf) = run_1d(32, 4, Precision::Fp16, f);
+            assert_eq!(c0.max_abs_diff(&cf), 0.0, "fraction {f}");
+            // Parking adds shared-memory traffic...
+            assert!(rf.comm_volume() > r0.comm_volume());
+            // ...and never costs registers.
+            assert!(
+                rf.max_registers().measured_regs <= r0.max_registers().measured_regs,
+                "fraction {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_mode_saves_registers_at_scale() {
+        let (c0, r0) = run_1d(128, 8, Precision::Fp16, 0.0);
+        let (cf, rf) = run_1d(128, 8, Precision::Fp16, 0.5);
+        assert_eq!(c0.max_abs_diff(&cf), 0.0);
+        assert!(
+            rf.max_registers().measured_regs < r0.max_registers().measured_regs,
+            "sliced {} !< direct {}",
+            rf.max_registers().measured_regs,
+            r0.max_registers().measured_regs
+        );
+    }
+
+    #[test]
+    fn sliced_mode_with_uneven_slices() {
+        // p=4, n=24 -> ki=6, slice height 6.
+        let (c, _) = run_1d(24, 4, Precision::Fp64, 0.5);
+        assert!(c.max_abs_diff(&reference(24, Precision::Fp64)) < 1e-12);
+    }
+
+    #[test]
+    fn large_order_fits_only_with_slicing() {
+        // 192³ FP16 with 8 warps: direct mode overflows the register
+        // file; sliced mode fits — the §4.7 fallback in action.
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(192, 192, 1);
+        let b = Matrix::seeded_uniform(192, 192, 2);
+        let direct = KamiConfig::new(Algo::OneD, Precision::Fp16).with_warps(8);
+        assert!(crate::gemm::gemm(&dev, &direct, &a, &b).is_err());
+        let sliced = direct.clone().with_smem_fraction(0.75);
+        let res = crate::gemm::gemm(&dev, &sliced, &a, &b).unwrap();
+        assert!(res.report.max_registers().measured_regs <= 255);
+    }
+
+    #[test]
+    fn per_stage_comm_volume_matches_formula_1() {
+        // Formula 1: V_cm per stage = k·n·s_e; over p stages = p·k·n·s_e.
+        let n = 32;
+        let p = 4;
+        let (_, rep) = run_1d(n, p, Precision::Fp16, 0.0);
+        let expected = (p * n * n * Precision::Fp16.size_bytes()) as u64;
+        assert_eq!(rep.comm_volume(), expected);
+    }
+
+    #[test]
+    fn only_b_is_communicated() {
+        // Shared-memory writes should equal p · |B_z| = |B| (each warp
+        // broadcasts its B slab exactly once).
+        let n = 32;
+        let (_, rep) = run_1d(n, 4, Precision::Fp16, 0.0);
+        assert_eq!(
+            rep.smem_bytes_written,
+            (n * n * Precision::Fp16.size_bytes()) as u64
+        );
+    }
+
+    #[test]
+    fn single_warp_degenerates_to_local_gemm() {
+        let (c, rep) = run_1d(16, 1, Precision::Fp64, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(16, Precision::Fp64)), 0.0);
+        // One warp: broadcast write happens, zero cross-warp reads.
+        assert_eq!(rep.smem_bytes_read, 0);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(slice_height(48), 16);
+        assert_eq!(slice_height(24), 12);
+        assert_eq!(slice_height(16), 16);
+        assert_eq!(slice_height(6), 6);
+        assert_eq!(b_park_rows(48, 0.5), 32); // 24 -> rounds to 2 slices
+        assert_eq!(b_park_rows(16, 0.5), 0); // single slice stays
+        assert_eq!(b_park_rows(48, 0.75), 32);
+    }
+}

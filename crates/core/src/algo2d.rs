@@ -1,0 +1,278 @@
+//! KAMI-2D (paper §4.4, Algorithm 2).
+//!
+//! `p = q²` warps form a `q×q` grid. Warp `(r, c)` holds `A_i = A(r, c)`
+//! (`m/q × k/q`), `B_i = B(r, c)` (`k/q × n/q`) and accumulates
+//! `C_i = C(r, c)` (`m/q × n/q`). The multiplication runs in `q = √p`
+//! stages; at stage `z` the warps in grid column `z` broadcast their `A_i`
+//! along their grid **row**, and the warps in grid row `z` broadcast their
+//! `B_i` along their grid **column**, both through shared memory. Every
+//! warp then computes
+//!
+//! ```text
+//! C(r, c) += A(r, z) · B(z, c)
+//! ```
+//!
+//! which after all stages is the SUMMA outer-product decomposition of C.
+//!
+//! Register/shared-memory cooperation (§4.7): a `smem_fraction` of the
+//! leading *rows* of each warp's `A_i` and `B_i` (rows are contiguous in
+//! the row-major fragment, so the parked part occupies the front of the
+//! broadcast region) is parked in shared memory at kernel start; the
+//! sender fetches it back at its send stage. When parking is active the
+//! sender reads its own broadcast back from shared memory instead of the
+//! register copy, since its operand is split across two fragments.
+
+use crate::config::KamiConfig;
+use crate::layout::{grid_pos, split_chunks, tile_bytes, SmemMap};
+use kami_gpu_sim::{BlockKernel, BufferId, Precision};
+
+
+/// Height of the staging slice used to move `rows` parked rows through
+/// registers. Staging is pure data movement (the MMA operands are the
+/// assembled `ARecv`/`BRecv`), so a small slice costs no extra latency
+/// or bandwidth — the largest divisor of `rows` no bigger than 8 keeps
+/// the staging fragment tiny.
+fn park_slice(rows: usize) -> usize {
+    (1..=8usize.min(rows)).rev().find(|h| rows.is_multiple_of(*h)).unwrap_or(1)
+}
+
+/// Shared-memory address map of a 2D kernel: `q` broadcast regions for A
+/// (one per grid row), `q` for B (one per grid column), plus parking.
+pub fn smem_map(cfg: &KamiConfig, m: usize, n: usize, k: usize) -> SmemMap {
+    let q = (cfg.warps as f64).sqrt().round() as usize;
+    let (mi, ni, ki) = (m / q, n / q, k / q);
+    let prec = cfg.precision;
+    let (_, a_park) = split_chunks(mi, cfg.smem_fraction);
+    let (_, b_park) = split_chunks(ki, cfg.smem_fraction);
+    SmemMap::new(
+        q,
+        tile_bytes(mi, ki, prec),
+        q,
+        tile_bytes(ki, ni, prec),
+        tile_bytes(a_park, ki, prec) + tile_bytes(b_park, ni, prec),
+    )
+}
+
+/// Build the 2D block kernel for `C = A·B`.
+///
+/// Preconditions (checked by [`KamiConfig::validate`]):
+/// `√p | m`, `√p | n`, `√p | k`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_kernel(
+    cfg: &KamiConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_buf: BufferId,
+    b_buf: BufferId,
+    c_buf: BufferId,
+    c_prec: Precision,
+) -> BlockKernel {
+    let q = (cfg.warps as f64).sqrt().round() as usize;
+    let (mi, ni, ki) = (m / q, n / q, k / q);
+    let prec = cfg.precision;
+    let map = smem_map(cfg, m, n, k);
+    let (a_reg_rows, a_park_rows) = split_chunks(mi, cfg.smem_fraction);
+    let (b_reg_rows, b_park_rows) = split_chunks(ki, cfg.smem_fraction);
+    let a_park_bytes = tile_bytes(a_park_rows, ki, prec);
+    let b_park_bytes = tile_bytes(b_park_rows, ni, prec);
+
+    BlockKernel::spmd(cfg.warps, |i, w| {
+        let (r, c) = grid_pos(i, q);
+
+        let a_slice = park_slice(a_park_rows.max(1));
+        let b_slice = park_slice(b_park_rows.max(1));
+        let a_reg = w.frag("Ai", a_reg_rows, ki, prec);
+        let a_stage = (a_park_rows > 0).then(|| w.frag("AiStage", a_slice, ki, prec));
+        let b_reg = w.frag("Bi", b_reg_rows, ni, prec);
+        let b_stage = (b_park_rows > 0).then(|| w.frag("BiStage", b_slice, ni, prec));
+        let a_recv = w.frag("ARecv", mi, ki, prec);
+        let b_recv = w.frag("BRecv", ki, ni, prec);
+        let c_i = w.frag("Ci", mi, ni, c_prec);
+        let a_slice_bytes = tile_bytes(a_slice, ki, prec);
+        let b_slice_bytes = tile_bytes(b_slice, ni, prec);
+
+        // GMem2Reg (line 2) with §4.7 parking of leading rows, streamed
+        // through a slice-high staging fragment.
+        if let Some(a_stage) = a_stage {
+            for s in 0..a_park_rows / a_slice {
+                w.global_load(a_stage, a_buf, r * mi + s * a_slice, c * ki);
+                w.shared_store(a_stage, map.park_addr(i, s * a_slice_bytes));
+            }
+        }
+        w.global_load(a_reg, a_buf, r * mi + a_park_rows, c * ki);
+        if let Some(b_stage) = b_stage {
+            for s in 0..b_park_rows / b_slice {
+                w.global_load(b_stage, b_buf, r * ki + s * b_slice, c * ni);
+                w.shared_store(b_stage, map.park_addr(i, a_park_bytes + s * b_slice_bytes));
+            }
+        }
+        w.global_load(b_reg, b_buf, r * ki + b_park_rows, c * ni);
+        w.zero_acc(c_i);
+
+        // √p stages (lines 4-17).
+        for z in 0..q {
+            let send_a = c == z;
+            let send_b = r == z;
+            if send_a {
+                // Reassemble [parked rows][register rows] in the row
+                // broadcast region, streaming the parked part slice by
+                // slice through the staging fragment.
+                if let Some(a_stage) = a_stage {
+                    for s in 0..a_park_rows / a_slice {
+                        w.shared_load(a_stage, map.park_addr(i, s * a_slice_bytes));
+                        w.shared_store(a_stage, map.a_addr(r) + s * a_slice_bytes);
+                    }
+                    w.shared_store(a_reg, map.a_addr(r) + a_park_bytes);
+                    // Own copy is split: read the assembled block back.
+                    w.shared_load(a_recv, map.a_addr(r));
+                } else {
+                    w.shared_store(a_reg, map.a_addr(r));
+                    w.reg_copy(a_recv, a_reg);
+                }
+            }
+            if send_b {
+                if let Some(b_stage) = b_stage {
+                    for s in 0..b_park_rows / b_slice {
+                        w.shared_load(b_stage, map.park_addr(i, a_park_bytes + s * b_slice_bytes));
+                        w.shared_store(b_stage, map.b_addr(c) + s * b_slice_bytes);
+                    }
+                    w.shared_store(b_reg, map.b_addr(c) + b_park_bytes);
+                    w.shared_load(b_recv, map.b_addr(c));
+                } else {
+                    w.shared_store(b_reg, map.b_addr(c));
+                    w.reg_copy(b_recv, b_reg);
+                }
+            }
+            w.barrier();
+            if !send_a {
+                w.shared_load(a_recv, map.a_addr(r));
+            }
+            if !send_b {
+                w.shared_load(b_recv, map.b_addr(c));
+            }
+            w.barrier();
+            w.mma(c_i, a_recv, b_recv);
+        }
+
+        // Reg2GMem (line 18).
+        w.global_store(c_i, c_buf, r * mi, c * ni);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algo;
+    use kami_gpu_sim::{device::gh200, Engine, GlobalMemory, Matrix};
+
+    fn run_2d(
+        n: usize,
+        warps: usize,
+        prec: Precision,
+        fraction: f64,
+    ) -> (Matrix, kami_gpu_sim::ExecutionReport) {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::TwoD, prec)
+            .with_warps(warps)
+            .with_smem_fraction(fraction);
+        cfg.validate(&dev, n, n, n).unwrap();
+        let a = Matrix::seeded_uniform(n, n, 31);
+        let b = Matrix::seeded_uniform(n, n, 32);
+        let mut gmem = GlobalMemory::new();
+        let ab = gmem.upload("A", &a, prec);
+        let bb = gmem.upload("B", &b, prec);
+        let acc = prec.accumulator();
+        let cb = gmem.alloc_zeroed("C", n, n, acc);
+        let kern = build_kernel(&cfg, n, n, n, ab, bb, cb, acc);
+        let rep = Engine::new(&dev).run(&kern, &mut gmem).unwrap();
+        (gmem.download(cb), rep)
+    }
+
+    fn reference(n: usize, prec: Precision) -> Matrix {
+        let a = Matrix::seeded_uniform(n, n, 31).quantized(prec);
+        let b = Matrix::seeded_uniform(n, n, 32).quantized(prec);
+        let acc = prec.accumulator();
+        Matrix::from_fn(n, n, |i, j| {
+            let mut s = 0.0;
+            for l in 0..n {
+                s = kami_gpu_sim::precision::fma_acc(acc, a[(i, l)], b[(l, j)], s);
+            }
+            s
+        })
+    }
+
+    #[test]
+    fn fp64_matches_reference_exactly() {
+        let (c, _) = run_2d(16, 4, Precision::Fp64, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(16, Precision::Fp64)), 0.0);
+    }
+
+    #[test]
+    fn fp16_matches_reference_exactly() {
+        let (c, _) = run_2d(32, 4, Precision::Fp16, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(32, Precision::Fp16)), 0.0);
+    }
+
+    #[test]
+    fn nine_and_sixteen_warp_grids() {
+        let (c, _) = run_2d(48, 9, Precision::Fp16, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(48, Precision::Fp16)), 0.0);
+        let (c, _) = run_2d(64, 16, Precision::Fp16, 0.0);
+        assert_eq!(c.max_abs_diff(&reference(64, Precision::Fp16)), 0.0);
+    }
+
+    #[test]
+    fn parking_preserves_results() {
+        let (c0, r0) = run_2d(32, 4, Precision::Fp16, 0.0);
+        let (c5, r5) = run_2d(32, 4, Precision::Fp16, 0.5);
+        assert_eq!(c0.max_abs_diff(&c5), 0.0);
+        assert!(r5.comm_volume() > r0.comm_volume());
+    }
+
+    #[test]
+    fn total_comm_volume_matches_formula_5() {
+        // Formula 5: per-stage V_cm = (mk + kn)·s_e; √p stages.
+        let n = 32;
+        let (_, rep) = run_2d(n, 4, Precision::Fp16, 0.0);
+        let per_stage = 2 * n * n * Precision::Fp16.size_bytes();
+        assert_eq!(rep.comm_volume(), (2 * per_stage) as u64);
+    }
+
+    #[test]
+    fn both_a_and_b_are_communicated() {
+        // All of A and all of B transit shared memory exactly once.
+        let n = 32;
+        let (_, rep) = run_2d(n, 4, Precision::Fp16, 0.0);
+        assert_eq!(
+            rep.smem_bytes_written,
+            (2 * n * n * Precision::Fp16.size_bytes()) as u64
+        );
+    }
+
+    #[test]
+    fn rectangular_problem() {
+        let (m, n, k, q) = (24, 16, 32, 2);
+        let prec = Precision::Fp64;
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::TwoD, prec).with_warps(q * q);
+        cfg.validate(&dev, m, n, k).unwrap();
+        let a = Matrix::seeded_uniform(m, k, 7);
+        let b = Matrix::seeded_uniform(k, n, 8);
+        let mut gmem = GlobalMemory::new();
+        let ab = gmem.upload("A", &a, prec);
+        let bb = gmem.upload("B", &b, prec);
+        let cb = gmem.alloc_zeroed("C", m, n, prec);
+        let kern = build_kernel(&cfg, m, n, k, ab, bb, cb, prec);
+        Engine::new(&dev).run(&kern, &mut gmem).unwrap();
+        let c = gmem.download(cb);
+        let want = Matrix::from_fn(m, n, |i, j| {
+            let mut s = 0.0;
+            for l in 0..k {
+                s = a[(i, l)].mul_add(b[(l, j)], s);
+            }
+            s
+        });
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+}

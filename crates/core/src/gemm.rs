@@ -1,0 +1,483 @@
+//! Public block-level GEMM entry points.
+//!
+//! [`gemm`] runs one KAMI block kernel end to end on the simulator:
+//! upload → build the 1D/2D/3D kernel → execute → download, returning
+//! both the product and the cycle-accurate [`ExecutionReport`].
+//!
+//! [`gemm_auto`] additionally implements the paper's preset-ratio
+//! behaviour (§4.7/§5.2.5): if the requested configuration exceeds the
+//! 255-registers-per-thread limit, it escalates `smem_fraction` through
+//! a ladder until the kernel fits, exactly like KAMI's fallback from
+//! registers to shared memory.
+//!
+//! [`gemm_padded`] accepts arbitrary dimensions by zero-padding to the
+//! partition grid and cropping the result.
+
+use crate::algo1d;
+use crate::algo2d;
+use crate::algo3d;
+use crate::config::{Algo, KamiConfig};
+use crate::error::KamiError;
+use kami_gpu_sim::{
+    DeviceSpec, Engine, ExecutionReport, GlobalMemory, Matrix, Precision, SimError,
+};
+
+/// Output of one block GEMM.
+#[derive(Debug, Clone)]
+pub struct GemmResult {
+    /// The product `C = A·B` (at the configuration's C precision).
+    pub c: Matrix,
+    /// Cycle/traffic/register report of the block kernel.
+    pub report: ExecutionReport,
+    /// `smem_fraction` actually used (differs from the request when
+    /// [`gemm_auto`] escalated).
+    pub smem_fraction: f64,
+    /// Useful flops of the logical problem (`2·m·n·k`), for TFLOPS math.
+    pub useful_flops: u64,
+}
+
+impl GemmResult {
+    /// Block-level TFLOPS on `device` (paper's Fig 8 metric: on-chip
+    /// cycles only, useful flops only).
+    pub fn block_tflops(&self, device: &DeviceSpec) -> f64 {
+        self.report.block_tflops(device, self.useful_flops)
+    }
+}
+
+/// C-fragment precision for an input precision: the paper stores C at the
+/// operand precision (its §4.7 register accounting counts C like A and B),
+/// accumulating each MMA internally at the hardware accumulator precision.
+pub fn c_precision(input: Precision) -> Precision {
+    input
+}
+
+/// Run one KAMI block GEMM: `C = A·B` with `A: m×k`, `B: k×n`.
+pub fn gemm(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    if k != kb {
+        return Err(KamiError::ShapeMismatch {
+            detail: format!("A is {m}x{k} but B is {kb}x{n}"),
+        });
+    }
+    cfg.validate(device, m, n, k)?;
+
+    let prec = cfg.precision;
+    let c_prec = c_precision(prec);
+    let mut gmem = GlobalMemory::new();
+    let ab = gmem.upload("A", a, prec);
+    let bb = gmem.upload("B", b, prec);
+    let cb = gmem.alloc_zeroed("C", m, n, c_prec);
+
+    let kernel = match cfg.algo {
+        Algo::OneD => algo1d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+        Algo::TwoD => algo2d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+        Algo::ThreeD => algo3d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+    };
+    let report = Engine::with_cost(device, cfg.cost.clone()).run(&kernel, &mut gmem)?;
+    Ok(GemmResult {
+        c: gmem.download(cb),
+        report,
+        smem_fraction: cfg.smem_fraction,
+        useful_flops: 2 * (m as u64) * (n as u64) * (k as u64),
+    })
+}
+
+/// Full BLAS-style GEMM: `C = alpha·A·B + beta·C0`.
+///
+/// The epilogue runs inside the kernel for 1D/2D (each warp scales its
+/// accumulator by `alpha`, re-reads its `C0` window, scales by `beta`,
+/// adds, and stores — the extra global traffic and register ops are
+/// charged); the 3D cross-layer reduction accumulates `alpha`-scaled
+/// partials onto a `beta`-prescaled buffer (the `beta` pass is applied at
+/// upload, the way split-k reduction kernels handle it).
+pub fn gemm_scaled(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c0: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    if k != kb || c0.rows() != m || c0.cols() != n {
+        return Err(KamiError::ShapeMismatch {
+            detail: format!(
+                "A {m}x{k}, B {kb}x{n}, C {}x{} are inconsistent",
+                c0.rows(),
+                c0.cols()
+            ),
+        });
+    }
+    cfg.validate(device, m, n, k)?;
+
+    let prec = cfg.precision;
+    let c_prec = c_precision(prec);
+    let mut gmem = GlobalMemory::new();
+    let ab = gmem.upload("A", a, prec);
+    let bb = gmem.upload("B", b, prec);
+    let three_d = cfg.algo == Algo::ThreeD;
+    let cb = if three_d {
+        // Pre-scaled beta pass; the kernel accumulates alpha-scaled
+        // layer partials on top.
+        let scaled = Matrix::from_fn(m, n, |r, c| beta * c0[(r, c)]);
+        gmem.upload("C", &scaled, c_prec)
+    } else if beta != 0.0 {
+        gmem.upload("C", c0, c_prec)
+    } else {
+        gmem.alloc_zeroed("C", m, n, c_prec)
+    };
+
+    let mut kernel = match cfg.algo {
+        Algo::OneD => algo1d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+        Algo::TwoD => algo2d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+        Algo::ThreeD => algo3d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+    };
+    apply_epilogue(&mut kernel, cb, alpha, beta, three_d, c_prec);
+
+    let report = Engine::with_cost(device, cfg.cost.clone()).run(&kernel, &mut gmem)?;
+    Ok(GemmResult {
+        c: gmem.download(cb),
+        report,
+        smem_fraction: cfg.smem_fraction,
+        useful_flops: 2 * (m as u64) * (n as u64) * (k as u64),
+    })
+}
+
+/// Rewrite a kernel's trailing C stores into the alpha/beta epilogue.
+fn apply_epilogue(
+    kernel: &mut kami_gpu_sim::BlockKernel,
+    c_buf: kami_gpu_sim::BufferId,
+    alpha: f64,
+    beta: f64,
+    three_d: bool,
+    c_prec: Precision,
+) {
+    use kami_gpu_sim::Op;
+    if alpha == 1.0 && (beta == 0.0 || three_d) {
+        return; // the built kernel already computes this
+    }
+    for w in &mut kernel.warps {
+        let mut new_ops = Vec::with_capacity(w.ops.len() + 8);
+        let ops = std::mem::take(&mut w.ops);
+        for op in ops {
+            match op {
+                Op::GlobalStore { src, buf, row0, col0, accumulate } if buf == c_buf => {
+                    if alpha != 1.0 {
+                        new_ops.push(Op::Scale { frag: src, factor: alpha });
+                    }
+                    if !three_d && beta != 0.0 {
+                        // Blend with the previous C window in registers.
+                        let (rows, cols) = {
+                            let d = &w.frags[src];
+                            (d.rows, d.cols)
+                        };
+                        w.frags.push(kami_gpu_sim::FragDecl::new(
+                            "CPrev", rows, cols, c_prec,
+                        ));
+                        let prev = w.frags.len() - 1;
+                        new_ops.push(Op::GlobalLoad { dst: prev, buf, row0, col0 });
+                        if beta != 1.0 {
+                            new_ops.push(Op::Scale { frag: prev, factor: beta });
+                        }
+                        new_ops.push(Op::AddAssign { dst: src, src: prev });
+                    }
+                    new_ops.push(Op::GlobalStore { src, buf, row0, col0, accumulate });
+                }
+                other => new_ops.push(other),
+            }
+        }
+        w.ops = new_ops;
+    }
+}
+
+/// Operand orientation, cuBLAS-style (`CUBLAS_OP_N` / `CUBLAS_OP_T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatOp {
+    /// Use the matrix as stored.
+    None,
+    /// Use the transpose.
+    Transpose,
+}
+
+impl MatOp {
+    fn apply(self, m: &Matrix) -> Matrix {
+        match self {
+            MatOp::None => m.clone(),
+            MatOp::Transpose => m.transposed(),
+        }
+    }
+}
+
+/// cuBLAS-style GEMM with operand orientations:
+/// `C = op_a(A) · op_b(B)`.
+///
+/// Transposition is a host-side layout transformation performed at
+/// upload (the simulator's global buffers are plain row-major; a device
+/// kernel would fold the same transformation into its load addressing).
+pub fn gemm_t(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    op_a: MatOp,
+    a: &Matrix,
+    op_b: MatOp,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    let at = op_a.apply(a);
+    let bt = op_b.apply(b);
+    gemm_auto(device, cfg, &at, &bt)
+}
+
+/// The §4.7 fallback ladder: fractions tried, in order, after the
+/// requested one.
+pub const FALLBACK_FRACTIONS: [f64; 5] = [0.25, 0.5, 0.75, 0.875, 0.9375];
+
+/// Like [`gemm`], but on [`SimError::RegisterOverflow`] escalates
+/// `smem_fraction` through [`FALLBACK_FRACTIONS`] until the kernel fits —
+/// the preset-ratio behaviour of the paper's implementation.
+pub fn gemm_auto(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    let mut last = gemm(device, cfg, a, b);
+    if !matches!(last, Err(KamiError::Sim(SimError::RegisterOverflow { .. }))) {
+        return last;
+    }
+    for &f in FALLBACK_FRACTIONS.iter().filter(|&&f| f > cfg.smem_fraction) {
+        let mut c2 = cfg.clone();
+        c2.smem_fraction = f;
+        last = gemm(device, &c2, a, b);
+        if !matches!(last, Err(KamiError::Sim(SimError::RegisterOverflow { .. }))) {
+            return last;
+        }
+    }
+    last
+}
+
+/// Round `x` up to a multiple of `d`.
+fn round_up(x: usize, d: usize) -> usize {
+    x.div_ceil(d) * d
+}
+
+/// Padded dimensions `(m', n', k')` accepted by `cfg` for an `m×n×k`
+/// problem (zero padding does not change the product).
+pub fn padded_dims(cfg: &KamiConfig, m: usize, n: usize, k: usize) -> (usize, usize, usize) {
+    match cfg.algo {
+        Algo::OneD => (round_up(m, cfg.warps), n, round_up(k, cfg.warps)),
+        Algo::TwoD => {
+            let q = (cfg.warps as f64).sqrt().round() as usize;
+            (round_up(m, q), round_up(n, q), round_up(k, q))
+        }
+        Algo::ThreeD => {
+            let q = (cfg.warps as f64).cbrt().round() as usize;
+            (round_up(m, q), round_up(n, q), round_up(k, q * q))
+        }
+    }
+}
+
+/// Arbitrary-size GEMM: zero-pads to the partition grid, runs
+/// [`gemm_auto`], and crops the result back to `m×n`. The report reflects
+/// the padded kernel (as it would on hardware); `useful_flops` still
+/// counts only the logical problem.
+pub fn gemm_padded(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    if k != kb {
+        return Err(KamiError::ShapeMismatch {
+            detail: format!("A is {m}x{k} but B is {kb}x{n}"),
+        });
+    }
+    let (mp, np, kp) = padded_dims(cfg, m, n, k);
+    if (mp, np, kp) == (m, n, k) {
+        return gemm_auto(device, cfg, a, b);
+    }
+    let mut ap = Matrix::zeros(mp, kp);
+    ap.set_submatrix(0, 0, a);
+    let mut bp = Matrix::zeros(kp, np);
+    bp.set_submatrix(0, 0, b);
+    let mut res = gemm_auto(device, cfg, &ap, &bp)?;
+    res.c = res.c.submatrix(0, 0, m, n);
+    res.useful_flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    Ok(res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_gemm;
+    use kami_gpu_sim::device::gh200;
+
+    #[test]
+    fn gemm_all_algos_agree_fp64() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(16, 16, 1);
+        let b = Matrix::seeded_uniform(16, 16, 2);
+        let want = reference_gemm(&a, &b, Precision::Fp64);
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, Precision::Fp64);
+            let got = gemm(&dev, &cfg, &a, &b).unwrap();
+            assert!(
+                got.c.max_abs_diff(&want) < 1e-12,
+                "{} diverges",
+                algo.label()
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        let a = Matrix::zeros(16, 16);
+        let b = Matrix::zeros(8, 16);
+        assert!(matches!(
+            gemm(&dev, &cfg, &a, &b),
+            Err(KamiError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_escalates_smem_fraction_on_register_overflow() {
+        let dev = gh200();
+        // 128x128 FP16, 4 warps, no parking: A,B,BRecv,C fragments need
+        // 4 * 64 = 256 regs/thread > 255 -> must escalate.
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        let a = Matrix::seeded_uniform(128, 128, 3);
+        let b = Matrix::seeded_uniform(128, 128, 4);
+        assert!(matches!(
+            gemm(&dev, &cfg, &a, &b),
+            Err(KamiError::Sim(SimError::RegisterOverflow { .. }))
+        ));
+        let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+        assert!(res.smem_fraction > 0.0, "fraction = {}", res.smem_fraction);
+        // Result still correct (vs FP16-stepped reference, loose check).
+        let want = reference_gemm(&a, &b, Precision::Fp16);
+        assert!(res.c.rel_frobenius_error(&want) < 2e-2);
+    }
+
+    #[test]
+    fn padded_gemm_handles_odd_sizes() {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let a = Matrix::seeded_uniform(10, 7, 5);
+        let b = Matrix::seeded_uniform(7, 13, 6);
+        let res = gemm_padded(&dev, &cfg, &a, &b).unwrap();
+        assert_eq!(res.c.rows(), 10);
+        assert_eq!(res.c.cols(), 13);
+        let want = reference_gemm(&a, &b, Precision::Fp64);
+        assert!(res.c.max_abs_diff(&want) < 1e-12);
+        assert_eq!(res.useful_flops, 2 * 10 * 13 * 7);
+    }
+
+    #[test]
+    fn padded_dims_per_algo() {
+        let c1 = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        assert_eq!(padded_dims(&c1, 10, 7, 13), (12, 7, 16));
+        let c2 = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+        assert_eq!(padded_dims(&c2, 10, 7, 13), (10, 8, 14));
+        let c3 = KamiConfig::new(Algo::ThreeD, Precision::Fp16);
+        assert_eq!(padded_dims(&c3, 10, 7, 13), (10, 8, 16));
+    }
+
+    #[test]
+    fn transposed_gemm_orientations() {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let a = Matrix::seeded_uniform(16, 16, 20);
+        let b = Matrix::seeded_uniform(16, 16, 21);
+        let want_tn = reference_gemm(&a.transposed(), &b, Precision::Fp64);
+        let got = gemm_t(&dev, &cfg, MatOp::Transpose, &a, MatOp::None, &b).unwrap();
+        assert!(got.c.max_abs_diff(&want_tn) < 1e-13);
+        let want_nt = reference_gemm(&a, &b.transposed(), Precision::Fp64);
+        let got = gemm_t(&dev, &cfg, MatOp::None, &a, MatOp::Transpose, &b).unwrap();
+        assert!(got.c.max_abs_diff(&want_nt) < 1e-13);
+    }
+
+    #[test]
+    fn scaled_gemm_matches_blas_semantics() {
+        let dev = gh200();
+        let (m, n, k) = (16usize, 16usize, 16usize);
+        let a = Matrix::seeded_uniform(m, k, 10);
+        let b = Matrix::seeded_uniform(k, n, 11);
+        let c0 = Matrix::seeded_uniform(m, n, 12);
+        let (alpha, beta) = (2.5, -0.75);
+        let ab = reference_gemm(&a, &b, Precision::Fp64);
+        let want = Matrix::from_fn(m, n, |r, c| alpha * ab[(r, c)] + beta * c0[(r, c)]);
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, Precision::Fp64);
+            let res = gemm_scaled(&dev, &cfg, alpha, &a, &b, beta, &c0).unwrap();
+            assert!(
+                res.c.max_abs_diff(&want) < 1e-12,
+                "{} diverges",
+                algo.label()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_gemm_beta_zero_equals_plain_scaled() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(16, 16, 13);
+        let b = Matrix::seeded_uniform(16, 16, 14);
+        let zero = Matrix::zeros(16, 16);
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let plain = gemm(&dev, &cfg, &a, &b).unwrap();
+        let scaled = gemm_scaled(&dev, &cfg, 3.0, &a, &b, 0.0, &zero).unwrap();
+        let want = Matrix::from_fn(16, 16, |r, c| 3.0 * plain.c[(r, c)]);
+        assert!(scaled.c.max_abs_diff(&want) < 1e-12);
+        // beta = 0 skips the C re-read: same global read traffic + stores.
+        assert!(scaled.report.gmem_bytes_read == plain.report.gmem_bytes_read);
+    }
+
+    #[test]
+    fn scaled_gemm_charges_the_c_reread() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(16, 16, 15);
+        let b = Matrix::seeded_uniform(16, 16, 16);
+        let c0 = Matrix::seeded_uniform(16, 16, 17);
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let blend = gemm_scaled(&dev, &cfg, 1.0, &a, &b, 1.0, &c0).unwrap();
+        let plain = gemm(&dev, &cfg, &a, &b).unwrap();
+        assert!(blend.report.gmem_bytes_read > plain.report.gmem_bytes_read);
+    }
+
+    #[test]
+    fn scaled_gemm_shape_mismatch_rejected() {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let a = Matrix::zeros(16, 16);
+        let b = Matrix::zeros(16, 16);
+        let c_bad = Matrix::zeros(8, 16);
+        assert!(matches!(
+            gemm_scaled(&dev, &cfg, 1.0, &a, &b, 1.0, &c_bad),
+            Err(KamiError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn block_tflops_positive_and_finite() {
+        let dev = gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        let a = Matrix::seeded_uniform(64, 64, 1);
+        let b = Matrix::seeded_uniform(64, 64, 2);
+        let res = gemm(&dev, &cfg, &a, &b).unwrap();
+        let t = res.block_tflops(&dev);
+        assert!(t > 0.0 && t.is_finite());
+        // Cannot beat the device peak.
+        assert!(t <= dev.peak_tflops(Precision::Fp16).unwrap() * 1.001);
+    }
+}

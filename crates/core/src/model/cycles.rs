@@ -1,0 +1,204 @@
+//! Formulas 1–12: per-stage communication volume, communication cycles,
+//! computation cycles, and total execution cycles of the 1D/2D/3D
+//! algorithms, exactly as derived in §4.3–4.5.
+
+use crate::config::Algo;
+use kami_gpu_sim::{DeviceSpec, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the cycle model (Table 2 notation).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Register→shared-memory latency `L_sm` (cycles).
+    pub l_sm: f64,
+    /// Shared-memory bandwidth `B_sm` (bytes/cycle).
+    pub b_sm: f64,
+    /// Bank-conflict factors.
+    pub theta_r: f64,
+    pub theta_w: f64,
+    /// Arithmetic ops per cycle per tensor core `O_tc`.
+    pub o_tc: f64,
+    /// Tensor cores per SM `n_tc`.
+    pub n_tc: f64,
+    /// Element size `s_e` (bytes).
+    pub s_e: f64,
+}
+
+impl ModelParams {
+    /// Derive the model parameters from a device spec and precision.
+    /// Returns `None` when the device has no tensor path at `prec`.
+    pub fn from_device(device: &DeviceSpec, prec: Precision) -> Option<Self> {
+        Some(ModelParams {
+            l_sm: device.smem_latency as f64,
+            b_sm: device.smem_bytes_per_cycle(),
+            theta_r: 1.0,
+            theta_w: 1.0,
+            o_tc: device.ops_per_cycle_per_tc(prec)?,
+            n_tc: f64::from(device.tensor_cores_per_sm),
+            s_e: prec.size_bytes() as f64,
+        })
+    }
+
+    /// The paper's worked-example parameters (§4.3–4.5): `L_sm` = 22,
+    /// `B_sm` = 128, `θ` = 1, `O_tc` = 32, `n_tc` = 4, FP64.
+    pub fn paper_example() -> Self {
+        ModelParams {
+            l_sm: 22.0,
+            b_sm: 128.0,
+            theta_r: 1.0,
+            theta_w: 1.0,
+            o_tc: 32.0,
+            n_tc: 4.0,
+            s_e: 8.0,
+        }
+    }
+}
+
+/// Per-stage communication volume `V_cm` in bytes
+/// (Formula 1 for 1D, Formula 5 for 2D, Formula 9 for 3D).
+pub fn v_cm_per_stage(algo: Algo, m: usize, n: usize, k: usize, _p: usize, s_e: f64) -> f64 {
+    match algo {
+        Algo::OneD => (k * n) as f64 * s_e,
+        Algo::TwoD | Algo::ThreeD => ((m * k + k * n) as f64) * s_e,
+    }
+}
+
+/// Per-stage communication cycles `T_cm`
+/// (Formulas 2, 6, and 10).
+pub fn t_cm_per_stage(
+    algo: Algo,
+    m: usize,
+    n: usize,
+    k: usize,
+    p: usize,
+    prm: &ModelParams,
+) -> f64 {
+    let g = grid(algo, p);
+    let vol = v_cm_per_stage(algo, m, n, k, p, prm.s_e);
+    prm.l_sm + vol / (prm.theta_w * g * prm.b_sm) + (g - 1.0) * vol / (prm.theta_r * g * prm.b_sm)
+}
+
+/// Per-warp, per-stage computation cycles `T_cp`
+/// (Formulas 3, 7, and 11).
+pub fn t_cp_per_warp_stage(
+    algo: Algo,
+    m: usize,
+    n: usize,
+    k: usize,
+    p: usize,
+    prm: &ModelParams,
+) -> f64 {
+    let flops = 2.0 * (m * n * k) as f64;
+    let per_warp_per_stage = match algo {
+        // 1D: (m/p × k/p) · (k/p × n) per stage → 2mnk/p².
+        Algo::OneD => flops / (p as f64 * p as f64),
+        // 2D: (m/√p × k/√p) · (k/√p × n/√p) → 2mnk/p^{3/2}.
+        Algo::TwoD => flops / (p as f64).powf(1.5),
+        // 3D: (m/∛p × k/∛p²) · (k/∛p² × n/∛p) per stage → 2mnk/p^{4/3}.
+        Algo::ThreeD => flops / (p as f64).powf(4.0 / 3.0),
+    };
+    per_warp_per_stage / prm.o_tc
+}
+
+/// Total execution cycles `T_all` (Formulas 4, 8, and 12): `stages ×
+/// (T_cm + p/n_tc · T_cp)`, which simplifies to
+/// `L_sm·g + V/(θ_w B_sm) + (g−1)V/(θ_r B_sm) + 2mnk/(n_tc O_tc)`
+/// with `g` the stage count and `V` the per-stage volume.
+pub fn t_all(algo: Algo, m: usize, n: usize, k: usize, p: usize, prm: &ModelParams) -> f64 {
+    let stages = grid(algo, p);
+    let t_cm = t_cm_per_stage(algo, m, n, k, p, prm);
+    let t_cp = t_cp_per_warp_stage(algo, m, n, k, p, prm);
+    stages * (t_cm + (p as f64 / prm.n_tc) * t_cp)
+}
+
+/// Communication-only part of `T_all` (for the Fig 15 breakdown).
+pub fn t_all_comm(algo: Algo, m: usize, n: usize, k: usize, p: usize, prm: &ModelParams) -> f64 {
+    grid(algo, p) * t_cm_per_stage(algo, m, n, k, p, prm)
+}
+
+/// Computation-only part of `T_all`: always `2mnk/(n_tc·O_tc)`.
+pub fn t_all_compute(m: usize, n: usize, k: usize, prm: &ModelParams) -> f64 {
+    2.0 * (m * n * k) as f64 / (prm.n_tc * prm.o_tc)
+}
+
+fn grid(algo: Algo, p: usize) -> f64 {
+    match algo {
+        Algo::OneD => p as f64,
+        Algo::TwoD => (p as f64).sqrt(),
+        Algo::ThreeD => (p as f64).cbrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The three worked examples at the end of §4.3, §4.4, §4.5.
+
+    #[test]
+    fn paper_example_1d() {
+        let prm = ModelParams::paper_example();
+        let (m, n, k, p) = (8, 8, 8, 2);
+        assert_eq!(v_cm_per_stage(Algo::OneD, m, n, k, p, prm.s_e), 512.0);
+        assert_eq!(t_cm_per_stage(Algo::OneD, m, n, k, p, &prm), 26.0);
+        assert_eq!(t_cp_per_warp_stage(Algo::OneD, m, n, k, p, &prm), 8.0);
+        assert_eq!(t_all(Algo::OneD, m, n, k, p, &prm), 60.0);
+    }
+
+    #[test]
+    fn paper_example_2d() {
+        let prm = ModelParams::paper_example();
+        let (m, n, k, p) = (8, 8, 8, 4);
+        assert_eq!(v_cm_per_stage(Algo::TwoD, m, n, k, p, prm.s_e), 1024.0);
+        assert_eq!(t_cm_per_stage(Algo::TwoD, m, n, k, p, &prm), 30.0);
+        assert_eq!(t_cp_per_warp_stage(Algo::TwoD, m, n, k, p, &prm), 4.0);
+        assert_eq!(t_all(Algo::TwoD, m, n, k, p, &prm), 68.0);
+    }
+
+    #[test]
+    fn paper_example_3d() {
+        let prm = ModelParams::paper_example();
+        let (m, n, k, p) = (8, 8, 8, 8);
+        assert_eq!(v_cm_per_stage(Algo::ThreeD, m, n, k, p, prm.s_e), 1024.0);
+        assert_eq!(t_cm_per_stage(Algo::ThreeD, m, n, k, p, &prm), 30.0);
+        assert_eq!(t_all(Algo::ThreeD, m, n, k, p, &prm), 68.0);
+    }
+
+    #[test]
+    fn compute_term_is_algorithm_independent() {
+        let prm = ModelParams::paper_example();
+        let (m, n, k) = (64, 64, 64);
+        let c = t_all_compute(m, n, k, &prm);
+        for (algo, p) in [(Algo::OneD, 4), (Algo::TwoD, 4), (Algo::ThreeD, 8)] {
+            let total = t_all(algo, m, n, k, p, &prm);
+            let comm = t_all_comm(algo, m, n, k, p, &prm);
+            assert!((total - comm - c).abs() < 1e-9, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn three_d_latency_term_smallest_at_scale() {
+        // With p = 64 warps: 1D pays 64·L_sm, 2D pays 8·L_sm, 3D 4·L_sm.
+        let prm = ModelParams::paper_example();
+        let p = 64;
+        let (m, n, k) = (64, 64, 64);
+        let comm1 = t_all_comm(Algo::OneD, m, n, k, p, &prm);
+        let comm2 = t_all_comm(Algo::TwoD, m, n, k, p, &prm);
+        let comm3 = t_all_comm(Algo::ThreeD, m, n, k, p, &prm);
+        assert!(comm3 < comm2, "3D {comm3} !< 2D {comm2}");
+        assert!(comm2 < comm1, "2D {comm2} !< 1D {comm1}");
+    }
+
+    #[test]
+    fn from_device_matches_table3() {
+        let dev = kami_gpu_sim::device::gh200();
+        let prm = ModelParams::from_device(&dev, Precision::Fp64).unwrap();
+        assert_eq!(prm.l_sm, 22.0);
+        assert_eq!(prm.b_sm, 128.0);
+        assert_eq!(prm.n_tc, 4.0);
+        assert_eq!(prm.s_e, 8.0);
+        assert!(ModelParams::from_device(&dev, Precision::Fp16).is_some());
+        let consumer = kami_gpu_sim::device::rtx5090();
+        assert!(ModelParams::from_device(&consumer, Precision::Fp64).is_none());
+    }
+}

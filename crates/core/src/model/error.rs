@@ -1,0 +1,134 @@
+//! Forward rounding-error bounds for tensor-core GEMM — the numerics
+//! companion to the cycle model (the paper cites the mixed-precision
+//! analysis literature [1, 96]; this module makes the standard bound
+//! executable and testable against the simulator's exact arithmetic).
+//!
+//! For `Ĉ = fl(Â·B̂)` with inputs quantized at unit roundoff `u_in` and
+//! accumulation at `u_acc` over an inner dimension `k`, the classical
+//! componentwise bound is
+//!
+//! ```text
+//! |Ĉ − C| ≤ ( (1+u_in)²·(1+u_acc)^k − 1 ) · |A|·|B|  ≈ (2u_in + k·u_acc)·|A|·|B|
+//! ```
+//!
+//! evaluated exactly here (no first-order truncation), so the tests can
+//! assert the simulator's measured error never exceeds it.
+
+use kami_gpu_sim::{Matrix, Precision};
+
+/// Exact growth factor `(1+u_in)²·(1+u_acc)^k − 1` of one inner product
+/// of length `k` with quantized inputs.
+pub fn gamma(k: usize, in_prec: Precision, acc_prec: Precision) -> f64 {
+    let u_in = in_prec.unit_roundoff();
+    let u_acc = acc_prec.unit_roundoff();
+    (1.0 + u_in).powi(2) * (1.0 + u_acc).powi(k as i32) - 1.0
+}
+
+/// Componentwise forward error bound `γ·(|A|·|B|)` for `C = A·B` at the
+/// given input precision (accumulator = `in_prec.accumulator()`).
+pub fn gemm_error_bound(a: &Matrix, b: &Matrix, in_prec: Precision) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let g = gamma(a.cols(), in_prec, in_prec.accumulator());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    Matrix::from_fn(m, n, |i, j| {
+        let mut s = 0.0;
+        for l in 0..k {
+            s += a[(i, l)].abs() * b[(l, j)].abs();
+        }
+        g * s
+    })
+}
+
+/// Worst measured-to-bound ratio over all entries (≤ 1 means the bound
+/// holds; reported by tests and the numerics example).
+pub fn bound_utilization(computed: &Matrix, exact: &Matrix, bound: &Matrix) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..computed.rows() {
+        for j in 0..computed.cols() {
+            let err = (computed[(i, j)] - exact[(i, j)]).abs();
+            let b = bound[(i, j)];
+            if b > 0.0 {
+                worst = worst.max(err / b);
+            } else {
+                assert!(err == 0.0, "nonzero error against a zero bound");
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algo, KamiConfig};
+    use crate::gemm::gemm_auto;
+    use crate::reference::reference_gemm_f64;
+    use kami_gpu_sim::device::gh200;
+
+    #[test]
+    fn gamma_grows_with_k_and_coarseness() {
+        let g16 = gamma(16, Precision::Fp16, Precision::Fp32);
+        let g256 = gamma(256, Precision::Fp16, Precision::Fp32);
+        assert!(g256 > g16);
+        let gbf = gamma(16, Precision::Bf16, Precision::Fp32);
+        assert!(gbf > g16, "BF16's coarser mantissa must widen the bound");
+        // FP64 end to end: near machine epsilon.
+        assert!(gamma(16, Precision::Fp64, Precision::Fp64) < 1e-14);
+    }
+
+    #[test]
+    fn simulator_error_respects_the_bound_every_precision() {
+        let dev = gh200();
+        let n = 32;
+        let a = Matrix::seeded_uniform(n, n, 501);
+        let b = Matrix::seeded_uniform(n, n, 502);
+        let exact = reference_gemm_f64(&a, &b);
+        for prec in [
+            Precision::Fp64,
+            Precision::Tf32,
+            Precision::Fp16,
+            Precision::Bf16,
+        ] {
+            let cfg = KamiConfig::new(Algo::OneD, prec);
+            let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+            // The C fragment stores at the input precision, which adds one
+            // more rounding per stage beyond the inner-product model:
+            // budget it with a small constant factor.
+            let bound = gemm_error_bound(&a, &b, prec);
+            let util = bound_utilization(&res.c, &exact, &bound);
+            assert!(
+                util <= 8.0,
+                "{}: measured error {util:.2}x the inner-product bound",
+                prec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fp64_gemm_is_near_exact() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(32, 32, 503);
+        let b = Matrix::seeded_uniform(32, 32, 504);
+        let exact = reference_gemm_f64(&a, &b);
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+        let bound = gemm_error_bound(&a, &b, Precision::Fp64);
+        assert!(bound_utilization(&res.c, &exact, &bound) <= 1.0);
+    }
+
+    #[test]
+    fn bound_is_not_vacuous() {
+        // The bound should be within a few orders of magnitude of the
+        // actual error for FP16, not astronomically loose.
+        let dev = gh200();
+        let n = 64;
+        let a = Matrix::seeded_uniform(n, n, 505);
+        let b = Matrix::seeded_uniform(n, n, 506);
+        let exact = reference_gemm_f64(&a, &b);
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+        let bound = gemm_error_bound(&a, &b, Precision::Fp16);
+        let util = bound_utilization(&res.c, &exact, &bound);
+        assert!(util > 1e-4, "bound uselessly loose: utilization {util:.2e}");
+    }
+}

@@ -1,0 +1,14 @@
+//! The paper's theoretical analysis (§4, Formulas 1–12) plus the
+//! register-demand model (§5.6.1) and the device-level roofline model
+//! (§3.1) — everything needed to regenerate the "theoretical" series of
+//! Figs 3, 14, and 15.
+
+pub mod cycles;
+pub mod error;
+pub mod registers;
+pub mod roofline;
+
+pub use error::{bound_utilization, gamma, gemm_error_bound};
+pub use cycles::{t_all, t_cm_per_stage, t_cp_per_warp_stage, v_cm_per_stage, ModelParams};
+pub use registers::theoretical_registers;
+pub use roofline::{cublas_like_gflops, machine_balance, Roofline};

@@ -1,0 +1,103 @@
+//! Theoretical per-thread register demand (§5.6.1, Fig 14): every
+//! fragment a warp declares, held simultaneously — the naive upper bound
+//! the paper compares against compiler-measured allocation.
+
+use crate::config::Algo;
+use kami_gpu_sim::Precision;
+
+/// Registers per thread to hold an `rows×cols` tile at `prec` across a
+/// 32-thread warp with 4-byte registers.
+fn tile_regs(rows: usize, cols: usize, prec: Precision) -> u32 {
+    let bytes = rows * cols * prec.size_bytes();
+    (bytes.div_ceil(32)).div_ceil(4) as u32
+}
+
+/// Theoretical per-thread register demand of one warp for an `m×n×k`
+/// problem under `algo` with `p` warps: operands `A_i`, `B_i`, receive
+/// buffers, and the `C_i` accumulator (at `c_prec`).
+///
+/// This is the Fig 14 "theoretical" series; the "actual" series comes
+/// from [`kami_gpu_sim::Engine::analyze_registers`], whose live-range
+/// reuse lands below this bound.
+pub fn theoretical_registers(
+    algo: Algo,
+    m: usize,
+    n: usize,
+    k: usize,
+    p: usize,
+    prec: Precision,
+    c_prec: Precision,
+) -> u32 {
+    match algo {
+        Algo::OneD => {
+            let (mi, ki) = (m / p, k / p);
+            // A_i (m/p × k) + B_i (k/p × n) + BRecv (k/p × n) + C_i.
+            tile_regs(mi, k, prec)
+                + 2 * tile_regs(ki, n, prec)
+                + tile_regs(mi, n, c_prec)
+        }
+        Algo::TwoD => {
+            let q = (p as f64).sqrt().round() as usize;
+            let (mi, ni, ki) = (m / q, n / q, k / q);
+            // A_i + ARecv + B_i + BRecv + C_i.
+            2 * tile_regs(mi, ki, prec)
+                + 2 * tile_regs(ki, ni, prec)
+                + tile_regs(mi, ni, c_prec)
+        }
+        Algo::ThreeD => {
+            let q = (p as f64).cbrt().round() as usize;
+            let (mi, ni, ks) = (m / q, n / q, k / (q * q));
+            2 * tile_regs(mi, ks, prec)
+                + 2 * tile_regs(ks, ni, prec)
+                + tile_regs(mi, ni, c_prec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_regs_basics() {
+        // 16×16 FP16 = 512 B / 32 threads / 4 B = 4 regs.
+        assert_eq!(tile_regs(16, 16, Precision::Fp16), 4);
+        assert_eq!(tile_regs(8, 8, Precision::Fp64), 4);
+    }
+
+    #[test]
+    fn paper_example_128_cubed_fp64() {
+        // §4.7: three 128×128 FP64 matrices over 8 warps need 384
+        // regs/thread when each warp holds 1/8 of each matrix. The 1D
+        // count adds the BRecv buffer on top of that bound.
+        let r = theoretical_registers(
+            Algo::OneD,
+            128,
+            128,
+            128,
+            8,
+            Precision::Fp64,
+            Precision::Fp64,
+        );
+        // A_i 16×128 + B_i 16×128 + C_i 16×128 = 384, + BRecv 16×128 = 512.
+        assert_eq!(r, 512);
+    }
+
+    #[test]
+    fn demand_grows_with_k_in_1d() {
+        let prec = Precision::Fp16;
+        let r16 = theoretical_registers(Algo::OneD, 64, 32, 16, 4, prec, prec);
+        let r64 = theoretical_registers(Algo::OneD, 64, 32, 64, 4, prec, prec);
+        let r128 = theoretical_registers(Algo::OneD, 64, 32, 128, 4, prec, prec);
+        assert!(r16 < r64 && r64 < r128);
+    }
+
+    #[test]
+    fn three_d_needs_fewest_registers_per_warp() {
+        // More warps and a thinner k shard: 3D fragments are smallest.
+        let prec = Precision::Fp16;
+        let r1 = theoretical_registers(Algo::OneD, 64, 64, 64, 4, prec, prec);
+        let r3 = theoretical_registers(Algo::ThreeD, 64, 64, 64, 8, prec, prec);
+        assert!(r3 < r1, "3D {r3} !< 1D {r1}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Roofline and device-level GEMM model (paper §3.1, Fig 3).
+//!
+//! Reproduces the two series of Fig 3 on the GH200:
+//! * a cuBLAS-style *device-level* GEMM whose kernels stream A, B, C
+//!   through global memory and pay a fixed per-launch overhead — near
+//!   peak for large n, collapsing for small n;
+//! * the roofline itself: `min(peak, AI · BW)` over arithmetic intensity.
+
+use kami_gpu_sim::{DeviceSpec, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Device roofline at a precision.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak tensor throughput (FLOP/s).
+    pub peak_flops: f64,
+    /// Global-memory bandwidth (bytes/s).
+    pub mem_bw: f64,
+}
+
+impl Roofline {
+    pub fn of(device: &DeviceSpec, prec: Precision) -> Option<Self> {
+        Some(Roofline {
+            peak_flops: device.peak_tflops(prec)? * 1e12,
+            mem_bw: device.gmem_bytes_per_cycle * device.num_sms as f64 * device.clock_hz(),
+        })
+    }
+
+    /// Attainable FLOP/s at arithmetic intensity `ai` (flops/byte).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.mem_bw).min(self.peak_flops)
+    }
+
+    /// Ridge point: the intensity where the kernel turns compute-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.mem_bw
+    }
+}
+
+/// Arithmetic intensity of a square n³ GEMM streaming A, B, C once:
+/// `2n³ / (3n²·s_e)`.
+pub fn machine_balance(n: usize, prec: Precision) -> f64 {
+    2.0 * n as f64 / (3.0 * prec.size_bytes() as f64)
+}
+
+/// Per-launch overhead of a host-launched kernel, in cycles. ~15 µs of
+/// launch + synchronization per iteration reproduces the small-size floor
+/// the paper measures for cuBLAS on GH200 (~28 GFLOPS at m = 64, §3.1).
+pub fn launch_overhead_cycles(device: &DeviceSpec) -> f64 {
+    15e-6 * device.clock_hz()
+}
+
+/// Modelled GFLOPS of a cuBLAS-style device GEMM on square order `n`:
+/// launch overhead + max(compute time, memory time), i.e. a latency-
+/// capped roofline.
+pub fn cublas_like_gflops(device: &DeviceSpec, prec: Precision, n: usize) -> Option<f64> {
+    let rl = Roofline::of(device, prec)?;
+    let flops = 2.0 * (n as f64).powi(3);
+    let bytes = 3.0 * (n as f64).powi(2) * prec.size_bytes() as f64;
+    let compute_s = flops / rl.peak_flops;
+    let mem_s = bytes / rl.mem_bw;
+    let launch_s = launch_overhead_cycles(device) / device.clock_hz();
+    let total = launch_s + compute_s.max(mem_s);
+    Some(flops / total / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_gpu_sim::device::gh200;
+
+    #[test]
+    fn roofline_attainable_caps_at_peak() {
+        let rl = Roofline::of(&gh200(), Precision::Fp64).unwrap();
+        assert!(rl.attainable(1e9) <= rl.peak_flops * 1.0001);
+        assert!(rl.attainable(0.001) < rl.peak_flops);
+        // Below the ridge, bandwidth-bound.
+        let ridge = rl.ridge();
+        assert!((rl.attainable(ridge / 2.0) - ridge / 2.0 * rl.mem_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_gemm_floor_matches_paper_order_of_magnitude() {
+        // The paper measures ~28 GFLOPS for FP64 cuBLAS at m = 64.
+        let g = cublas_like_gflops(&gh200(), Precision::Fp64, 64).unwrap();
+        assert!(g > 5.0 && g < 120.0, "g = {g}");
+    }
+
+    #[test]
+    fn large_gemm_approaches_peak() {
+        let g = cublas_like_gflops(&gh200(), Precision::Fp64, 8192).unwrap();
+        let peak = 67e3; // GFLOPS
+        assert!(g > 0.85 * peak, "g = {g}");
+        assert!(g <= peak);
+    }
+
+    #[test]
+    fn gflops_monotone_up_to_peak() {
+        let mut prev = 0.0;
+        for n in [16, 64, 256, 1024, 4096, 8192] {
+            let g = cublas_like_gflops(&gh200(), Precision::Fp64, n).unwrap();
+            assert!(g >= prev, "n={n}: {g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn machine_balance_grows_linearly() {
+        assert_eq!(machine_balance(24, Precision::Fp64), 2.0);
+        assert_eq!(machine_balance(48, Precision::Fp64), 4.0);
+    }
+}

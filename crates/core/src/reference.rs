@@ -1,0 +1,81 @@
+//! CPU reference GEMM — the correctness oracle for every kernel in the
+//! workspace.
+//!
+//! [`reference_gemm`] mirrors the tensor-core numeric path: operands are
+//! quantized to the input precision, products accumulate in k-ascending
+//! order at the hardware accumulator precision. KAMI-1D/2D accumulate in
+//! exactly that order, so their FP64 results (and, with an accumulator-
+//! precision C fragment, FP16 results) match bit for bit.
+
+use kami_gpu_sim::precision::fma_acc;
+use kami_gpu_sim::{Matrix, Precision};
+
+/// Exact-order reference: quantized inputs, `in_prec.accumulator()`
+/// accumulation, k ascending.
+pub fn reference_gemm(a: &Matrix, b: &Matrix, in_prec: Precision) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let aq = a.quantized(in_prec);
+    let bq = b.quantized(in_prec);
+    let acc = in_prec.accumulator();
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    Matrix::from_fn(m, n, |i, j| {
+        let mut s = 0.0;
+        for l in 0..k {
+            s = fma_acc(acc, aq[(i, l)], bq[(l, j)], s);
+        }
+        s
+    })
+}
+
+/// Plain f64 reference (no quantization) — ground truth for error bounds.
+pub fn reference_gemm_f64(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    Matrix::from_fn(m, n, |i, j| {
+        let mut s = 0.0;
+        for l in 0..k {
+            s = a[(i, l)].mul_add(b[(l, j)], s);
+        }
+        s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::seeded_uniform(8, 8, 9);
+        let c = reference_gemm_f64(&a, &Matrix::identity(8));
+        assert_eq!(c.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn fp64_reference_equals_f64_reference() {
+        let a = Matrix::seeded_uniform(12, 10, 1);
+        let b = Matrix::seeded_uniform(10, 9, 2);
+        let q = reference_gemm(&a, &b, Precision::Fp64);
+        let f = reference_gemm_f64(&a, &b);
+        assert!(q.max_abs_diff(&f) < 1e-15);
+    }
+
+    #[test]
+    fn fp16_reference_error_is_bounded() {
+        let a = Matrix::seeded_uniform(32, 32, 3);
+        let b = Matrix::seeded_uniform(32, 32, 4);
+        let q = reference_gemm(&a, &b, Precision::Fp16);
+        let f = reference_gemm_f64(&a, &b);
+        // Input quantization error ~u16, accumulation in FP32:
+        // relative error well under 1%.
+        assert!(q.rel_frobenius_error(&f) < 1e-2);
+        // But not identical (quantization did something).
+        assert!(q.max_abs_diff(&f) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_shapes_panic() {
+        reference_gemm_f64(&Matrix::zeros(4, 5), &Matrix::zeros(4, 4));
+    }
+}

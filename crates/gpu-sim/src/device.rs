@@ -1,0 +1,443 @@
+//! Device specifications for the four GPUs the paper evaluates (Table 3),
+//! plus the on-chip latency/bandwidth parameters of Fig. 4(b) and the
+//! derived per-tensor-core throughput `O_tc` used by Formulas 3/7/11.
+
+use crate::precision::Precision;
+use serde::{Deserialize, Serialize};
+
+/// GPU vendor, used to select the native MMA instruction shape (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    Nvidia,
+    Amd,
+    Intel,
+}
+
+/// Static description of one GPU, at the granularity the KAMI cost model
+/// needs: one streaming multiprocessor (SM / CU / Xe-core) with its warps,
+/// register file, banked shared memory, and tensor cores, replicated
+/// `num_sms` times.
+///
+/// All bandwidths are **bytes per clock cycle** and all latencies are
+/// **clock cycles**, because KAMI's theoretical analysis (§4) is stated in
+/// cycles rather than seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. "NVIDIA GH200".
+    pub name: String,
+    pub vendor: Vendor,
+    /// Boost clock in MHz (Table 3).
+    pub boost_clock_mhz: u64,
+    /// Number of shared-memory banks (Table 3: 32 for NVIDIA/AMD, 16 Intel).
+    pub smem_banks: u32,
+    /// Width of one bank in bytes (4 on all four devices).
+    pub smem_bank_width: u32,
+    /// Streaming multiprocessors (SMs / CUs / Xe cores).
+    pub num_sms: u32,
+    /// Tensor cores (matrix units) per SM (`n_tc`).
+    pub tensor_cores_per_sm: u32,
+    /// Peak FP16 tensor throughput in TFLOPS (Table 3).
+    pub peak_fp16_tflops: f64,
+    /// Peak FP64 tensor throughput in TFLOPS; `None` where the device has
+    /// no FP64 tensor path (5090, 7900 XTX, Max 1100).
+    pub peak_fp64_tflops: Option<f64>,
+    /// Register -> shared-memory access latency in cycles (`L_sm`).
+    /// The paper's worked examples use 22 cycles.
+    pub smem_latency: u64,
+    /// Register access latency in cycles (Fig. 4(b): ~1).
+    pub reg_latency: u64,
+    /// Global-memory access latency in cycles.
+    pub gmem_latency: u64,
+    /// Global-memory bandwidth per SM in bytes/cycle.
+    pub gmem_bytes_per_cycle: f64,
+    /// Shared-memory capacity per SM in bytes.
+    pub smem_capacity: usize,
+    /// Architectural limit on registers per thread (255 on NVIDIA; we use
+    /// the same bound for AMD/Intel whose VGPR budgets are similar).
+    pub max_regs_per_thread: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Threads per warp / wavefront / sub-group.
+    pub warp_size: u32,
+    /// Register width in bytes (one architectural register lane).
+    pub reg_width_bytes: u32,
+    /// Architectural registers per SM (the whole register file).
+    pub regs_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+}
+
+impl DeviceSpec {
+    /// Shared-memory bandwidth `B_sm` in bytes per cycle: all banks
+    /// delivering one word per cycle (32 × 4 = 128 B/cycle on NVIDIA/AMD,
+    /// 16 × 4 = 64 B/cycle on Intel Max 1100).
+    #[inline]
+    pub fn smem_bytes_per_cycle(&self) -> f64 {
+        f64::from(self.smem_banks * self.smem_bank_width)
+    }
+
+    /// Clock frequency in Hz.
+    #[inline]
+    pub fn clock_hz(&self) -> f64 {
+        self.boost_clock_mhz as f64 * 1e6
+    }
+
+    /// Peak tensor throughput in TFLOPS at `prec`, scaled from the FP16
+    /// figure the way the vendors scale their tensor pipelines:
+    /// TF32 = ½·FP16, FP8 = 2·FP16, FP64 from the dedicated column.
+    pub fn peak_tflops(&self, prec: Precision) -> Option<f64> {
+        match prec {
+            Precision::Fp16 | Precision::Bf16 => Some(self.peak_fp16_tflops),
+            Precision::Tf32 | Precision::Fp32 => Some(self.peak_fp16_tflops / 2.0),
+            Precision::Fp8E4M3 => Some(self.peak_fp16_tflops * 2.0),
+            Precision::Fp64 => self.peak_fp64_tflops,
+        }
+    }
+
+    /// Arithmetic operations per cycle per tensor core (`O_tc`), derived
+    /// from the Table 3 peak:
+    /// `O_tc = peak_flops / (num_sms · tensor_cores_per_sm · clock)`.
+    ///
+    /// Returns `None` when the device has no tensor path at `prec`.
+    pub fn ops_per_cycle_per_tc(&self, prec: Precision) -> Option<f64> {
+        let peak = self.peak_tflops(prec)? * 1e12;
+        let denom = f64::from(self.num_sms) * f64::from(self.tensor_cores_per_sm) * self.clock_hz();
+        Some(peak / denom)
+    }
+
+    /// Total tensor throughput of one SM in ops/cycle.
+    pub fn sm_ops_per_cycle(&self, prec: Precision) -> Option<f64> {
+        self.ops_per_cycle_per_tc(prec)
+            .map(|o| o * f64::from(self.tensor_cores_per_sm))
+    }
+
+    /// Maximum number of warps in one block.
+    #[inline]
+    pub fn max_warps_per_block(&self) -> u32 {
+        self.max_threads_per_block / self.warp_size
+    }
+
+    /// Register budget per thread in bytes.
+    #[inline]
+    pub fn reg_bytes_per_thread(&self) -> usize {
+        (self.max_regs_per_thread * self.reg_width_bytes) as usize
+    }
+
+    /// The four devices of Table 3 in the paper's column order.
+    pub fn all_evaluated() -> [DeviceSpec; 4] {
+        [gh200(), rtx5090(), amd_7900xtx(), intel_max1100()]
+    }
+
+    /// Serialize this spec as pretty JSON — the on-disk format for
+    /// custom devices (see [`DeviceSpec::from_json`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("DeviceSpec serializes")
+    }
+
+    /// Load a spec from JSON, so users can model GPUs beyond the four
+    /// Table 3 presets (e.g. `sweep --device-file mygpu.json`). Sanity
+    /// checks reject zero clocks/banks/SMs.
+    pub fn from_json(json: &str) -> Result<DeviceSpec, String> {
+        let spec: DeviceSpec = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if spec.boost_clock_mhz == 0
+            || spec.smem_banks == 0
+            || spec.smem_bank_width == 0
+            || spec.num_sms == 0
+            || spec.tensor_cores_per_sm == 0
+            || spec.warp_size == 0
+            || spec.peak_fp16_tflops <= 0.0
+        {
+            return Err(format!("device '{}' has a zero/negative resource", spec.name));
+        }
+        Ok(spec)
+    }
+}
+
+/// NVIDIA GH200 (Hopper, H100 SXM class): the paper's primary platform.
+pub fn gh200() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA GH200".into(),
+        vendor: Vendor::Nvidia,
+        boost_clock_mhz: 1980,
+        smem_banks: 32,
+        smem_bank_width: 4,
+        num_sms: 132,
+        tensor_cores_per_sm: 4,
+        peak_fp16_tflops: 990.0,
+        peak_fp64_tflops: Some(67.0),
+        smem_latency: 22,
+        reg_latency: 1,
+        gmem_latency: 600,
+        // ~4 TB/s HBM3 across 132 SMs at 1.98 GHz ≈ 15.3 B/cycle/SM.
+        gmem_bytes_per_cycle: 15.3,
+        smem_capacity: 228 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 65536,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+    }
+}
+
+/// NVIDIA RTX 5090 (Blackwell consumer).
+pub fn rtx5090() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA RTX 5090".into(),
+        vendor: Vendor::Nvidia,
+        boost_clock_mhz: 2655,
+        smem_banks: 32,
+        smem_bank_width: 4,
+        num_sms: 170,
+        tensor_cores_per_sm: 4,
+        peak_fp16_tflops: 462.0,
+        peak_fp64_tflops: None,
+        smem_latency: 22,
+        reg_latency: 1,
+        gmem_latency: 650,
+        // ~1.79 TB/s GDDR7 across 170 SMs at 2.655 GHz ≈ 4.0 B/cycle/SM.
+        gmem_bytes_per_cycle: 4.0,
+        smem_capacity: 128 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 65536,
+        max_warps_per_sm: 48,
+        max_blocks_per_sm: 24,
+    }
+}
+
+/// AMD Radeon 7900 XTX (RDNA3, WMMA on 2 matrix units per CU pair).
+pub fn amd_7900xtx() -> DeviceSpec {
+    DeviceSpec {
+        name: "AMD 7900 XTX".into(),
+        vendor: Vendor::Amd,
+        boost_clock_mhz: 2498,
+        smem_banks: 32,
+        smem_bank_width: 4,
+        num_sms: 96,
+        tensor_cores_per_sm: 2,
+        peak_fp16_tflops: 123.0,
+        peak_fp64_tflops: None,
+        smem_latency: 25,
+        reg_latency: 1,
+        gmem_latency: 700,
+        // ~0.96 TB/s across 96 CUs at 2.498 GHz ≈ 4.0 B/cycle/CU.
+        gmem_bytes_per_cycle: 4.0,
+        smem_capacity: 64 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 98304,
+        max_warps_per_sm: 32,
+        max_blocks_per_sm: 16,
+    }
+}
+
+/// Intel Data Center GPU Max 1100 (Ponte Vecchio, XMX engines).
+pub fn intel_max1100() -> DeviceSpec {
+    DeviceSpec {
+        name: "Intel Max 1100".into(),
+        vendor: Vendor::Intel,
+        boost_clock_mhz: 1550,
+        smem_banks: 16,
+        smem_bank_width: 4,
+        num_sms: 448,
+        tensor_cores_per_sm: 1,
+        peak_fp16_tflops: 22.0,
+        peak_fp64_tflops: None,
+        smem_latency: 30,
+        reg_latency: 1,
+        gmem_latency: 750,
+        // ~1.23 TB/s HBM2e across 448 vector engines at 1.55 GHz ≈ 1.8 B/cycle.
+        gmem_bytes_per_cycle: 1.8,
+        smem_capacity: 128 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 65536,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+    }
+}
+
+/// NVIDIA A100 (Ampere) — an extra preset beyond Table 3, for users
+/// comparing against the previous data-center generation.
+pub fn a100() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA A100".into(),
+        vendor: Vendor::Nvidia,
+        boost_clock_mhz: 1410,
+        smem_banks: 32,
+        smem_bank_width: 4,
+        num_sms: 108,
+        tensor_cores_per_sm: 4,
+        peak_fp16_tflops: 312.0,
+        peak_fp64_tflops: Some(19.5),
+        smem_latency: 23,
+        reg_latency: 1,
+        gmem_latency: 650,
+        // ~2 TB/s HBM2e across 108 SMs at 1.41 GHz ≈ 13.1 B/cycle/SM.
+        gmem_bytes_per_cycle: 13.1,
+        smem_capacity: 164 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 65536,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+    }
+}
+
+/// AMD Instinct MI300X (CDNA3) — extra preset: the data-center AMD part
+/// (the paper evaluates the consumer 7900 XTX).
+pub fn mi300x() -> DeviceSpec {
+    DeviceSpec {
+        name: "AMD MI300X".into(),
+        vendor: Vendor::Amd,
+        boost_clock_mhz: 2100,
+        smem_banks: 32,
+        smem_bank_width: 4,
+        num_sms: 304,
+        tensor_cores_per_sm: 4,
+        peak_fp16_tflops: 1307.0,
+        peak_fp64_tflops: Some(163.4),
+        smem_latency: 25,
+        reg_latency: 1,
+        gmem_latency: 700,
+        // ~5.3 TB/s HBM3 across 304 CUs at 2.1 GHz ≈ 8.3 B/cycle/CU.
+        gmem_bytes_per_cycle: 8.3,
+        smem_capacity: 64 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 131072,
+        max_warps_per_sm: 32,
+        max_blocks_per_sm: 16,
+    }
+}
+
+/// NVIDIA RTX 4090 (Ada consumer) — extra preset.
+pub fn rtx4090() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA RTX 4090".into(),
+        vendor: Vendor::Nvidia,
+        boost_clock_mhz: 2520,
+        smem_banks: 32,
+        smem_bank_width: 4,
+        num_sms: 128,
+        tensor_cores_per_sm: 4,
+        peak_fp16_tflops: 330.0,
+        peak_fp64_tflops: None,
+        smem_latency: 22,
+        reg_latency: 1,
+        gmem_latency: 650,
+        // ~1 TB/s GDDR6X across 128 SMs at 2.52 GHz ≈ 3.1 B/cycle/SM.
+        gmem_bytes_per_cycle: 3.1,
+        smem_capacity: 100 * 1024,
+        max_regs_per_thread: 255,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        reg_width_bytes: 4,
+        regs_per_sm: 65536,
+        max_warps_per_sm: 48,
+        max_blocks_per_sm: 24,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let d = gh200();
+        assert_eq!(d.boost_clock_mhz, 1980);
+        assert_eq!(d.num_sms, 132);
+        assert_eq!(d.tensor_cores_per_sm, 4);
+        assert_eq!(d.smem_bytes_per_cycle(), 128.0);
+        let i = intel_max1100();
+        assert_eq!(i.smem_bytes_per_cycle(), 64.0);
+        assert_eq!(i.num_sms, 448);
+        assert_eq!(i.tensor_cores_per_sm, 1);
+    }
+
+    #[test]
+    fn otc_derivation_gh200_fp64() {
+        // 67 TFLOPS / (132 SMs * 4 TCs * 1.98 GHz) ≈ 64 ops/cycle — the
+        // same order as the paper's worked example (O_tc = 32 per FP64 TC
+        // at half the dense-MMA issue rate; the derived figure bounds it).
+        let o = gh200().ops_per_cycle_per_tc(Precision::Fp64).unwrap();
+        assert!((o - 64.0).abs() < 1.0, "O_tc = {o}");
+    }
+
+    #[test]
+    fn otc_derivation_gh200_fp16() {
+        let o = gh200().ops_per_cycle_per_tc(Precision::Fp16).unwrap();
+        assert!((o - 947.0).abs() < 5.0, "O_tc = {o}");
+    }
+
+    #[test]
+    fn fp64_tensor_only_on_gh200() {
+        assert!(gh200().peak_tflops(Precision::Fp64).is_some());
+        assert!(rtx5090().peak_tflops(Precision::Fp64).is_none());
+        assert!(amd_7900xtx().peak_tflops(Precision::Fp64).is_none());
+        assert!(intel_max1100().peak_tflops(Precision::Fp64).is_none());
+    }
+
+    #[test]
+    fn precision_scaling() {
+        let d = rtx5090();
+        assert_eq!(d.peak_tflops(Precision::Tf32), Some(231.0));
+        assert_eq!(d.peak_tflops(Precision::Fp8E4M3), Some(924.0));
+    }
+
+    #[test]
+    fn extra_presets_are_consistent() {
+        for d in [a100(), mi300x(), rtx4090()] {
+            assert!(d.ops_per_cycle_per_tc(Precision::Fp16).unwrap() > 0.0);
+            assert!(d.smem_bytes_per_cycle() > 0.0);
+            assert!(d.max_warps_per_block() >= 8);
+            // JSON round trip holds for every preset.
+            assert_eq!(DeviceSpec::from_json(&d.to_json()).unwrap(), d);
+        }
+        // A100's FP64 tensor path exists; 4090's does not.
+        assert!(a100().peak_tflops(Precision::Fp64).is_some());
+        assert!(rtx4090().peak_tflops(Precision::Fp64).is_none());
+        assert!(mi300x().peak_tflops(Precision::Fp64).is_some());
+    }
+
+    #[test]
+    fn json_roundtrip_and_validation() {
+        let d = gh200();
+        let j = d.to_json();
+        let back = DeviceSpec::from_json(&j).unwrap();
+        assert_eq!(back, d);
+        // A custom device with different parameters parses too.
+        let mut custom = rtx5090();
+        custom.name = "Hypothetical 64-bank GPU".into();
+        custom.smem_banks = 64;
+        let back = DeviceSpec::from_json(&custom.to_json()).unwrap();
+        assert_eq!(back.smem_bytes_per_cycle(), 256.0);
+        // Broken specs rejected.
+        let mut broken = gh200();
+        broken.num_sms = 0;
+        assert!(DeviceSpec::from_json(&broken.to_json()).is_err());
+        assert!(DeviceSpec::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn warp_budget() {
+        let d = gh200();
+        assert_eq!(d.max_warps_per_block(), 32);
+        assert_eq!(d.reg_bytes_per_thread(), 1020);
+    }
+}

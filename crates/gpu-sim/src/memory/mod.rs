@@ -1,0 +1,10 @@
+//! Simulated device memory hierarchy: global memory, banked shared
+//! memory, and the per-warp register file (Fig. 4(b) of the paper).
+
+pub mod global;
+pub mod regfile;
+pub mod shared;
+
+pub use global::{BufferId, GlobalMemory};
+pub use regfile::RegisterUsage;
+pub use shared::{AccessKind, SharedMemory};

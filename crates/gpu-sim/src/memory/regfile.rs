@@ -1,0 +1,131 @@
+//! Register-file accounting with live-range analysis.
+//!
+//! The paper compares *theoretical* register demand (every fragment held
+//! for the whole kernel) against *actual* compiler allocation, which is
+//! lower "primarily attributable to compiler optimizations, such as
+//! shortening variable lifetimes and optimizing register reuse" (§5.6.1,
+//! Fig 14). We reproduce both sides:
+//!
+//! * theoretical = Σ fragment registers,
+//! * measured    = peak over program points of the registers of *live*
+//!   fragments (live = from first write to last use), i.e. what a linear-
+//!   scan allocator with perfect reuse would need.
+
+use crate::fragment::FragDecl;
+use serde::{Deserialize, Serialize};
+
+/// Register usage of one warp's program, per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterUsage {
+    /// Naive demand: all fragments resident simultaneously.
+    pub theoretical_regs: u32,
+    /// Peak live-set demand after lifetime-based reuse.
+    pub measured_regs: u32,
+}
+
+impl RegisterUsage {
+    /// Ratio measured/theoretical (the quantity Fig 14 reports, e.g.
+    /// 76.86% for KAMI-1D).
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.theoretical_regs == 0 {
+            1.0
+        } else {
+            f64::from(self.measured_regs) / f64::from(self.theoretical_regs)
+        }
+    }
+}
+
+/// Live interval of a fragment in "op index" coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveRange {
+    pub first_def: usize,
+    pub last_use: usize,
+}
+
+/// Compute [`RegisterUsage`] from fragment declarations and their live
+/// ranges (`None` for fragments never touched — they cost nothing in the
+/// measured count but do count theoretically, matching how source-level
+/// declarations inflate the naive estimate).
+pub fn analyze(
+    frags: &[FragDecl],
+    ranges: &[Option<LiveRange>],
+    warp_size: u32,
+    reg_width: u32,
+    program_len: usize,
+) -> RegisterUsage {
+    assert_eq!(frags.len(), ranges.len());
+    let theoretical: u32 = frags
+        .iter()
+        .map(|f| f.regs_per_thread(warp_size, reg_width))
+        .sum();
+    let mut measured = 0u32;
+    for point in 0..program_len.max(1) {
+        let live: u32 = frags
+            .iter()
+            .zip(ranges)
+            .filter_map(|(f, r)| {
+                r.and_then(|r| {
+                    (r.first_def <= point && point <= r.last_use)
+                        .then(|| f.regs_per_thread(warp_size, reg_width))
+                })
+            })
+            .sum();
+        measured = measured.max(live);
+    }
+    RegisterUsage {
+        theoretical_regs: theoretical,
+        measured_regs: measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+
+    fn frag(n: usize) -> FragDecl {
+        // n x 32 FP32 = n registers per thread.
+        FragDecl::new("f", n, 32, Precision::Fp32)
+    }
+
+    #[test]
+    fn disjoint_lifetimes_reuse_registers() {
+        let frags = vec![frag(4), frag(4)];
+        let ranges = vec![
+            Some(LiveRange { first_def: 0, last_use: 2 }),
+            Some(LiveRange { first_def: 3, last_use: 5 }),
+        ];
+        let u = analyze(&frags, &ranges, 32, 4, 6);
+        assert_eq!(u.theoretical_regs, 8);
+        assert_eq!(u.measured_regs, 4);
+        assert!((u.reuse_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_add_up() {
+        let frags = vec![frag(4), frag(2)];
+        let ranges = vec![
+            Some(LiveRange { first_def: 0, last_use: 5 }),
+            Some(LiveRange { first_def: 3, last_use: 4 }),
+        ];
+        let u = analyze(&frags, &ranges, 32, 4, 6);
+        assert_eq!(u.measured_regs, 6);
+    }
+
+    #[test]
+    fn untouched_fragment_counts_only_theoretically() {
+        let frags = vec![frag(4), frag(4)];
+        let ranges = vec![Some(LiveRange { first_def: 0, last_use: 1 }), None];
+        let u = analyze(&frags, &ranges, 32, 4, 2);
+        assert_eq!(u.theoretical_regs, 8);
+        assert_eq!(u.measured_regs, 4);
+    }
+
+    #[test]
+    fn empty_program() {
+        let u = analyze(&[], &[], 32, 4, 0);
+        assert_eq!(u.theoretical_regs, 0);
+        assert_eq!(u.measured_regs, 0);
+        assert_eq!(u.reuse_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Banked on-chip shared memory — KAMI's "network".
+//!
+//! Values live at byte addresses with an element size recorded per write,
+//! so a mismatched read (wrong precision or misaligned overlay) is caught
+//! as a simulation error instead of silently reinterpreting bits.
+//!
+//! The module also provides the bank-conflict analysis behind the paper's
+//! `θ_r` / `θ_w` factors: for a warp-wide access with a given element size
+//! and stride, it computes how many bank cycles the access takes relative
+//! to the conflict-free ideal.
+
+use std::collections::HashMap;
+
+/// Read or write, for conflict analysis and traffic split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Shared-memory space of one thread block.
+pub struct SharedMemory {
+    capacity: usize,
+    /// byte address -> (value, element size that wrote it)
+    cells: HashMap<usize, (f64, usize)>,
+    bytes_read: u64,
+    bytes_written: u64,
+    peak_extent: usize,
+}
+
+impl SharedMemory {
+    pub fn new(capacity: usize) -> Self {
+        SharedMemory {
+            capacity,
+            cells: HashMap::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+            peak_extent: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest byte address touched + 1 — the block's shared-memory
+    /// footprint (what a launch would have to reserve).
+    pub fn peak_extent(&self) -> usize {
+        self.peak_extent
+    }
+
+    /// Store `values` contiguously at byte `addr` with elements of
+    /// `elem_size` bytes. Returns `Err` description on capacity overflow.
+    pub fn store(
+        &mut self,
+        addr: usize,
+        elem_size: usize,
+        values: &[f64],
+    ) -> Result<(), String> {
+        let extent = addr + values.len() * elem_size;
+        if extent > self.capacity {
+            return Err(format!(
+                "shared memory overflow: extent {extent} B > capacity {} B",
+                self.capacity
+            ));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.cells.insert(addr + i * elem_size, (v, elem_size));
+        }
+        self.bytes_written += (values.len() * elem_size) as u64;
+        self.peak_extent = self.peak_extent.max(extent);
+        Ok(())
+    }
+
+    /// Load `count` elements of `elem_size` bytes from byte `addr`.
+    /// Errors on uninitialized cells or element-size mismatch.
+    pub fn load(
+        &mut self,
+        addr: usize,
+        elem_size: usize,
+        count: usize,
+    ) -> Result<Vec<f64>, String> {
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let a = addr + i * elem_size;
+            match self.cells.get(&a) {
+                Some(&(v, sz)) if sz == elem_size => out.push(v),
+                Some(&(_, sz)) => {
+                    return Err(format!(
+                        "shared memory element-size mismatch at byte {a}: \
+                         written as {sz} B, read as {elem_size} B"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "read of uninitialized shared memory at byte {a}"
+                    ))
+                }
+            }
+        }
+        self.bytes_read += (count * elem_size) as u64;
+        Ok(out)
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Clear contents and counters (new kernel on the same block).
+    pub fn reset(&mut self) {
+        self.cells.clear();
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+        self.peak_extent = 0;
+    }
+}
+
+/// Bank-conflict factor θ for a warp-wide access pattern: `warp_size`
+/// lanes access elements of `elem_size` bytes separated by `stride_bytes`.
+/// Returns the paper's θ ∈ (0, 1], where 1 means conflict-free.
+///
+/// Contiguous accesses (`stride == elem_size`) are conflict-free on all
+/// four devices: sub-word elements coalesce within a bank word, and wide
+/// elements are split into half-warp transactions by the hardware. For
+/// strided patterns we use the textbook replay model: a bank conflict
+/// occurs when two lanes address *different* `bank_width`-byte words in
+/// the same bank, and the access replays once per extra word, so
+/// `θ = 1 / max_bank(distinct words)`.
+pub fn theta(
+    warp_size: u32,
+    banks: u32,
+    bank_width: u32,
+    elem_size: usize,
+    stride_bytes: usize,
+) -> f64 {
+    if stride_bytes == elem_size {
+        return 1.0;
+    }
+    let bw = bank_width as usize;
+    let mut words_per_bank: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); banks as usize];
+    for lane in 0..warp_size as usize {
+        let word = lane * stride_bytes / bw;
+        words_per_bank[word % banks as usize].insert(word);
+    }
+    let worst = words_per_bank
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    1.0 / worst as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(64, 2, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(sm.load(64, 2, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(sm.bytes_written(), 6);
+        assert_eq!(sm.bytes_read(), 6);
+        assert_eq!(sm.peak_extent(), 70);
+    }
+
+    #[test]
+    fn capacity_overflow_detected() {
+        let mut sm = SharedMemory::new(16);
+        assert!(sm.store(0, 8, &[0.0, 0.0]).is_ok());
+        assert!(sm.store(8, 8, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn uninitialized_read_detected() {
+        let mut sm = SharedMemory::new(1024);
+        assert!(sm.load(0, 4, 1).is_err());
+    }
+
+    #[test]
+    fn elem_size_mismatch_detected() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(0, 8, &[1.0]).unwrap();
+        let err = sm.load(0, 4, 1).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn overwrite_is_allowed() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(0, 4, &[1.0]).unwrap();
+        sm.store(0, 4, &[2.0]).unwrap();
+        assert_eq!(sm.load(0, 4, 1).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(0, 4, &[1.0]).unwrap();
+        sm.reset();
+        assert!(sm.load(0, 4, 1).is_err());
+        assert_eq!(sm.bytes_written(), 0);
+        assert_eq!(sm.peak_extent(), 0);
+    }
+
+    #[test]
+    fn contiguous_access_is_conflict_free() {
+        // FP32 contiguous: classic conflict-free pattern.
+        assert_eq!(theta(32, 32, 4, 4, 4), 1.0);
+        // FP16 contiguous: two lanes per bank word but still one pass.
+        assert_eq!(theta(32, 32, 4, 2, 2), 1.0);
+        // FP64 contiguous: two words per element, no same-phase conflicts.
+        assert_eq!(theta(32, 32, 4, 8, 8), 1.0);
+    }
+
+    #[test]
+    fn large_pow2_stride_conflicts() {
+        // Stride of 128 B maps every lane to bank 0: worst case.
+        let t = theta(32, 32, 4, 4, 128);
+        assert!(t < 0.1, "theta = {t}");
+        // Stride 8 B with 4 B elements: 2-way conflict.
+        let t = theta(32, 32, 4, 4, 8);
+        assert!((t - 0.5).abs() < 1e-9, "theta = {t}");
+    }
+}

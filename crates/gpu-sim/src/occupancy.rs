@@ -1,0 +1,250 @@
+//! Multi-block occupancy analysis — the steady-state extension of the
+//! paper's single-block cost model.
+//!
+//! The paper's block-level benchmarks launch 16 384 concurrent blocks;
+//! per-SM throughput then depends on how many blocks fit *resident*
+//! (registers, shared memory, warp and block slots) and which shared
+//! resource binds first once residents overlap each other's latency:
+//!
+//! ```text
+//! rate = min( resident / serial_cycles,            // latency-limited
+//!             1 / max(smem_bw, tc, gmem_bw) )      // resource-limited
+//! ```
+//!
+//! This module quantifies that — it is the lens EXPERIMENTS.md uses to
+//! discuss the single-block model's known deviations (occupancy-driven
+//! effects like cuBLASDx's 27 KB footprint penalty and Fig 10's parking
+//! speedup).
+
+use crate::device::DeviceSpec;
+use crate::report::ExecutionReport;
+use serde::{Deserialize, Serialize};
+
+/// The resource that caps residency or throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    Registers,
+    SharedMemoryCapacity,
+    WarpSlots,
+    BlockSlots,
+    SharedMemoryBandwidth,
+    TensorCores,
+    GlobalBandwidth,
+    Latency,
+}
+
+/// Occupancy analysis of one block kernel on one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub resident_blocks: u32,
+    /// What capped residency.
+    pub residency_limiter: Limiter,
+    /// Blocks completed per cycle per SM at steady state.
+    pub rate_per_cycle: f64,
+    /// What caps the steady-state rate.
+    pub rate_limiter: Limiter,
+    /// Device throughput in TFLOPS at `useful_flops` per block.
+    pub steady_tflops: f64,
+}
+
+/// Analyze residency and steady-state throughput for a block whose
+/// execution produced `report`, assuming an unbounded stream of
+/// identical blocks (the paper's 16 384-block setting). Global-memory
+/// traffic counts as a shared resource — the batched/device-level
+/// regime (§5.4).
+pub fn analyze(device: &DeviceSpec, report: &ExecutionReport, useful_flops: u64) -> Occupancy {
+    analyze_with(device, report, useful_flops, true)
+}
+
+/// Like [`analyze`], but excluding global memory — the paper's
+/// *block-level* regime, where each kernel loops over its resident data
+/// ("each looping 1000 times inside the CUDA kernel to ignore global
+/// I/O costs", Fig 3) and only on-chip resources bind.
+pub fn analyze_on_chip(
+    device: &DeviceSpec,
+    report: &ExecutionReport,
+    useful_flops: u64,
+) -> Occupancy {
+    analyze_with(device, report, useful_flops, false)
+}
+
+fn analyze_with(
+    device: &DeviceSpec,
+    report: &ExecutionReport,
+    useful_flops: u64,
+    include_global: bool,
+) -> Occupancy {
+    let warps = report.warps.max(1) as u32;
+
+    // --- residency ---
+    let regs_per_block = report.max_registers().measured_regs.max(1) * device.warp_size * warps;
+    let by_regs = device.regs_per_sm / regs_per_block.max(1);
+    let by_smem = device
+        .smem_capacity
+        .checked_div(report.smem_extent)
+        .map_or(u32::MAX, |v| v as u32);
+    let by_warps = device.max_warps_per_sm / warps;
+    let by_blocks = device.max_blocks_per_sm;
+    let (resident, residency_limiter) = [
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::SharedMemoryCapacity),
+        (by_warps, Limiter::WarpSlots),
+        (by_blocks, Limiter::BlockSlots),
+    ]
+    .into_iter()
+    .min_by_key(|&(v, _)| v)
+    .expect("non-empty");
+    let resident = resident.max(1);
+
+    // --- steady-state rate ---
+    let serial = if include_global {
+        report.cycles.max(1e-9)
+    } else {
+        report.on_chip_cycles().max(1e-9)
+    };
+    let smem_bw_cycles =
+        (report.smem_bytes_written + report.smem_bytes_read) as f64 / device.smem_bytes_per_cycle();
+    let tc_cycles = report.totals.compute;
+    let gmem_bw_cycles = if include_global {
+        (report.gmem_bytes_read + report.gmem_bytes_written) as f64 / device.gmem_bytes_per_cycle
+    } else {
+        0.0
+    };
+    let (bottleneck_cycles, mut rate_limiter) = [
+        (smem_bw_cycles, Limiter::SharedMemoryBandwidth),
+        (tc_cycles, Limiter::TensorCores),
+        (gmem_bw_cycles, Limiter::GlobalBandwidth),
+    ]
+    .into_iter()
+    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+    .expect("non-empty");
+
+    let latency_rate = f64::from(resident) / serial;
+    let resource_rate = if bottleneck_cycles > 0.0 {
+        1.0 / bottleneck_cycles
+    } else {
+        f64::INFINITY
+    };
+    let rate = if latency_rate < resource_rate {
+        rate_limiter = Limiter::Latency;
+        latency_rate
+    } else {
+        resource_rate
+    };
+
+    Occupancy {
+        resident_blocks: resident,
+        residency_limiter,
+        rate_per_cycle: rate,
+        rate_limiter,
+        steady_tflops: useful_flops as f64 * rate * f64::from(device.num_sms)
+            * device.clock_hz()
+            / 1e12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostMode, PhaseCost};
+    use crate::memory::regfile::RegisterUsage;
+
+    fn report(
+        warps: usize,
+        regs: u32,
+        smem_extent: usize,
+        cycles: f64,
+        comm_bytes: u64,
+        compute: f64,
+    ) -> ExecutionReport {
+        let totals = PhaseCost {
+            comm: comm_bytes as f64 / 128.0,
+            compute,
+            global: 0.0,
+            reg: 0.0,
+        };
+        ExecutionReport {
+            device_name: "test".into(),
+            warps,
+            mode: CostMode::Serial,
+            phase_costs: vec![totals],
+            totals,
+            cycles,
+            flops_charged: 0,
+            smem_bytes_written: comm_bytes / 2,
+            smem_bytes_read: comm_bytes / 2,
+            smem_extent,
+            gmem_bytes_read: 0,
+            gmem_bytes_written: 0,
+            registers_per_warp: vec![RegisterUsage {
+                theoretical_regs: regs,
+                measured_regs: regs,
+            }],
+        }
+    }
+
+    #[test]
+    fn register_bound_residency() {
+        let dev = crate::device::gh200();
+        // 4 warps × 128 regs × 32 threads = 16384 regs -> 4 resident.
+        let r = report(4, 128, 1024, 1000.0, 1024, 10.0);
+        let occ = analyze(&dev, &r, 1000);
+        assert_eq!(occ.resident_blocks, 4);
+        assert_eq!(occ.residency_limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn smem_bound_residency() {
+        let dev = crate::device::gh200();
+        // 64 KB footprint on 228 KB capacity -> 3 resident.
+        let r = report(4, 16, 64 * 1024, 1000.0, 1024, 10.0);
+        let occ = analyze(&dev, &r, 1000);
+        assert_eq!(occ.resident_blocks, 3);
+        assert_eq!(occ.residency_limiter, Limiter::SharedMemoryCapacity);
+    }
+
+    #[test]
+    fn latency_limited_when_few_residents() {
+        let dev = crate::device::gh200();
+        // Huge serial latency, tiny resource use, 1 resident by smem.
+        let r = report(4, 16, 200 * 1024, 100_000.0, 128, 1.0);
+        let occ = analyze(&dev, &r, 1000);
+        assert_eq!(occ.rate_limiter, Limiter::Latency);
+        assert!((occ.rate_per_cycle - 1.0 / 100_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_limited_with_many_residents() {
+        let dev = crate::device::gh200();
+        // Lots of residents, heavy smem traffic -> bandwidth binds.
+        let r = report(2, 16, 512, 500.0, 128 * 1024, 10.0);
+        let occ = analyze(&dev, &r, 1000);
+        assert_eq!(occ.rate_limiter, Limiter::SharedMemoryBandwidth);
+        let expect = 1.0 / (128.0 * 1024.0 / 128.0);
+        assert!((occ.rate_per_cycle - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_chip_variant_ignores_global() {
+        let dev = crate::device::gh200();
+        let mut r = report(4, 32, 4096, 1000.0, 2048, 50.0);
+        r.gmem_bytes_read = 10_000_000; // would dominate the full metric
+        let full = analyze(&dev, &r, 1000);
+        let on_chip = analyze_on_chip(&dev, &r, 1000);
+        assert_eq!(full.rate_limiter, Limiter::GlobalBandwidth);
+        assert_ne!(on_chip.rate_limiter, Limiter::GlobalBandwidth);
+        assert!(on_chip.steady_tflops > full.steady_tflops);
+    }
+
+    #[test]
+    fn steady_tflops_scale() {
+        let dev = crate::device::gh200();
+        let r = report(4, 64, 4096, 1000.0, 1024, 100.0);
+        let occ = analyze(&dev, &r, 1_000_000);
+        assert!(occ.steady_tflops > 0.0 && occ.steady_tflops.is_finite());
+        // Never exceeds what zero-latency tensor-core-bound would give.
+        let tc_bound = 1_000_000.0 / 100.0 * 132.0 * 1.98e9 / 1e12;
+        assert!(occ.steady_tflops <= tc_bound * 1.0001);
+    }
+}

@@ -1,0 +1,253 @@
+//! Warp-level SPMD programs.
+//!
+//! A [`WarpProgram`] is the resolved op sequence of one warp — branches on
+//! warp id (Algorithms 1–3, lines 5/8/12/14) are resolved at build time, so
+//! each warp carries only the ops it actually executes. Barriers must line
+//! up across the block's warps; the engine checks this, mirroring the CUDA
+//! rule that `__syncthreads()` must be reached by every thread.
+
+use crate::fragment::{FragDecl, FragId};
+use crate::memory::global::BufferId;
+use crate::precision::Precision;
+
+/// One operation of a warp program.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Load a `dst`-shaped window of `buf` at `(row0, col0)` into registers
+    /// (`GMem2Reg` in the paper's pseudocode).
+    GlobalLoad {
+        dst: FragId,
+        buf: BufferId,
+        row0: usize,
+        col0: usize,
+    },
+    /// Store a fragment to global memory (`Reg2GMem`), optionally
+    /// accumulating (`C += Ci`, Algorithm 3 line 19).
+    GlobalStore {
+        src: FragId,
+        buf: BufferId,
+        row0: usize,
+        col0: usize,
+        accumulate: bool,
+    },
+    /// Copy a fragment to shared memory at byte `addr` (`Reg2SMem`).
+    SharedStore { src: FragId, addr: usize },
+    /// Fill a fragment from shared memory at byte `addr` (`SMem2Reg`).
+    SharedLoad { dst: FragId, addr: usize },
+    /// Intra-warp register copy (`Reg2Reg`) — the sender keeps its own
+    /// copy instead of re-reading shared memory (§4.3).
+    RegCopy { dst: FragId, src: FragId },
+    /// Zero-initialise an accumulator fragment.
+    ZeroAcc { frag: FragId },
+    /// Tensor-core GEMM: `d += a[:, a_cols] · b[b_rows, :]`.
+    /// `a_cols`/`b_rows` select a k-slice; `None` uses the full extent.
+    /// The selected extents must agree.
+    Mma {
+        d: FragId,
+        a: FragId,
+        b: FragId,
+        a_cols: Option<(usize, usize)>,
+        b_rows: Option<(usize, usize)>,
+    },
+    /// Store `bytes` of metadata (sparse index arrays RowPtr/ColBlkIdx,
+    /// §4.6) to shared memory — traffic-only, no fragment content.
+    MetaStore { addr: usize, bytes: usize },
+    /// Load `bytes` of metadata from shared memory — traffic-only.
+    MetaLoad { addr: usize, bytes: usize },
+    /// Scale a fragment elementwise by a scalar (CUDA-core epilogue op:
+    /// `frag *= factor`, rounded at the fragment's precision).
+    Scale { frag: FragId, factor: f64 },
+    /// Elementwise add another fragment into `dst` (CUDA-core epilogue
+    /// op: `dst += src`; shapes must match).
+    AddAssign { dst: FragId, src: FragId },
+    /// Block-wide `__syncthreads()`.
+    Barrier,
+}
+
+/// The resolved op list and fragment table of one warp.
+#[derive(Debug, Clone, Default)]
+pub struct WarpProgram {
+    pub frags: Vec<FragDecl>,
+    pub ops: Vec<Op>,
+}
+
+impl WarpProgram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a fragment; returns its id.
+    pub fn frag(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        precision: Precision,
+    ) -> FragId {
+        self.frags.push(FragDecl::new(name, rows, cols, precision));
+        self.frags.len() - 1
+    }
+
+    pub fn global_load(&mut self, dst: FragId, buf: BufferId, row0: usize, col0: usize) {
+        self.ops.push(Op::GlobalLoad { dst, buf, row0, col0 });
+    }
+
+    pub fn global_store(&mut self, src: FragId, buf: BufferId, row0: usize, col0: usize) {
+        self.ops.push(Op::GlobalStore {
+            src,
+            buf,
+            row0,
+            col0,
+            accumulate: false,
+        });
+    }
+
+    pub fn global_accumulate(&mut self, src: FragId, buf: BufferId, row0: usize, col0: usize) {
+        self.ops.push(Op::GlobalStore {
+            src,
+            buf,
+            row0,
+            col0,
+            accumulate: true,
+        });
+    }
+
+    pub fn shared_store(&mut self, src: FragId, addr: usize) {
+        self.ops.push(Op::SharedStore { src, addr });
+    }
+
+    pub fn shared_load(&mut self, dst: FragId, addr: usize) {
+        self.ops.push(Op::SharedLoad { dst, addr });
+    }
+
+    pub fn reg_copy(&mut self, dst: FragId, src: FragId) {
+        self.ops.push(Op::RegCopy { dst, src });
+    }
+
+    pub fn zero_acc(&mut self, frag: FragId) {
+        self.ops.push(Op::ZeroAcc { frag });
+    }
+
+    /// Full-fragment MMA: `d += a · b`.
+    pub fn mma(&mut self, d: FragId, a: FragId, b: FragId) {
+        self.ops.push(Op::Mma {
+            d,
+            a,
+            b,
+            a_cols: None,
+            b_rows: None,
+        });
+    }
+
+    /// k-sliced MMA over columns `[col0, col0+ncols)` of `a`
+    /// (Algorithm 1 line 12: `Ai[:][z·k/p : (z+1)·k/p] × BRecv`).
+    pub fn mma_a_cols(&mut self, d: FragId, a: FragId, b: FragId, col0: usize, ncols: usize) {
+        self.ops.push(Op::Mma {
+            d,
+            a,
+            b,
+            a_cols: Some((col0, ncols)),
+            b_rows: None,
+        });
+    }
+
+    /// k-sliced MMA over rows `[row0, row0+nrows)` of `b`.
+    pub fn mma_b_rows(&mut self, d: FragId, a: FragId, b: FragId, row0: usize, nrows: usize) {
+        self.ops.push(Op::Mma {
+            d,
+            a,
+            b,
+            a_cols: None,
+            b_rows: Some((row0, nrows)),
+        });
+    }
+
+    pub fn scale(&mut self, frag: FragId, factor: f64) {
+        self.ops.push(Op::Scale { frag, factor });
+    }
+
+    pub fn add_assign(&mut self, dst: FragId, src: FragId) {
+        self.ops.push(Op::AddAssign { dst, src });
+    }
+
+    pub fn meta_store(&mut self, addr: usize, bytes: usize) {
+        self.ops.push(Op::MetaStore { addr, bytes });
+    }
+
+    pub fn meta_load(&mut self, addr: usize, bytes: usize) {
+        self.ops.push(Op::MetaLoad { addr, bytes });
+    }
+
+    pub fn barrier(&mut self) {
+        self.ops.push(Op::Barrier);
+    }
+
+    /// Number of barrier ops (phases = barriers + 1).
+    pub fn barrier_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Barrier)).count()
+    }
+}
+
+/// A thread-block kernel: one program per warp.
+#[derive(Debug, Clone, Default)]
+pub struct BlockKernel {
+    pub warps: Vec<WarpProgram>,
+}
+
+impl BlockKernel {
+    pub fn new(warps: Vec<WarpProgram>) -> Self {
+        BlockKernel { warps }
+    }
+
+    /// Build a kernel of `p` warps in SPMD style: `f(warp_id, &mut prog)`.
+    pub fn spmd(p: usize, mut f: impl FnMut(usize, &mut WarpProgram)) -> Self {
+        let warps = (0..p)
+            .map(|i| {
+                let mut w = WarpProgram::new();
+                f(i, &mut w);
+                w
+            })
+            .collect();
+        BlockKernel { warps }
+    }
+
+    pub fn num_warps(&self) -> usize {
+        self.warps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_ops() {
+        let mut w = WarpProgram::new();
+        let a = w.frag("A", 8, 8, Precision::Fp16);
+        let b = w.frag("B", 8, 8, Precision::Fp16);
+        let c = w.frag("C", 8, 8, Precision::Fp16);
+        w.zero_acc(c);
+        w.shared_store(a, 0);
+        w.barrier();
+        w.shared_load(b, 0);
+        w.barrier();
+        w.mma(c, a, b);
+        assert_eq!(w.frags.len(), 3);
+        assert_eq!(w.ops.len(), 6);
+        assert_eq!(w.barrier_count(), 2);
+    }
+
+    #[test]
+    fn spmd_builds_per_warp() {
+        let k = BlockKernel::spmd(4, |i, w| {
+            let f = w.frag(format!("f{i}"), 1, 1, Precision::Fp32);
+            if i == 0 {
+                w.shared_store(f, 0);
+            }
+            w.barrier();
+        });
+        assert_eq!(k.num_warps(), 4);
+        assert_eq!(k.warps[0].ops.len(), 2);
+        assert_eq!(k.warps[1].ops.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Execution reports: the simulator's equivalent of `clock()`-based
+//! measurement plus occupancy/traffic counters.
+
+use crate::cost::{CostMode, PhaseCost};
+use crate::device::DeviceSpec;
+use crate::memory::regfile::RegisterUsage;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured while running one block kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    pub device_name: String,
+    /// Warps in the block (`p`).
+    pub warps: usize,
+    /// Cost-composition mode the cycle total was computed under.
+    pub mode: CostMode,
+    /// Cycle breakdown per barrier-delimited phase.
+    pub phase_costs: Vec<PhaseCost>,
+    /// Component-wise totals over all phases.
+    pub totals: PhaseCost,
+    /// Total block cycles under `mode`.
+    pub cycles: f64,
+    /// Tensor-core flops charged (padded to instruction granularity).
+    pub flops_charged: u64,
+    /// Shared-memory traffic: the measured communication volume. The
+    /// paper's `V_cm` is writes + reads (Formulas 1/5/9).
+    pub smem_bytes_written: u64,
+    pub smem_bytes_read: u64,
+    /// Shared-memory footprint the block would have to reserve.
+    pub smem_extent: usize,
+    /// Global-memory traffic of this kernel.
+    pub gmem_bytes_read: u64,
+    pub gmem_bytes_written: u64,
+    /// Per-warp register usage (theoretical and live-range-measured).
+    pub registers_per_warp: Vec<RegisterUsage>,
+}
+
+impl ExecutionReport {
+    /// Communication volume `V_cm` in bytes (writes + reads), the
+    /// quantity bounded by Formulas 1, 5, and 9.
+    pub fn comm_volume(&self) -> u64 {
+        self.smem_bytes_written + self.smem_bytes_read
+    }
+
+    /// Worst per-warp register usage in the block.
+    pub fn max_registers(&self) -> RegisterUsage {
+        self.registers_per_warp
+            .iter()
+            .copied()
+            .max_by_key(|u| u.measured_regs)
+            .unwrap_or(RegisterUsage {
+                theoretical_regs: 0,
+                measured_regs: 0,
+            })
+    }
+
+    /// Cycles spent on-chip (communication + compute + register moves),
+    /// excluding global-memory I/O — the metric the paper's block-level
+    /// benchmarks report ("each looping 1000 times inside the CUDA kernel
+    /// to ignore global I/O costs", Fig 3).
+    pub fn on_chip_cycles(&self) -> f64 {
+        match self.mode {
+            CostMode::Serial => self.totals.comm + self.totals.compute + self.totals.reg,
+            CostMode::Overlap => {
+                // Recompose per phase to preserve max semantics.
+                self.phase_costs
+                    .iter()
+                    .map(|p| p.comm.max(p.compute) + p.reg)
+                    .sum()
+            }
+        }
+    }
+
+    /// Wall-clock seconds for one block on `device`.
+    pub fn seconds(&self, device: &DeviceSpec) -> f64 {
+        self.cycles / device.clock_hz()
+    }
+
+    /// Device-wide TFLOPS when every SM runs identical blocks back to
+    /// back, counting only `useful_flops` per block (padding waste and
+    /// redundant work by a strategy lowers its score, as on hardware) and
+    /// excluding global I/O — the paper's block-level reporting metric.
+    pub fn block_tflops(&self, device: &DeviceSpec, useful_flops: u64) -> f64 {
+        let cycles = self.on_chip_cycles().max(1e-9);
+        useful_flops as f64 / cycles * device.num_sms as f64 * device.clock_hz() / 1e12
+    }
+
+    /// Device-wide TFLOPS including global-memory cycles — the metric for
+    /// batched / device-level workloads where each block streams its own
+    /// data from HBM.
+    pub fn device_tflops(&self, device: &DeviceSpec, useful_flops: u64) -> f64 {
+        let cycles = self.cycles.max(1e-9);
+        useful_flops as f64 / cycles * device.num_sms as f64 * device.clock_hz() / 1e12
+    }
+
+    /// Fraction of total cycles spent communicating (Fig 15 breakdown).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.totals.comm / self.cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::gh200;
+
+    fn report(comm: f64, compute: f64, global: f64) -> ExecutionReport {
+        let pc = PhaseCost {
+            comm,
+            compute,
+            global,
+            reg: 0.0,
+        };
+        ExecutionReport {
+            device_name: "test".into(),
+            warps: 4,
+            mode: CostMode::Serial,
+            phase_costs: vec![pc],
+            totals: pc,
+            cycles: comm + compute + global,
+            flops_charged: 1000,
+            smem_bytes_written: 100,
+            smem_bytes_read: 300,
+            smem_extent: 512,
+            gmem_bytes_read: 0,
+            gmem_bytes_written: 0,
+            registers_per_warp: vec![],
+        }
+    }
+
+    #[test]
+    fn comm_volume_is_writes_plus_reads() {
+        assert_eq!(report(1.0, 1.0, 0.0).comm_volume(), 400);
+    }
+
+    #[test]
+    fn on_chip_excludes_global() {
+        let r = report(10.0, 20.0, 500.0);
+        assert_eq!(r.on_chip_cycles(), 30.0);
+    }
+
+    #[test]
+    fn tflops_scale_with_sms_and_clock() {
+        let dev = gh200();
+        let r = report(50.0, 50.0, 0.0);
+        let t = r.block_tflops(&dev, 10_000);
+        // 10000 flops / 100 cycles * 132 SMs * 1.98e9 Hz = 26.1 TFLOPS.
+        assert!((t - 26.136).abs() < 0.01, "t = {t}");
+        assert_eq!(r.device_tflops(&dev, 10_000), t); // no global cycles
+    }
+
+    #[test]
+    fn comm_fraction() {
+        let r = report(25.0, 75.0, 0.0);
+        assert!((r.comm_fraction() - 0.25).abs() < 1e-12);
+    }
+}

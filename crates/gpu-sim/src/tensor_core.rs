@@ -1,0 +1,215 @@
+//! Tensor-core (matrix unit) model: the instruction shapes of Table 4 and
+//! the functional fragment multiply-accumulate.
+//!
+//! A tensor-core instruction multiplies an `m×k` fragment by a `k×n`
+//! fragment, accumulating into `m×n`. A warp-level GEMM on fragments is
+//! decomposed into `⌈M/m⌉·⌈N/n⌉·⌈K/k⌉` such instructions; the *padded*
+//! instruction count is what the cycle model charges, reproducing the
+//! hardware fragmentation the paper minimizes by aligning k-slices to the
+//! MMA granularity (§4.7).
+
+use crate::device::{DeviceSpec, Vendor};
+use crate::precision::{fma_acc, Precision};
+use serde::{Deserialize, Serialize};
+
+/// One MMA instruction shape (`mMnNkK` in PTX naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MmaShape {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+}
+
+impl MmaShape {
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        MmaShape { m, n, k }
+    }
+
+    /// Floating-point operations of one instruction (multiply + add).
+    #[inline]
+    pub const fn flops(&self) -> u64 {
+        (2 * self.m * self.n * self.k) as u64
+    }
+
+    /// Number of instructions needed for an `M×K · K×N` fragment GEMM,
+    /// padding each dimension up to the instruction granularity.
+    pub fn instructions_for(&self, m: usize, n: usize, k: usize) -> u64 {
+        let ceil = |x: usize, d: usize| x.div_ceil(d) as u64;
+        ceil(m, self.m) * ceil(n, self.n) * ceil(k, self.k)
+    }
+
+    /// Padded flops charged for an `M×K · K×N` fragment GEMM.
+    pub fn padded_flops(&self, m: usize, n: usize, k: usize) -> u64 {
+        self.instructions_for(m, n, k) * self.flops()
+    }
+
+    /// PTX-style label, e.g. `m16n8k16`.
+    pub fn label(&self) -> String {
+        format!("m{}n{}k{}", self.m, self.n, self.k)
+    }
+}
+
+/// Native MMA instruction shape for a vendor/precision pair (Table 4,
+/// completed with the published shapes for TF32 and FP8 on NVIDIA).
+///
+/// Returns `None` where the device has no matrix instruction at that
+/// precision (e.g. FP64 anywhere but NVIDIA data-center parts).
+pub fn native_shape(vendor: Vendor, prec: Precision) -> Option<MmaShape> {
+    match (vendor, prec) {
+        (Vendor::Nvidia, Precision::Fp64) => Some(MmaShape::new(16, 8, 8)),
+        (Vendor::Nvidia, Precision::Fp16 | Precision::Bf16) => Some(MmaShape::new(16, 8, 16)),
+        (Vendor::Nvidia, Precision::Tf32 | Precision::Fp32) => Some(MmaShape::new(16, 8, 8)),
+        (Vendor::Nvidia, Precision::Fp8E4M3) => Some(MmaShape::new(16, 8, 32)),
+        (Vendor::Amd, Precision::Fp16 | Precision::Bf16) => Some(MmaShape::new(16, 16, 16)),
+        (Vendor::Amd, _) => None,
+        (Vendor::Intel, Precision::Fp16 | Precision::Bf16) => Some(MmaShape::new(16, 16, 16)),
+        (Vendor::Intel, _) => None,
+    }
+}
+
+/// Shape lookup that also validates the device supports the precision.
+pub fn shape_for(device: &DeviceSpec, prec: Precision) -> Option<MmaShape> {
+    device.peak_tflops(prec)?;
+    native_shape(device.vendor, prec)
+}
+
+/// Functional fragment MMA: `d[M×N] += a[M×K] · b[K×N]`.
+///
+/// Inputs are quantized to `in_prec` per element (as the hardware does on
+/// fragment load) and products are accumulated at `in_prec.accumulator()`.
+/// Slices are row-major. Returns the flop count actually *charged* (padded
+/// to instruction granularity) alongside performing the exact update.
+#[allow(clippy::too_many_arguments)]
+pub fn mma_fragment(
+    shape: MmaShape,
+    in_prec: Precision,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    d: &mut [f64],
+) -> u64 {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(d.len(), m * n);
+    let acc = in_prec.accumulator();
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = d[i * n + j];
+            for l in 0..k {
+                let av = in_prec.round(a[i * k + l]);
+                let bv = in_prec.round(b[l * n + j]);
+                sum = fma_acc(acc, av, bv, sum);
+            }
+            d[i * n + j] = sum;
+        }
+    }
+    shape.padded_flops(m, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device;
+
+    #[test]
+    fn shape_flops() {
+        let s = MmaShape::new(16, 8, 16);
+        assert_eq!(s.flops(), 4096);
+        assert_eq!(s.label(), "m16n8k16");
+    }
+
+    #[test]
+    fn instruction_count_pads_up() {
+        let s = MmaShape::new(16, 8, 16);
+        // Exact fit.
+        assert_eq!(s.instructions_for(32, 16, 32), 2 * 2 * 2);
+        // One element still costs one instruction.
+        assert_eq!(s.instructions_for(1, 1, 1), 1);
+        // 17 rows need two m-tiles.
+        assert_eq!(s.instructions_for(17, 8, 16), 2);
+    }
+
+    #[test]
+    fn padded_flops_at_least_exact() {
+        let s = MmaShape::new(16, 8, 8);
+        for &(m, n, k) in &[(16, 8, 8), (20, 9, 5), (1, 1, 1), (64, 64, 64)] {
+            assert!(s.padded_flops(m, n, k) >= (2 * m * n * k) as u64);
+        }
+    }
+
+    #[test]
+    fn table4_shapes() {
+        assert_eq!(
+            native_shape(Vendor::Nvidia, Precision::Fp64),
+            Some(MmaShape::new(16, 8, 8))
+        );
+        assert_eq!(
+            native_shape(Vendor::Nvidia, Precision::Fp16),
+            Some(MmaShape::new(16, 8, 16))
+        );
+        assert_eq!(
+            native_shape(Vendor::Amd, Precision::Fp16),
+            Some(MmaShape::new(16, 16, 16))
+        );
+        assert_eq!(
+            native_shape(Vendor::Intel, Precision::Fp16),
+            Some(MmaShape::new(16, 16, 16))
+        );
+        assert_eq!(native_shape(Vendor::Amd, Precision::Fp64), None);
+    }
+
+    #[test]
+    fn shape_for_rejects_unsupported_precision() {
+        assert!(shape_for(&device::rtx5090(), Precision::Fp64).is_none());
+        assert!(shape_for(&device::gh200(), Precision::Fp64).is_some());
+    }
+
+    #[test]
+    fn mma_fragment_matches_reference_fp64() {
+        let (m, n, k) = (4, 3, 5);
+        let a: Vec<f64> = (0..m * k).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i as f64).sin()).collect();
+        let mut d = vec![0.0; m * n];
+        mma_fragment(MmaShape::new(16, 8, 8), Precision::Fp64, m, n, k, &a, &b, &mut d);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f64;
+                for l in 0..k {
+                    want = a[i * k + l].mul_add(b[l * n + j], want);
+                }
+                assert!((d[i * n + j] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mma_fragment_quantizes_fp16_inputs() {
+        // 1 + 2^-12 is below FP16 resolution: rounds to 1.0 before multiply.
+        let a = vec![1.0 + (2.0f64).powi(-12)];
+        let b = vec![1.0];
+        let mut d = vec![0.0];
+        mma_fragment(MmaShape::new(16, 8, 16), Precision::Fp16, 1, 1, 1, &a, &b, &mut d);
+        assert_eq!(d[0], 1.0);
+    }
+
+    #[test]
+    fn mma_fragment_accumulates_into_d() {
+        let a = vec![2.0];
+        let b = vec![3.0];
+        let mut d = vec![10.0];
+        mma_fragment(MmaShape::new(16, 8, 8), Precision::Fp64, 1, 1, 1, &a, &b, &mut d);
+        assert_eq!(d[0], 16.0);
+    }
+
+    #[test]
+    fn mma_fragment_charges_padded_flops() {
+        let a = vec![1.0];
+        let b = vec![1.0];
+        let mut d = vec![0.0];
+        let flops =
+            mma_fragment(MmaShape::new(16, 8, 16), Precision::Fp16, 1, 1, 1, &a, &b, &mut d);
+        assert_eq!(flops, 4096); // one full instruction despite 1x1x1 work
+    }
+}

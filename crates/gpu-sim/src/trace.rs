@@ -1,0 +1,202 @@
+//! Execution traces: a per-op timeline of one block kernel, exportable
+//! as a Chrome-tracing (`chrome://tracing` / Perfetto) JSON file.
+//!
+//! The engine lays phases out back to back on the simulated clock and
+//! spreads each phase's ops across it proportionally to their individual
+//! costs, giving a faithful *visual* account of where cycles go: the
+//! broadcast stores, the latency-exposed loads, the MMA bursts, and the
+//! barriers between them.
+
+use crate::cost::CostMode;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Category of a traced op (maps to a Chrome-trace track color).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    GlobalLoad,
+    GlobalStore,
+    SharedStore,
+    SharedLoad,
+    RegCopy,
+    Mma,
+    Meta,
+    Barrier,
+}
+
+impl TraceKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::GlobalLoad => "gmem.load",
+            TraceKind::GlobalStore => "gmem.store",
+            TraceKind::SharedStore => "smem.store",
+            TraceKind::SharedLoad => "smem.load",
+            TraceKind::RegCopy => "reg.copy",
+            TraceKind::Mma => "mma",
+            TraceKind::Meta => "smem.meta",
+            TraceKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// One traced op occurrence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub warp: usize,
+    pub phase: usize,
+    pub kind: TraceKind,
+    /// Payload moved (bytes) or computed (flops), for tooltips.
+    pub amount: u64,
+    /// Simulated start cycle.
+    pub start: f64,
+    /// Simulated duration in cycles.
+    pub duration: f64,
+    /// Human-readable detail (fragment name etc.).
+    pub detail: String,
+}
+
+/// A full block-kernel trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    pub device: String,
+    pub mode: Option<CostMode>,
+    pub events: Vec<TraceEvent>,
+    /// Phase boundaries in cycles: `phase_start[i]` is where phase `i`
+    /// begins; one trailing entry marks the end of the kernel.
+    pub phase_starts: Vec<f64>,
+}
+
+impl Trace {
+    pub fn total_cycles(&self) -> f64 {
+        self.phase_starts.last().copied().unwrap_or(0.0)
+    }
+
+    /// Events of one warp, in time order.
+    pub fn warp_events(&self, warp: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.warp == warp)
+    }
+
+    /// Cycles attributed to one kind across the whole trace.
+    pub fn cycles_by_kind(&self, kind: TraceKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration)
+            .sum()
+    }
+
+    /// Serialize as a Chrome-tracing JSON array (open in
+    /// `chrome://tracing` or Perfetto; 1 simulated cycle = 1 µs).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \
+                 \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \
+                 \"args\": {{\"phase\": {}, \"amount\": {}, \"detail\": \"{}\"}}}}",
+                e.kind.label(),
+                e.kind.label(),
+                e.start,
+                e.duration.max(0.001),
+                e.warp,
+                e.phase,
+                e.amount,
+                e.detail.replace('"', "'"),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Compact per-warp text rendering (one line per event) for quick
+    /// terminal inspection.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events over {:.1} cycles on {}",
+            self.events.len(),
+            self.total_cycles(),
+            self.device
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "  [{:>8.1} +{:>6.1}] w{} p{} {:<11} {:>8} {}",
+                e.start,
+                e.duration,
+                e.warp,
+                e.phase,
+                e.kind.label(),
+                e.amount,
+                e.detail
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            device: "test".into(),
+            mode: Some(CostMode::Serial),
+            events: vec![
+                TraceEvent {
+                    warp: 0,
+                    phase: 0,
+                    kind: TraceKind::SharedStore,
+                    amount: 128,
+                    start: 0.0,
+                    duration: 1.0,
+                    detail: "Bi".into(),
+                },
+                TraceEvent {
+                    warp: 1,
+                    phase: 1,
+                    kind: TraceKind::Mma,
+                    amount: 4096,
+                    start: 1.0,
+                    duration: 4.0,
+                    detail: "Ci += Ai x BRecv".into(),
+                },
+            ],
+            phase_starts: vec![0.0, 1.0, 5.0],
+        }
+    }
+
+    #[test]
+    fn totals_and_filters() {
+        let t = sample();
+        assert_eq!(t.total_cycles(), 5.0);
+        assert_eq!(t.warp_events(0).count(), 1);
+        assert_eq!(t.cycles_by_kind(TraceKind::Mma), 4.0);
+        assert_eq!(t.cycles_by_kind(TraceKind::Barrier), 0.0);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_json() {
+        let json = sample().to_chrome_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+        assert_eq!(parsed[0]["tid"], 0);
+        assert_eq!(parsed[1]["args"]["amount"], 4096);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_event() {
+        let text = sample().render_text();
+        assert!(text.contains("smem.store"));
+        assert!(text.contains("mma"));
+        assert!(text.contains("2 events"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Block-sparse matrix storage (paper §4.6, Fig 7).
+//!
+//! Nonzeros are kept in dense square blocks of user-configurable size
+//! (default 16×16, aligned with the tensor-core shapes of Table 4). Two
+//! physical layouts:
+//!
+//! * [`BlockOrder::RowMajor`] — blocks row by row with a CSR-style
+//!   `RowPtr`/`ColBlkIdx` (Fig 7(a)), used by the 1D algorithm;
+//! * [`BlockOrder::ZMorton`] — blocks sorted by Z-Morton code
+//!   (Fig 7(b)), so any aligned quadrant is a contiguous slice — the
+//!   submatrix indexing the 2D/3D algorithms rely on.
+
+use crate::morton;
+use kami_gpu_sim::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Default block size: 16 aligns with every Table 4 MMA shape.
+pub const DEFAULT_BLOCK: usize = 16;
+
+/// Physical order of the block array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockOrder {
+    RowMajor,
+    ZMorton,
+}
+
+/// A sparse matrix stored as dense blocks.
+#[derive(Debug, Clone)]
+pub struct BlockSparseMatrix {
+    /// Element dimensions.
+    rows: usize,
+    cols: usize,
+    /// Square block edge.
+    block: usize,
+    order: BlockOrder,
+    /// Block coordinates `(block_row, block_col)` in physical order.
+    coords: Vec<(usize, usize)>,
+    /// Dense block payloads, parallel to `coords`.
+    blocks: Vec<Matrix>,
+    /// CSR row pointer over *block rows* (always maintained; for
+    /// `ZMorton` it indexes a row-major shadow used by row traversals).
+    rowptr: Vec<usize>,
+    /// Column indices in row-major order, parallel to `row_major_perm`.
+    colidx: Vec<usize>,
+    /// Permutation mapping row-major position -> physical position.
+    row_major_perm: Vec<usize>,
+}
+
+impl BlockSparseMatrix {
+    /// Build from an explicit list of blocks. Coordinates must be unique.
+    pub fn from_blocks(
+        rows: usize,
+        cols: usize,
+        block: usize,
+        order: BlockOrder,
+        mut entries: Vec<((usize, usize), Matrix)>,
+    ) -> Self {
+        assert!(block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
+            "matrix {rows}x{cols} not divisible by block {block}");
+        for ((br, bc), m) in &entries {
+            assert!(*br < rows / block && *bc < cols / block, "block ({br},{bc}) out of range");
+            assert_eq!((m.rows(), m.cols()), (block, block), "block payload shape");
+        }
+        // Physical sort.
+        match order {
+            BlockOrder::RowMajor => entries.sort_by_key(|((r, c), _)| (*r, *c)),
+            BlockOrder::ZMorton => entries.sort_by_key(|((r, c), _)| morton::encode(*r, *c)),
+        }
+        let coords: Vec<_> = entries.iter().map(|(rc, _)| *rc).collect();
+        {
+            let mut sorted = coords.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), coords.len(), "duplicate block coordinates");
+        }
+        let blocks: Vec<_> = entries.into_iter().map(|(_, m)| m).collect();
+
+        // Row-major shadow index.
+        let rows_blk = rows / block;
+        let mut perm: Vec<usize> = (0..coords.len()).collect();
+        perm.sort_by_key(|&i| (coords[i].0, coords[i].1));
+        let mut rowptr = vec![0usize; rows_blk + 1];
+        for &i in &perm {
+            rowptr[coords[i].0 + 1] += 1;
+        }
+        for r in 0..rows_blk {
+            rowptr[r + 1] += rowptr[r];
+        }
+        let colidx = perm.iter().map(|&i| coords[i].1).collect();
+
+        BlockSparseMatrix {
+            rows,
+            cols,
+            block,
+            order,
+            coords,
+            blocks,
+            rowptr,
+            colidx,
+            row_major_perm: perm,
+        }
+    }
+
+    /// Convert a dense matrix, keeping blocks with any element whose
+    /// magnitude exceeds `threshold` (0.0 keeps any nonzero block).
+    pub fn from_dense(dense: &Matrix, block: usize, order: BlockOrder, threshold: f64) -> Self {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        assert!(rows % block == 0 && cols % block == 0);
+        let mut entries = Vec::new();
+        for br in 0..rows / block {
+            for bc in 0..cols / block {
+                let tile = dense.submatrix(br * block, bc * block, block, block);
+                if tile.as_slice().iter().any(|&x| x.abs() > threshold) {
+                    entries.push(((br, bc), tile));
+                }
+            }
+        }
+        Self::from_blocks(rows, cols, block, order, entries)
+    }
+
+    /// Densify.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (&(br, bc), m) in self.coords.iter().zip(&self.blocks) {
+            out.set_submatrix(br * self.block, bc * self.block, m);
+        }
+        out
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    pub fn order(&self) -> BlockOrder {
+        self.order
+    }
+
+    pub fn rows_blk(&self) -> usize {
+        self.rows / self.block
+    }
+
+    pub fn cols_blk(&self) -> usize {
+        self.cols / self.block
+    }
+
+    /// Number of stored (nonzero) blocks.
+    pub fn nnz_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fraction of blocks stored.
+    pub fn block_density(&self) -> f64 {
+        self.nnz_blocks() as f64 / (self.rows_blk() * self.cols_blk()) as f64
+    }
+
+    /// Iterate `(block_row, block_col, payload)` in physical order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &Matrix)> {
+        self.coords
+            .iter()
+            .zip(&self.blocks)
+            .map(|(&(r, c), m)| (r, c, m))
+    }
+
+    /// Blocks of one block-row, `(block_col, payload)`, ascending column
+    /// (uses the CSR shadow — O(row nnz)).
+    pub fn row_blocks(&self, block_row: usize) -> impl Iterator<Item = (usize, &Matrix)> {
+        let lo = self.rowptr[block_row];
+        let hi = self.rowptr[block_row + 1];
+        (lo..hi).map(move |i| (self.colidx[i], &self.blocks[self.row_major_perm[i]]))
+    }
+
+    /// Look up a single block.
+    pub fn block_at(&self, block_row: usize, block_col: usize) -> Option<&Matrix> {
+        self.row_blocks(block_row)
+            .find(|&(c, _)| c == block_col)
+            .map(|(_, m)| m)
+    }
+
+    /// Blocks inside the aligned quadrant
+    /// `[row0, row0+extent) × [col0, col0+extent)` (block coordinates).
+    ///
+    /// In `ZMorton` order the quadrant is one contiguous physical slice
+    /// (resolved with two binary searches); in `RowMajor` order it
+    /// requires a scan over `extent` row segments. This asymmetry is the
+    /// point of Fig 7(b).
+    pub fn quadrant(
+        &self,
+        row0: usize,
+        col0: usize,
+        extent: usize,
+    ) -> Vec<(usize, usize, &Matrix)> {
+        match self.order {
+            BlockOrder::ZMorton if extent.is_power_of_two()
+                && row0.is_multiple_of(extent)
+                && col0.is_multiple_of(extent) =>
+            {
+                let (lo, hi) = morton::quadrant_range(row0, col0, extent);
+                let start = self
+                    .coords
+                    .partition_point(|&(r, c)| morton::encode(r, c) < lo);
+                let end = self
+                    .coords
+                    .partition_point(|&(r, c)| morton::encode(r, c) < hi);
+                (start..end)
+                    .map(|i| (self.coords[i].0, self.coords[i].1, &self.blocks[i]))
+                    .collect()
+            }
+            _ => {
+                let mut out = Vec::new();
+                for r in row0..(row0 + extent).min(self.rows_blk()) {
+                    for (c, m) in self.row_blocks(r) {
+                        if (col0..col0 + extent).contains(&c) {
+                            out.push((r, c, m));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Blocks inside an arbitrary block-coordinate window
+    /// `[row0, row0+nrows) × [col0, col0+ncols)`, sorted by (row, col) —
+    /// the partition query the CA algorithms use. Delegates to the
+    /// contiguous Morton slice when the window is an aligned power-of-two
+    /// quadrant, otherwise scans the CSR shadow.
+    pub fn window(
+        &self,
+        row0: usize,
+        nrows: usize,
+        col0: usize,
+        ncols: usize,
+    ) -> Vec<(usize, usize, &Matrix)> {
+        if nrows == ncols
+            && nrows.is_power_of_two()
+            && row0.is_multiple_of(nrows)
+            && col0.is_multiple_of(ncols)
+            && self.order == BlockOrder::ZMorton
+        {
+            let mut q = self.quadrant(row0, col0, nrows);
+            q.sort_by_key(|&(r, c, _)| (r, c));
+            return q;
+        }
+        let mut out = Vec::new();
+        for r in row0..(row0 + nrows).min(self.rows_blk()) {
+            for (c, m) in self.row_blocks(r) {
+                if (col0..col0 + ncols).contains(&c) {
+                    out.push((r, c, m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes of index metadata (`RowPtr` + `ColBlkIdx`, 4-byte entries)
+    /// describing `nblocks` blocks of `nrows` block rows — what the
+    /// sparse kernels transfer through shared memory alongside values
+    /// (§4.6).
+    pub fn metadata_bytes(nrows: usize, nblocks: usize) -> usize {
+        4 * (nrows + 1) + 4 * nblocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(order: BlockOrder) -> BlockSparseMatrix {
+        // 4x4 blocks of 4: diagonal + one off-diagonal.
+        let mk = |v: f64| Matrix::from_fn(4, 4, |r, c| v + (r * 4 + c) as f64 * 0.1);
+        BlockSparseMatrix::from_blocks(
+            16,
+            16,
+            4,
+            order,
+            vec![
+                ((0, 0), mk(1.0)),
+                ((1, 1), mk(2.0)),
+                ((2, 2), mk(3.0)),
+                ((3, 3), mk(4.0)),
+                ((0, 3), mk(5.0)),
+                ((2, 0), mk(6.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn dense_roundtrip_both_orders() {
+        for order in [BlockOrder::RowMajor, BlockOrder::ZMorton] {
+            let s = sample(order);
+            let d = s.to_dense();
+            let s2 = BlockSparseMatrix::from_dense(&d, 4, order, 0.0);
+            assert_eq!(s2.nnz_blocks(), s.nnz_blocks());
+            assert_eq!(s2.to_dense().max_abs_diff(&d), 0.0);
+        }
+    }
+
+    #[test]
+    fn row_blocks_ascending() {
+        let s = sample(BlockOrder::ZMorton);
+        let cols: Vec<_> = s.row_blocks(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 3]);
+        let cols: Vec<_> = s.row_blocks(2).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 2]);
+        assert_eq!(s.row_blocks(1).count(), 1);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let s = sample(BlockOrder::RowMajor);
+        assert!(s.block_at(0, 3).is_some());
+        assert!(s.block_at(0, 1).is_none());
+        assert_eq!(s.block_at(3, 3).unwrap()[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn quadrant_same_result_in_both_orders() {
+        let sm = sample(BlockOrder::ZMorton);
+        let sr = sample(BlockOrder::RowMajor);
+        for (r0, c0) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+            let mut a: Vec<_> = sm.quadrant(r0, c0, 2).iter().map(|&(r, c, _)| (r, c)).collect();
+            let mut b: Vec<_> = sr.quadrant(r0, c0, 2).iter().map(|&(r, c, _)| (r, c)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "quadrant ({r0},{c0})");
+        }
+    }
+
+    #[test]
+    fn morton_storage_is_z_ordered() {
+        let s = sample(BlockOrder::ZMorton);
+        let codes: Vec<u64> = s
+            .iter_blocks()
+            .map(|(r, c, _)| morton::encode(r, c))
+            .collect();
+        assert!(codes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn density() {
+        let s = sample(BlockOrder::RowMajor);
+        assert_eq!(s.nnz_blocks(), 6);
+        assert!((s.block_density() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_coordinates_rejected() {
+        let m = Matrix::zeros(4, 4);
+        BlockSparseMatrix::from_blocks(
+            8,
+            8,
+            4,
+            BlockOrder::RowMajor,
+            vec![((0, 0), m.clone()), ((0, 0), m)],
+        );
+    }
+
+    #[test]
+    fn window_matches_bruteforce() {
+        for order in [BlockOrder::RowMajor, BlockOrder::ZMorton] {
+            let s = sample(order);
+            for (r0, nr, c0, nc) in [(0, 2, 0, 2), (1, 3, 0, 4), (0, 4, 2, 2), (2, 2, 2, 2)] {
+                let got: Vec<_> = s.window(r0, nr, c0, nc).iter().map(|&(r, c, _)| (r, c)).collect();
+                let mut want = Vec::new();
+                for (r, c, _) in s.iter_blocks() {
+                    if (r0..r0 + nr).contains(&r) && (c0..c0 + nc).contains(&c) {
+                        want.push((r, c));
+                    }
+                }
+                want.sort_unstable();
+                assert_eq!(got, want, "{order:?} window ({r0},{nr},{c0},{nc})");
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_bytes_formula() {
+        assert_eq!(BlockSparseMatrix::metadata_bytes(4, 6), 4 * 5 + 4 * 6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Seeded random block-sparse matrix generators — the synthetic
+//! workloads of the paper's sparse evaluation (§5.5: five matrices with
+//! 50% random sparsity at the square-GEMM orders).
+
+use crate::bsr::{BlockOrder, BlockSparseMatrix};
+use kami_gpu_sim::Matrix;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random block-sparse `rows×cols` matrix with exactly
+/// `round(density · total_blocks)` nonzero blocks (dense values in
+/// `[-1, 1)`), deterministic in `seed`.
+pub fn random_block_sparse(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    density: f64,
+    order: BlockOrder,
+    seed: u64,
+) -> BlockSparseMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (rb, cb) = (rows / block, cols / block);
+    let total = rb * cb;
+    let keep = ((total as f64) * density).round() as usize;
+    let mut all: Vec<(usize, usize)> = (0..rb)
+        .flat_map(|r| (0..cb).map(move |c| (r, c)))
+        .collect();
+    all.shuffle(&mut rng);
+    let entries = all
+        .into_iter()
+        .take(keep)
+        .map(|rc| {
+            let tile = Matrix::from_fn(block, block, |_, _| rng.gen_range(-1.0..1.0));
+            (rc, tile)
+        })
+        .collect();
+    BlockSparseMatrix::from_blocks(rows, cols, block, order, entries)
+}
+
+/// The paper's §5.5 workload: 50% block density at the square orders.
+pub fn paper_sparse_workload(n: usize, block: usize, order: BlockOrder, seed: u64) -> BlockSparseMatrix {
+    random_block_sparse(n, n, block, 0.5, order, seed)
+}
+
+/// Structured sparsity patterns of the workloads §3.1 motivates —
+/// block-sparse attention masks, banded solvers, arrowhead systems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Block band of half-width `w` (|block_row − block_col| ≤ w) —
+    /// the local window of sliding-window attention and banded solvers.
+    Banded { half_width: usize },
+    /// Block diagonal (independent subproblems / batched physics).
+    BlockDiagonal,
+    /// Banded window plus dense first block row and column — the
+    /// local + global token mask of Longformer-style attention.
+    AttentionLocalGlobal { half_width: usize },
+    /// Banded window plus every `stride`-th block column — the strided
+    /// pattern of BigBird-style attention.
+    AttentionStrided { half_width: usize, stride: usize },
+    /// Arrowhead: diagonal plus dense last block row and column
+    /// (domain-decomposition Schur complements).
+    Arrowhead,
+}
+
+impl Pattern {
+    /// Whether block `(r, c)` of an `nb×nb` grid is kept.
+    pub fn keeps(&self, r: usize, c: usize, nb: usize) -> bool {
+        match *self {
+            Pattern::Banded { half_width } => r.abs_diff(c) <= half_width,
+            Pattern::BlockDiagonal => r == c,
+            Pattern::AttentionLocalGlobal { half_width } => {
+                r.abs_diff(c) <= half_width || r == 0 || c == 0
+            }
+            Pattern::AttentionStrided { half_width, stride } => {
+                r.abs_diff(c) <= half_width || c % stride.max(1) == 0
+            }
+            Pattern::Arrowhead => r == c || r == nb - 1 || c == nb - 1,
+        }
+    }
+}
+
+/// Build an `n×n` block-sparse matrix with a structured [`Pattern`] and
+/// seeded random values in the kept blocks.
+pub fn patterned_block_sparse(
+    n: usize,
+    block: usize,
+    pattern: Pattern,
+    order: BlockOrder,
+    seed: u64,
+) -> BlockSparseMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nb = n / block;
+    let mut entries = Vec::new();
+    for r in 0..nb {
+        for c in 0..nb {
+            if pattern.keeps(r, c, nb) {
+                let tile = Matrix::from_fn(block, block, |_, _| rng.gen_range(-1.0..1.0));
+                entries.push(((r, c), tile));
+            }
+        }
+    }
+    BlockSparseMatrix::from_blocks(n, n, block, order, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_exact() {
+        let s = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 1);
+        assert_eq!(s.nnz_blocks(), 8); // 16 blocks * 0.5
+        let s = random_block_sparse(64, 64, 16, 1.0, BlockOrder::RowMajor, 1);
+        assert_eq!(s.nnz_blocks(), 16);
+        let s = random_block_sparse(64, 64, 16, 0.0, BlockOrder::RowMajor, 1);
+        assert_eq!(s.nnz_blocks(), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 7);
+        let b = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 7);
+        let c = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 8);
+        assert_eq!(a.to_dense().max_abs_diff(&b.to_dense()), 0.0);
+        assert!(c.to_dense().max_abs_diff(&a.to_dense()) > 0.0);
+    }
+
+    #[test]
+    fn patterns_keep_the_right_blocks() {
+        let nb = 8;
+        // Banded width 1: tridiagonal block pattern.
+        let p = Pattern::Banded { half_width: 1 };
+        assert!(p.keeps(3, 3, nb) && p.keeps(3, 4, nb) && p.keeps(4, 3, nb));
+        assert!(!p.keeps(0, 2, nb));
+        // Local+global: first row/col always kept.
+        let p = Pattern::AttentionLocalGlobal { half_width: 1 };
+        assert!(p.keeps(0, 7, nb) && p.keeps(7, 0, nb));
+        assert!(!p.keeps(2, 6, nb));
+        // Strided: every 4th column.
+        let p = Pattern::AttentionStrided { half_width: 0, stride: 4 };
+        assert!(p.keeps(6, 4, nb) && p.keeps(1, 0, nb));
+        assert!(!p.keeps(6, 3, nb));
+        // Arrowhead.
+        let p = Pattern::Arrowhead;
+        assert!(p.keeps(7, 2, nb) && p.keeps(2, 7, nb) && p.keeps(3, 3, nb));
+        assert!(!p.keeps(2, 3, nb));
+    }
+
+    #[test]
+    fn patterned_matrices_build_and_multiply() {
+        let dev = kami_gpu_sim::device::gh200();
+        let cfg = kami_core::KamiConfig::new(kami_core::Algo::OneD, kami_gpu_sim::Precision::Fp16);
+        let b = Matrix::seeded_uniform(64, 64, 2);
+        for pattern in [
+            Pattern::Banded { half_width: 1 },
+            Pattern::BlockDiagonal,
+            Pattern::AttentionLocalGlobal { half_width: 1 },
+            Pattern::Arrowhead,
+        ] {
+            let a = patterned_block_sparse(64, 16, pattern, BlockOrder::ZMorton, 5);
+            let res = crate::spmm::spmm(&dev, &cfg, &a, &b).unwrap();
+            let want = kami_core::reference::reference_gemm_f64(&a.to_dense(), &b);
+            assert!(
+                res.c.rel_frobenius_error(&want) < 1e-2,
+                "{pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_diagonal_density() {
+        let a = patterned_block_sparse(128, 16, Pattern::BlockDiagonal, BlockOrder::RowMajor, 1);
+        assert_eq!(a.nnz_blocks(), 8);
+    }
+
+    #[test]
+    fn values_bounded() {
+        let s = random_block_sparse(32, 32, 16, 1.0, BlockOrder::RowMajor, 3);
+        for (_, _, m) in s.iter_blocks() {
+            assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        }
+    }
+}

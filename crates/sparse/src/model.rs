@@ -1,0 +1,215 @@
+//! Analytic cost model for the sparse extensions — the §4.6 analogue of
+//! the dense Formulas 1–12 (the paper analyzes only the dense case; this
+//! extends the same cycle accounting to block-sparse operands under a
+//! Bernoulli block-sparsity assumption).
+//!
+//! With block density `d` (each `bs×bs` block nonzero independently with
+//! probability `d`):
+//!
+//! * **SpMM** (sparse A, dense B): dense-B communication is unchanged;
+//!   the 2D/3D schemes additionally move `d·|A|` of values plus the
+//!   index metadata; compute shrinks to `d` of the dense flops.
+//! * **SpGEMM**: both operands' values shrink to `d·|·|`, and the
+//!   expected block-pair count per output block follows the
+//!   inner-product collision probability `d²·(k/bs)`.
+
+use kami_core::config::Algo;
+use kami_core::model::cycles::ModelParams;
+use kami_sparse_reexport::metadata_bytes_est;
+
+/// Tiny indirection so the formulas read like the dense module without a
+/// circular dev-dependency.
+mod kami_sparse_reexport {
+    /// RowPtr + ColBlkIdx bytes for `rows` block rows and `nblocks`
+    /// stored blocks (4-byte entries, matching
+    /// `BlockSparseMatrix::metadata_bytes`).
+    pub fn metadata_bytes_est(rows: f64, nblocks: f64) -> f64 {
+        4.0 * (rows + 1.0) + 4.0 * nblocks
+    }
+}
+
+/// Expected useful flops of SpMM on an `m×k` sparse A (density `d`,
+/// block `bs`) times a dense `k×n` B.
+pub fn spmm_expected_flops(m: usize, n: usize, k: usize, bs: usize, d: f64) -> f64 {
+    let blocks = (m / bs) as f64 * (k / bs) as f64 * d;
+    2.0 * (bs * bs * n) as f64 * blocks
+}
+
+/// Expected total communication volume (bytes, writes + reads) of the
+/// block-level SpMM under `algo` with `p` warps.
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_expected_volume(
+    algo: Algo,
+    m: usize,
+    n: usize,
+    k: usize,
+    bs: usize,
+    d: f64,
+    p: usize,
+    s_e: f64,
+) -> f64 {
+    let g = match algo {
+        Algo::OneD => p as f64,
+        Algo::TwoD => (p as f64).sqrt(),
+        Algo::ThreeD => (p as f64).cbrt(),
+    };
+    // Dense-B traffic mirrors the dense formulas: B written once, read
+    // (readers) times.
+    let b_vol = (k * n) as f64 * s_e * g;
+    match algo {
+        // 1D never communicates A.
+        Algo::OneD => b_vol,
+        // 2D/3D broadcast A's nonzero blocks once (+ metadata), read by
+        // (g−1) warps.
+        Algo::TwoD | Algo::ThreeD => {
+            let a_blocks = (m / bs) as f64 * (k / bs) as f64 * d;
+            let a_vals = a_blocks * (bs * bs) as f64 * s_e;
+            let a_meta = metadata_bytes_est((m / bs) as f64, a_blocks);
+            b_vol + (a_vals + a_meta) * g
+        }
+    }
+}
+
+/// Expected block pairs of SpGEMM on two `n×n` operands with density `d`
+/// and block `bs`: every (i,l)×(l,j) meeting costs one `bs³` product.
+pub fn spgemm_expected_pairs(n: usize, bs: usize, d: f64) -> f64 {
+    let nb = (n / bs) as f64;
+    nb * nb * nb * d * d
+}
+
+/// Expected useful flops of SpGEMM.
+pub fn spgemm_expected_flops(n: usize, bs: usize, d: f64) -> f64 {
+    2.0 * (bs * bs * bs) as f64 * spgemm_expected_pairs(n, bs, d)
+}
+
+/// Expected nonzero blocks of the SpGEMM output: a block (i,j) is
+/// nonzero unless all `k/bs` inner meetings miss —
+/// `1 − (1 − d²)^(k/bs)` per block.
+pub fn spgemm_expected_output_blocks(n: usize, bs: usize, d: f64) -> f64 {
+    let nb = (n / bs) as f64;
+    nb * nb * (1.0 - (1.0 - d * d).powf(nb))
+}
+
+/// Rough total cycles of block-level SpMM: latency per stage plus the
+/// expected volume over the shared-memory bandwidth plus the expected
+/// compute (at the tensor-core rate; padding excluded, like the dense
+/// formulas).
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_expected_cycles(
+    algo: Algo,
+    m: usize,
+    n: usize,
+    k: usize,
+    bs: usize,
+    d: f64,
+    p: usize,
+    prm: &ModelParams,
+) -> f64 {
+    let stages = match algo {
+        Algo::OneD => p as f64,
+        Algo::TwoD => (p as f64).sqrt(),
+        Algo::ThreeD => (p as f64).cbrt(),
+    };
+    let vol = spmm_expected_volume(algo, m, n, k, bs, d, p, prm.s_e);
+    // The volume already contains the write+read split implicitly at
+    // θ=1; apportion with the configured factors on the read-heavy part.
+    let comm = vol / (prm.theta_r.min(prm.theta_w) * prm.b_sm);
+    let compute = spmm_expected_flops(m, n, k, bs, d) / (prm.n_tc * prm.o_tc);
+    prm.l_sm * stages + comm + compute
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_core::config::KamiConfig;
+    use kami_gpu_sim::{device::gh200, Matrix, Precision};
+
+    #[test]
+    fn density_one_recovers_dense_flops() {
+        assert_eq!(
+            spmm_expected_flops(64, 64, 64, 16, 1.0),
+            2.0 * 64.0 * 64.0 * 64.0
+        );
+        assert_eq!(spgemm_expected_flops(64, 16, 1.0), 2.0 * 64.0 * 64.0 * 64.0);
+    }
+
+    #[test]
+    fn expected_volume_matches_measured_spmm() {
+        // The generator produces *exactly* round(d·total) blocks, so the
+        // expectation is exact for it.
+        let dev = gh200();
+        let prec = Precision::Fp16;
+        let (n, bs, d) = (64usize, 16usize, 0.5);
+        for (algo, p) in [(Algo::OneD, 4usize), (Algo::TwoD, 4)] {
+            let order = if algo == Algo::OneD {
+                crate::BlockOrder::RowMajor
+            } else {
+                crate::BlockOrder::ZMorton
+            };
+            let a = crate::gen::random_block_sparse(n, n, bs, d, order, 9);
+            let b = Matrix::seeded_uniform(n, n, 10);
+            let cfg = KamiConfig::new(algo, prec).with_warps(p);
+            let res = crate::spmm::spmm(&dev, &cfg, &a, &b).unwrap();
+            let want = spmm_expected_volume(algo, n, n, n, bs, d, p, 2.0);
+            let got = res.report.comm_volume() as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.05, "{}: got {got} want {want}", algo.label());
+        }
+    }
+
+    #[test]
+    fn expected_pairs_matches_symbolic_on_average() {
+        let (n, bs, d) = (128usize, 16usize, 0.5);
+        let mut total = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let a = crate::gen::random_block_sparse(n, n, bs, d, crate::BlockOrder::RowMajor, seed);
+            let b = crate::gen::random_block_sparse(
+                n,
+                n,
+                bs,
+                d,
+                crate::BlockOrder::RowMajor,
+                1000 + seed,
+            );
+            total += crate::spgemm::symbolic(&a, &b).block_pairs as f64;
+        }
+        let avg = total / trials as f64;
+        let want = spgemm_expected_pairs(n, bs, d);
+        let rel = (avg - want).abs() / want;
+        assert!(rel < 0.15, "avg {avg} vs expected {want}");
+    }
+
+    #[test]
+    fn expected_output_blocks_bracket_reality() {
+        let (n, bs, d) = (128usize, 16usize, 0.3);
+        let a = crate::gen::random_block_sparse(n, n, bs, d, crate::BlockOrder::RowMajor, 3);
+        let b = crate::gen::random_block_sparse(n, n, bs, d, crate::BlockOrder::RowMajor, 4);
+        let sym = crate::spgemm::symbolic(&a, &b);
+        let want = spgemm_expected_output_blocks(n, bs, d);
+        let got = sym.nnz_blocks() as f64;
+        assert!(
+            (got - want).abs() / want < 0.35,
+            "got {got} expected {want}"
+        );
+    }
+
+    #[test]
+    fn spmm_cycle_estimate_tracks_simulator() {
+        let dev = gh200();
+        let prec = Precision::Fp16;
+        let prm = kami_core::model::cycles::ModelParams::from_device(&dev, prec).unwrap();
+        let (n, bs, d, p) = (128usize, 16usize, 0.5, 4usize);
+        let a = crate::gen::random_block_sparse(n, n, bs, d, crate::BlockOrder::RowMajor, 11);
+        let b = Matrix::seeded_uniform(n, n, 12);
+        let cfg = KamiConfig::new(Algo::OneD, prec).with_warps(p);
+        let res = crate::spmm::spmm(&dev, &cfg, &a, &b).unwrap();
+        let est = spmm_expected_cycles(Algo::OneD, n, n, n, bs, d, p, &prm);
+        let measured = res.report.on_chip_cycles();
+        let ratio = measured / est;
+        assert!(
+            (0.5..=2.5).contains(&ratio),
+            "measured {measured} vs estimate {est}"
+        );
+    }
+}

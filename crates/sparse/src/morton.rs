@@ -1,0 +1,124 @@
+//! Z-Morton (Z-order) curve encoding for block coordinates (paper §4.6,
+//! Fig 7(b)).
+//!
+//! The 2D/3D algorithms store nonzero blocks in multi-level Z-Morton
+//! order: any power-of-two-aligned quadrant of the block grid occupies a
+//! *contiguous* range of Morton codes, so a warp's submatrix is a single
+//! slice of the block array — the "efficient submatrix indexing" of
+//! Buluç et al. and Yzelman et al. that the paper builds on.
+
+/// Interleave the low 32 bits of `x` into even bit positions.
+fn spread(x: u64) -> u64 {
+    let mut x = x & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`].
+fn squash(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0xFFFF_FFFF;
+    x
+}
+
+/// Morton code of block coordinate `(row, col)`: row bits in odd
+/// positions, column bits in even positions.
+#[inline]
+pub fn encode(row: usize, col: usize) -> u64 {
+    (spread(row as u64) << 1) | spread(col as u64)
+}
+
+/// Inverse of [`encode`].
+#[inline]
+pub fn decode(code: u64) -> (usize, usize) {
+    (squash(code >> 1) as usize, squash(code) as usize)
+}
+
+/// Morton-code range `[lo, hi)` covering the aligned square
+/// `[row0, row0+extent) × [col0, col0+extent)`, where `row0`, `col0`, and
+/// `extent` are multiples of a power of two and `extent` is a power of
+/// two. Such quadrants are contiguous in Z-order.
+pub fn quadrant_range(row0: usize, col0: usize, extent: usize) -> (u64, u64) {
+    debug_assert!(extent.is_power_of_two(), "extent must be a power of two");
+    debug_assert!(row0.is_multiple_of(extent) && col0.is_multiple_of(extent), "unaligned quadrant");
+    let lo = encode(row0, col0);
+    (lo, lo + (extent * extent) as u64)
+}
+
+/// Sort block coordinates (with payload indices) into Z-Morton order;
+/// returns the permutation `perm` such that `coords[perm[i]]` is the
+/// `i`-th block in Z-order.
+pub fn sort_permutation(coords: &[(usize, usize)]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..coords.len()).collect();
+    perm.sort_by_key(|&i| encode(coords[i].0, coords[i].1));
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for r in 0..64 {
+            for c in 0..64 {
+                assert_eq!(decode(encode(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn z_order_of_first_quad() {
+        // Classic Z: (0,0) (0,1) (1,0) (1,1) -> 0 1 2 3.
+        assert_eq!(encode(0, 0), 0);
+        assert_eq!(encode(0, 1), 1);
+        assert_eq!(encode(1, 0), 2);
+        assert_eq!(encode(1, 1), 3);
+        assert_eq!(encode(0, 2), 4);
+    }
+
+    #[test]
+    fn quadrants_are_contiguous() {
+        let (lo, hi) = quadrant_range(2, 2, 2);
+        let mut codes: Vec<u64> = Vec::new();
+        for r in 2..4 {
+            for c in 2..4 {
+                codes.push(encode(r, c));
+            }
+        }
+        codes.sort_unstable();
+        assert_eq!(codes.first(), Some(&lo));
+        assert_eq!(codes.last(), Some(&(hi - 1)));
+        assert_eq!(codes.len() as u64, hi - lo);
+        // And no foreign block falls inside the range.
+        for r in 0..8 {
+            for c in 0..8 {
+                let code = encode(r, c);
+                let inside = (2..4).contains(&r) && (2..4).contains(&c);
+                assert_eq!((lo..hi).contains(&code), inside, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_permutation_orders_by_code() {
+        let coords = vec![(1, 1), (0, 0), (1, 0), (0, 1)];
+        let perm = sort_permutation(&coords);
+        let sorted: Vec<_> = perm.iter().map(|&i| coords[i]).collect();
+        assert_eq!(sorted, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn large_coordinates() {
+        let (r, c) = (123_456, 654_321);
+        assert_eq!(decode(encode(r, c)), (r, c));
+    }
+}

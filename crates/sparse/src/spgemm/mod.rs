@@ -1,0 +1,17 @@
+//! Communication-avoiding SpGEMM (paper §4.6): all three matrices
+//! block-sparse.
+//!
+//! Two phases, as in the paper:
+//! 1. a **symbolic** phase ([`symbolic()`]) — a separate "kernel" that
+//!    computes the nonzero-block structure of `C` with the classic sparse
+//!    accumulator of Gilbert et al., sizing the output before numeric
+//!    work;
+//! 2. a **numeric** phase ([`numeric`]) — the 1D/2D/3D CA compute
+//!    pattern, accumulating result blocks in registers with
+//!    Hong–Buluç-style index-driven pairing of A and B blocks.
+
+pub mod numeric;
+pub mod symbolic;
+
+pub use numeric::{spgemm, SpgemmResult};
+pub use symbolic::{symbolic, SymbolicResult};

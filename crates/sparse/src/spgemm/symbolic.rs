@@ -1,0 +1,163 @@
+//! Symbolic SpGEMM phase (paper §4.6): compute the block structure of
+//! `C = A·B` before any numeric work, using the classic sparse
+//! accumulator (SPA) of Gilbert, Moler & Schreiber.
+//!
+//! For each block row `i` of A, the SPA marks every block column `j`
+//! such that some `A(i,l)` meets a `B(l,j)`. The result sizes the numeric
+//! phase's register accumulators and the C allocation.
+
+use crate::bsr::BlockSparseMatrix;
+
+/// Output of the symbolic phase.
+#[derive(Debug, Clone)]
+pub struct SymbolicResult {
+    /// Block rows of C.
+    pub rows_blk: usize,
+    /// Block cols of C.
+    pub cols_blk: usize,
+    /// CSR row pointer over C's block rows.
+    pub rowptr: Vec<usize>,
+    /// Block column indices, ascending within each row.
+    pub colidx: Vec<usize>,
+    /// Number of block-pair multiplications the numeric phase will do
+    /// (Σ over l of nnz(A(:,l))·nnz-pairs) — the "compressed" flop count.
+    pub block_pairs: usize,
+}
+
+impl SymbolicResult {
+    /// Nonzero blocks of C.
+    pub fn nnz_blocks(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Block columns of C's block row `i`.
+    pub fn row(&self, i: usize) -> &[usize] {
+        &self.colidx[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Useful flops of the numeric phase at block size `bs`:
+    /// `2·bs³` per block pair.
+    pub fn useful_flops(&self, bs: usize) -> u64 {
+        2 * (bs * bs * bs) as u64 * self.block_pairs as u64
+    }
+}
+
+/// Run the SPA over the block patterns of `a` and `b`.
+///
+/// Panics if the inner block dimensions disagree.
+pub fn symbolic(a: &BlockSparseMatrix, b: &BlockSparseMatrix) -> SymbolicResult {
+    assert_eq!(
+        a.cols_blk(),
+        b.rows_blk(),
+        "inner block dimensions must agree"
+    );
+    assert_eq!(a.block_size(), b.block_size(), "block sizes must agree");
+    let rows = a.rows_blk();
+    let cols = b.cols_blk();
+    let mut rowptr = Vec::with_capacity(rows + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::new();
+    let mut block_pairs = 0usize;
+
+    // SPA: a dense marker array reused across rows (ages avoid clearing).
+    let mut mark = vec![usize::MAX; cols];
+    for i in 0..rows {
+        let mut row_cols: Vec<usize> = Vec::new();
+        for (l, _) in a.row_blocks(i) {
+            for (j, _) in b.row_blocks(l) {
+                block_pairs += 1;
+                if mark[j] != i {
+                    mark[j] = i;
+                    row_cols.push(j);
+                }
+            }
+        }
+        row_cols.sort_unstable();
+        colidx.extend_from_slice(&row_cols);
+        rowptr.push(colidx.len());
+    }
+
+    SymbolicResult {
+        rows_blk: rows,
+        cols_blk: cols,
+        rowptr,
+        colidx,
+        block_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsr::BlockOrder;
+    use crate::gen::random_block_sparse;
+    use kami_gpu_sim::Matrix;
+
+    fn diag(n_blocks: usize, bs: usize) -> BlockSparseMatrix {
+        let entries = (0..n_blocks)
+            .map(|i| ((i, i), Matrix::identity(bs)))
+            .collect();
+        BlockSparseMatrix::from_blocks(
+            n_blocks * bs,
+            n_blocks * bs,
+            bs,
+            BlockOrder::RowMajor,
+            entries,
+        )
+    }
+
+    #[test]
+    fn diagonal_times_diagonal_is_diagonal() {
+        let d = diag(4, 4);
+        let s = symbolic(&d, &d);
+        assert_eq!(s.nnz_blocks(), 4);
+        assert_eq!(s.block_pairs, 4);
+        for i in 0..4 {
+            assert_eq!(s.row(i), &[i]);
+        }
+        assert_eq!(s.useful_flops(4), 4 * 2 * 64);
+    }
+
+    #[test]
+    fn structure_matches_dense_pattern_product() {
+        let a = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 1);
+        let b = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 2);
+        let s = symbolic(&a, &b);
+        // Brute-force pattern product.
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = (0..4).any(|l| a.block_at(i, l).is_some() && b.block_at(l, j).is_some());
+                let got = s.row(i).contains(&j);
+                assert_eq!(got, want, "block ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_structure() {
+        let a = random_block_sparse(64, 64, 16, 0.0, BlockOrder::RowMajor, 1);
+        let b = random_block_sparse(64, 64, 16, 0.5, BlockOrder::RowMajor, 2);
+        let s = symbolic(&a, &b);
+        assert_eq!(s.nnz_blocks(), 0);
+        assert_eq!(s.block_pairs, 0);
+    }
+
+    #[test]
+    fn colidx_sorted_within_rows() {
+        let a = random_block_sparse(128, 128, 16, 0.6, BlockOrder::ZMorton, 3);
+        let b = random_block_sparse(128, 128, 16, 0.6, BlockOrder::ZMorton, 4);
+        let s = symbolic(&a, &b);
+        for i in 0..s.rows_blk {
+            let r = s.row(i);
+            assert!(r.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner block dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = random_block_sparse(64, 32, 16, 0.5, BlockOrder::RowMajor, 1);
+        let b = random_block_sparse(64, 64, 16, 0.5, BlockOrder::RowMajor, 2);
+        symbolic(&a, &b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Block-Jacobi iteration built on KAMI's batched GEMM — the
+//! "block-wise scientific solver" workload the paper's introduction
+//! motivates (§3.1).
+//!
+//! Solves `A x = rhs` for a block-diagonally-dominant system by
+//! splitting `A = D + R` (D = dense diagonal blocks) and iterating
+//! `x ← D⁻¹(rhs − R·x)`. Every iteration's `R·x` sweep is a batch of
+//! independent small GEMMs — exactly the throughput-critical pattern
+//! batched KAMI accelerates.
+//!
+//! ```text
+//! cargo run --release --example block_solver
+//! ```
+
+use kami::core::{batched_gemm, Algo, KamiConfig};
+use kami::prelude::*;
+
+const NB: usize = 8; // block grid: NB x NB blocks
+const BS: usize = 16; // block size
+
+fn main() {
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64).with_warps(4);
+
+    // Build a block-diagonally-dominant system.
+    let n = NB * BS;
+    let mut a = Matrix::seeded_uniform(n, n, 7);
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
+        a[(i, i)] += row_sum; // strict diagonal dominance
+    }
+    let x_true = Matrix::seeded_uniform(n, 1, 9);
+    let rhs = kami::core::reference_gemm_f64(&a, &x_true);
+
+    // Pre-invert the diagonal blocks (tiny Gauss-Jordan on the host —
+    // the solver substrate; the GEMM sweeps are the accelerated part).
+    let d_inv: Vec<Matrix> = (0..NB)
+        .map(|b| invert(&a.submatrix(b * BS, b * BS, BS, BS)))
+        .collect();
+
+    let mut x = Matrix::zeros(n, 1);
+    println!("block-Jacobi on {}x{} ({}x{} blocks of {})", n, n, NB, NB, BS);
+    let mut total_cycles = 0.0;
+    for iter in 0..60 {
+        // R·x as a batch of off-diagonal block GEMVs, padded to block
+        // width so the tensor-core path is exercised (x broadcast into a
+        // BS-wide tile; column 0 is the answer).
+        let mut pairs = Vec::new();
+        let mut coords = Vec::new();
+        for bi in 0..NB {
+            for bj in 0..NB {
+                if bi == bj {
+                    continue;
+                }
+                let blk = a.submatrix(bi * BS, bj * BS, BS, BS);
+                let xj = x.submatrix(bj * BS, 0, BS, 1);
+                let xt = Matrix::from_fn(BS, BS, |r, c| if c == 0 { xj[(r, 0)] } else { 0.0 });
+                pairs.push((blk, xt));
+                coords.push(bi);
+            }
+        }
+        let batch = batched_gemm(&dev, &cfg, &pairs).expect("batched sweep");
+        total_cycles += batch.total_cycles;
+
+        // x_new = D_inv * (rhs - R x) per block row.
+        let mut x_new = Matrix::zeros(n, 1);
+        for bi in 0..NB {
+            let mut acc = Matrix::from_fn(BS, 1, |r, _| rhs[(bi * BS + r, 0)]);
+            for (out, &row) in batch.outputs.iter().zip(&coords) {
+                if row == bi {
+                    for r in 0..BS {
+                        acc[(r, 0)] -= out[(r, 0)];
+                    }
+                }
+            }
+            let xb = kami::core::reference_gemm_f64(&d_inv[bi], &acc);
+            x_new.set_submatrix(bi * BS, 0, &xb);
+        }
+        x = x_new;
+
+        if iter % 10 == 0 || iter == 59 {
+            let err = x.rel_frobenius_error(&x_true);
+            println!("  iter {iter:>2}: rel error {err:.3e}");
+        }
+    }
+    let err = x.rel_frobenius_error(&x_true);
+    println!(
+        "\nconverged to rel error {err:.3e}; GEMM sweeps consumed {:.2} Mcycles\n\
+         of simulated device time ({:.1} µs on {})",
+        total_cycles / 1e6,
+        total_cycles / dev.clock_hz() * 1e6,
+        dev.name
+    );
+    assert!(err < 1e-6, "solver must converge");
+}
+
+/// Gauss-Jordan inverse of a small well-conditioned block.
+fn invert(m: &Matrix) -> Matrix {
+    let nn = m.rows();
+    let mut aug = Matrix::from_fn(nn, 2 * nn, |r, c| {
+        if c < nn {
+            m[(r, c)]
+        } else if c - nn == r {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    for col in 0..nn {
+        // Partial pivot.
+        let piv = (col..nn)
+            .max_by(|&x, &y| {
+                aug[(x, col)]
+                    .abs()
+                    .partial_cmp(&aug[(y, col)].abs())
+                    .unwrap()
+            })
+            .unwrap();
+        if piv != col {
+            for c in 0..2 * nn {
+                let t = aug[(col, c)];
+                aug[(col, c)] = aug[(piv, c)];
+                aug[(piv, c)] = t;
+            }
+        }
+        let d = aug[(col, col)];
+        for c in 0..2 * nn {
+            aug[(col, c)] /= d;
+        }
+        for r in 0..nn {
+            if r != col {
+                let f = aug[(r, col)];
+                for c in 0..2 * nn {
+                    aug[(r, c)] -= f * aug[(col, c)];
+                }
+            }
+        }
+    }
+    aug.submatrix(0, nn, nn, nn)
+}

@@ -1,0 +1,95 @@
+//! Low-rank reconstruction with the KAMI low-rank kernel — the
+//! "low-rank approximation" workload of §3.1 and the Fig 11 evaluation.
+//!
+//! Builds a matrix with rapidly decaying spectrum, extracts a rank-k
+//! factorization (power-iteration sketch on the host), and reconstructs
+//! `A ≈ U·V` with `kami::core::lowrank_gemm`, comparing cost against
+//! running the same product through the general square-GEMM kernel.
+//!
+//! ```text
+//! cargo run --release --example lowrank_approx
+//! ```
+
+use kami::core::{gemm_auto, lowrank_gemm, Algo, KamiConfig};
+use kami::prelude::*;
+
+const N: usize = 128;
+const RANK: usize = 16;
+
+fn main() {
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+
+    // A = Σ_i w_i · u_i v_iᵀ with geometrically decaying weights: an
+    // almost-rank-RANK matrix.
+    let us = Matrix::seeded_uniform(N, RANK + 8, 1);
+    let vs = Matrix::seeded_uniform(RANK + 8, N, 2);
+    let a = Matrix::from_fn(N, N, |r, c| {
+        (0..RANK + 8)
+            .map(|i| 0.5f64.powi(i as i32) * us[(r, i)] * vs[(i, c)])
+            .sum()
+    });
+
+    // Rank-RANK factors via a few rounds of orthogonal iteration.
+    let (u, v) = sketch_factors(&a, RANK);
+    let approx = kami::core::reference_gemm_f64(&u, &v);
+    let trunc_err = approx.rel_frobenius_error(&a);
+    println!(
+        "rank-{RANK} factorization of a {N}x{N} matrix: truncation error {trunc_err:.2e}"
+    );
+
+    // Reconstruct with the low-rank kernel (column-split 1D).
+    let cfg = KamiConfig::new(Algo::OneD, prec).with_warps(4);
+    let lr = lowrank_gemm(&dev, &cfg, &u, &v).expect("low-rank gemm");
+    println!(
+        "lowrank_gemm:    {:>8.0} cycles  {:>6.1} TFLOPS  V_cm = {} B (broadcasts U only)",
+        lr.report.cycles,
+        lr.block_tflops(&dev),
+        lr.report.comm_volume()
+    );
+
+    // Same product through the general k-splitting kernel, for contrast.
+    let gen = gemm_auto(&dev, &cfg, &u, &v).expect("general gemm");
+    println!(
+        "general gemm:    {:>8.0} cycles  {:>6.1} TFLOPS  V_cm = {} B",
+        gen.report.cycles,
+        gen.block_tflops(&dev),
+        gen.report.comm_volume()
+    );
+    println!(
+        "low-rank kernel advantage: {:.2}x fewer cycles (k stays MMA-aligned,\n\
+         only the thin factor is broadcast — §5.3's explanation)",
+        gen.report.cycles / lr.report.cycles
+    );
+
+    // Numerical sanity: FP16 reconstruction close to the f64 product.
+    let err = lr.c.rel_frobenius_error(&approx);
+    println!("FP16 reconstruction error vs exact product: {err:.2e}");
+    assert!(err < 1e-2);
+    assert!(lr.report.cycles <= gen.report.cycles);
+}
+
+/// Crude rank-k factorization: B = (A·Ω) orthonormalized by Gram-Schmidt,
+/// V = Bᵀ·A. Good enough for a decaying spectrum.
+fn sketch_factors(a: &Matrix, k: usize) -> (Matrix, Matrix) {
+    let omega = Matrix::seeded_uniform(a.cols(), k, 3);
+    let mut b = kami::core::reference_gemm_f64(a, &omega);
+    // Two passes of modified Gram-Schmidt.
+    for _ in 0..2 {
+        for j in 0..k {
+            for i in 0..j {
+                let dot: f64 = (0..b.rows()).map(|r| b[(r, i)] * b[(r, j)]).sum();
+                for r in 0..b.rows() {
+                    let bi = b[(r, i)];
+                    b[(r, j)] -= dot * bi;
+                }
+            }
+            let norm: f64 = (0..b.rows()).map(|r| b[(r, j)] * b[(r, j)]).sum::<f64>().sqrt();
+            for r in 0..b.rows() {
+                b[(r, j)] /= norm.max(1e-300);
+            }
+        }
+    }
+    let v = kami::core::reference_gemm_f64(&b.transposed(), a);
+    (b, v)
+}

@@ -1,0 +1,52 @@
+//! The same block GEMM across all four device models of Table 3 —
+//! KAMI's cross-vendor portability claim (CUDA / HIP / SYCL in the
+//! paper; four parameterizations of one simulator here).
+//!
+//! ```text
+//! cargo run --release --example multi_vendor
+//! ```
+
+use kami::core::{gemm_auto, Algo, KamiConfig};
+use kami::prelude::*;
+use kami::sim::native_shape;
+
+fn main() {
+    let n = 64;
+    let a = Matrix::seeded_uniform(n, n, 5);
+    let b = Matrix::seeded_uniform(n, n, 6);
+
+    println!("64x64x64 FP16 block GEMM, KAMI-1D, across Table 3 devices\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "device", "mma shape", "O_tc", "cycles", "comm(cy)", "TFLOPS"
+    );
+
+    let mut reference: Option<Matrix> = None;
+    for dev in DeviceSpec::all_evaluated() {
+        let shape = native_shape(dev.vendor, Precision::Fp16).expect("FP16 everywhere");
+        let otc = dev.ops_per_cycle_per_tc(Precision::Fp16).unwrap();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        let res = gemm_auto(&dev, &cfg, &a, &b).expect("gemm runs");
+        println!(
+            "{:<18} {:>10} {:>10.0} {:>10.0} {:>9.0} {:>8.1}",
+            dev.name,
+            shape.label(),
+            otc,
+            res.report.cycles,
+            res.report.totals.comm,
+            res.block_tflops(&dev),
+        );
+        // Same numerics regardless of vendor parameters (all FP16 paths
+        // quantize identically; only the cycle model differs).
+        match &reference {
+            None => reference = Some(res.c),
+            Some(c0) => assert_eq!(res.c.max_abs_diff(c0), 0.0),
+        }
+    }
+
+    println!(
+        "\nThroughput tracks each device's tensor throughput and shared-memory\n\
+         bandwidth (Intel's 16 banks halve B_sm — Fig 8(g)'s context), while\n\
+         the results are bit-identical: the algorithm is vendor-neutral."
+    );
+}

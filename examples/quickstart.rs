@@ -1,0 +1,46 @@
+//! Quickstart: multiply two 64×64 FP16 matrices with each KAMI algorithm
+//! on the simulated GH200 and print the cycle-accurate report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kami::prelude::*;
+
+fn main() {
+    let dev = device::gh200();
+    let a = Matrix::seeded_uniform(64, 64, 1);
+    let b = Matrix::seeded_uniform(64, 64, 2);
+
+    println!("C = A·B, 64x64x64 FP16 on {}\n", dev.name);
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>8}",
+        "algorithm", "warps", "cycles", "comm(cy)", "V_cm(bytes)", "TFLOPS"
+    );
+
+    let mut reference: Option<Matrix> = None;
+    for algo in [Algo::OneD, Algo::TwoD, Algo::ThreeD] {
+        let cfg = KamiConfig::new(algo, Precision::Fp16);
+        let res = gemm_auto(&dev, &cfg, &a, &b).expect("gemm runs");
+        println!(
+            "{:<10} {:>8} {:>10.0} {:>10.0} {:>12} {:>8.1}",
+            algo.label(),
+            cfg.warps,
+            res.report.cycles,
+            res.report.totals.comm,
+            res.report.comm_volume(),
+            res.block_tflops(&dev),
+        );
+        // All three algorithms compute the same product.
+        match &reference {
+            None => reference = Some(res.c),
+            Some(c0) => assert!(res.c.rel_frobenius_error(c0) < 1e-3),
+        }
+    }
+
+    println!(
+        "\nKAMI-1D broadcasts only B (V_cm = p·kn·s_e); 2D/3D broadcast both\n\
+         operands but in fewer stages — the communication-avoiding trade-off\n\
+         of the paper's Formulas 1-12."
+    );
+}

@@ -1,0 +1,32 @@
+//! # kami
+//!
+//! Facade crate of the KAMI workspace: communication-avoiding GEMM
+//! within a single (simulated) GPU, reproducing Wang et al.,
+//! *"KAMI: Communication-Avoiding General Matrix Multiplication within a
+//! Single GPU"* (SC '25).
+//!
+//! Re-exports the four member crates:
+//!
+//! * [`sim`] — the streaming-multiprocessor simulator substrate
+//!   (devices, precisions, warp programs, cycle engine);
+//! * [`core`] — the KAMI 1D/2D/3D algorithms, batched/low-rank
+//!   interfaces, and the clock-cycle analytic model;
+//! * [`sparse`] — Z-Morton block-sparse storage, SpMM, SpGEMM;
+//! * [`baselines`] — comparator strategies (cuBLASDx-, CUTLASS-,
+//!   cuBLAS-, MAGMA-, SYCL-Bench-style) on the same simulator.
+//!
+//! See `examples/quickstart.rs` for a first program.
+
+pub use kami_baselines as baselines;
+pub use kami_core as core;
+pub use kami_gpu_sim as sim;
+pub use kami_sparse as sparse;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use kami_core::{
+        batched_gemm, gemm, gemm_auto, gemm_padded, lowrank_gemm, Algo, KamiConfig, KamiError,
+    };
+    pub use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
+    pub use kami_sparse::{spgemm, spmm::spmm, BlockOrder, BlockSparseMatrix};
+}

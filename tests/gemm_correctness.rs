@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: every KAMI algorithm against the CPU
+//! oracle across precisions, sizes, shapes, and slicing configurations.
+
+use kami::core::{
+    gemm, gemm_auto, gemm_padded, lowrank_gemm, reference_gemm, reference_gemm_f64, Algo,
+    KamiConfig,
+};
+use kami::prelude::*;
+
+fn devices() -> Vec<DeviceSpec> {
+    DeviceSpec::all_evaluated().to_vec()
+}
+
+#[test]
+fn all_algorithms_match_oracle_across_precisions() {
+    let dev = device::gh200();
+    for prec in [Precision::Fp64, Precision::Fp16, Precision::Tf32, Precision::Fp8E4M3] {
+        let n = 32;
+        let a = Matrix::seeded_uniform(n, n, 1000);
+        let b = Matrix::seeded_uniform(n, n, 1001);
+        let want = reference_gemm(&a, &b, prec);
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, prec);
+            let res = gemm_auto(&dev, &cfg, &a, &b).unwrap_or_else(|e| {
+                panic!("{} {prec:?}: {e}", algo.label());
+            });
+            let tol = match prec {
+                Precision::Fp64 => 1e-13,
+                Precision::Fp8E4M3 => 0.2,
+                _ => 1e-2,
+            };
+            let err = res.c.rel_frobenius_error(&want);
+            assert!(err < tol, "{} {prec:?}: err {err}", algo.label());
+        }
+    }
+}
+
+#[test]
+fn every_device_computes_identical_fp16_results() {
+    let a = Matrix::seeded_uniform(64, 64, 2000);
+    let b = Matrix::seeded_uniform(64, 64, 2001);
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+    let mut first: Option<Matrix> = None;
+    for dev in devices() {
+        let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+        match &first {
+            None => first = Some(res.c),
+            Some(c) => assert_eq!(
+                res.c.max_abs_diff(c),
+                0.0,
+                "{} diverges from the first device",
+                dev.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn rectangular_and_padded_shapes() {
+    let dev = device::gh200();
+    let cases = [(24usize, 56usize, 40usize), (17, 3, 29), (1, 1, 1), (65, 66, 33)];
+    for (m, n, k) in cases {
+        let a = Matrix::seeded_uniform(m, k, (m * 1000 + n) as u64);
+        let b = Matrix::seeded_uniform(k, n, (k * 1000 + m) as u64);
+        let want = reference_gemm_f64(&a, &b);
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, Precision::Fp64);
+            let res = gemm_padded(&dev, &cfg, &a, &b)
+                .unwrap_or_else(|e| panic!("{} {m}x{n}x{k}: {e}", algo.label()));
+            assert_eq!((res.c.rows(), res.c.cols()), (m, n));
+            assert!(
+                res.c.max_abs_diff(&want) < 1e-12,
+                "{} {m}x{n}x{k}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn slicing_ladder_is_numerically_invisible() {
+    let dev = device::gh200();
+    let a = Matrix::seeded_uniform(64, 64, 3000);
+    let b = Matrix::seeded_uniform(64, 64, 3001);
+    let base = gemm(
+        &dev,
+        &KamiConfig::new(Algo::OneD, Precision::Fp16),
+        &a,
+        &b,
+    )
+    .unwrap();
+    for f in [0.25, 0.5, 0.75] {
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, Precision::Fp16).with_smem_fraction(f);
+            let res = gemm(&dev, &cfg, &a, &b).unwrap();
+            // 1D shares its accumulation order with the baseline run;
+            // 2D/3D agree among themselves at any fraction.
+            if algo == Algo::OneD {
+                assert_eq!(res.c.max_abs_diff(&base.c), 0.0, "1D f={f}");
+            } else {
+                let res0 = gemm(
+                    &dev,
+                    &KamiConfig::new(algo, Precision::Fp16),
+                    &a,
+                    &b,
+                )
+                .unwrap();
+                assert_eq!(res.c.max_abs_diff(&res0.c), 0.0, "{} f={f}", algo.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn low_rank_entry_point_consistent_with_general_gemm() {
+    let dev = device::gh200();
+    let u = Matrix::seeded_uniform(96, 16, 4000);
+    let v = Matrix::seeded_uniform(16, 96, 4001);
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16).with_warps(4);
+    let lr = lowrank_gemm(&dev, &cfg, &u, &v).unwrap();
+    let gen = gemm_auto(&dev, &cfg, &u, &v).unwrap();
+    let err = lr.c.rel_frobenius_error(&gen.c);
+    assert!(err < 1e-3, "column-split vs k-split disagree: {err}");
+    // The specialization must not be slower.
+    assert!(lr.report.cycles <= gen.report.cycles * 1.01);
+}
+
+#[test]
+fn gemm_reports_are_self_consistent() {
+    let dev = device::gh200();
+    let a = Matrix::seeded_uniform(64, 64, 5000);
+    let b = Matrix::seeded_uniform(64, 64, 5001);
+    for algo in Algo::ALL {
+        let cfg = KamiConfig::new(algo, Precision::Fp16);
+        let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+        let r = &res.report;
+        // Totals add up per phase.
+        let sum: f64 = r
+            .phase_costs
+            .iter()
+            .map(|p| p.comm + p.compute + p.global + p.reg)
+            .sum();
+        assert!((sum - (r.totals.comm + r.totals.compute + r.totals.global + r.totals.reg)).abs() < 1e-6);
+        // Serial-mode cycles equal the component sum.
+        assert!((r.cycles - sum).abs() < 1e-6, "{}", algo.label());
+        // Charged flops cover the useful work.
+        assert!(r.flops_charged >= res.useful_flops);
+        // Shared-memory footprint within device capacity.
+        assert!(r.smem_extent <= dev.smem_capacity);
+        // Register budget respected.
+        assert!(r.max_registers().measured_regs <= dev.max_regs_per_thread);
+    }
+}
+
+#[test]
+fn identity_and_zero_special_cases() {
+    let dev = device::gh200();
+    let n = 32;
+    let a = Matrix::seeded_uniform(n, n, 6000);
+    let id = Matrix::identity(n);
+    let zero = Matrix::zeros(n, n);
+    for algo in Algo::ALL {
+        let cfg = KamiConfig::new(algo, Precision::Fp64);
+        let res = gemm_auto(&dev, &cfg, &a, &id).unwrap();
+        assert!(res.c.max_abs_diff(&a) < 1e-14, "{} A·I != A", algo.label());
+        let res = gemm_auto(&dev, &cfg, &a, &zero).unwrap();
+        assert_eq!(res.c.frobenius_norm(), 0.0, "{} A·0 != 0", algo.label());
+    }
+}
+
+#[test]
+fn bf16_extension_runs_on_every_device() {
+    // BF16 is a beyond-the-paper precision: FP32 range, 8-bit mantissa.
+    let a = Matrix::seeded_uniform(32, 32, 7000);
+    let b = Matrix::seeded_uniform(32, 32, 7001);
+    let want = reference_gemm(&a, &b, Precision::Bf16);
+    for dev in devices() {
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Bf16);
+        let res = gemm_auto(&dev, &cfg, &a, &b).unwrap();
+        let err = res.c.rel_frobenius_error(&want);
+        assert!(err < 5e-2, "{}: err {err}", dev.name);
+    }
+    // Coarser mantissa than FP16 -> larger error against exact f64.
+    let exact = reference_gemm_f64(&a, &b);
+    let dev = device::gh200();
+    let bf = gemm_auto(&dev, &KamiConfig::new(Algo::OneD, Precision::Bf16), &a, &b).unwrap();
+    let fp = gemm_auto(&dev, &KamiConfig::new(Algo::OneD, Precision::Fp16), &a, &b).unwrap();
+    assert!(bf.c.rel_frobenius_error(&exact) > fp.c.rel_frobenius_error(&exact));
+}

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) on the core data structures and
+//! algorithm invariants.
+
+use kami::core::{gemm_padded, reference_gemm_f64, Algo, KamiConfig};
+use kami::prelude::*;
+use kami::sim::memory::shared::theta;
+use kami::sim::precision::fma_acc;
+use kami::sparse::{morton, BlockSparseMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization is idempotent and value-preserving for representable
+    /// values, at every precision.
+    #[test]
+    fn quantization_idempotent(x in -1e4f64..1e4, pi in 0usize..4) {
+        let prec = Precision::ALL_EVALUATED[pi];
+        let once = prec.round(x);
+        let twice = prec.round(once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Quantization is monotone: x <= y implies round(x) <= round(y).
+    #[test]
+    fn quantization_monotone(x in -1e3f64..1e3, d in 0.0f64..1e3, pi in 0usize..4) {
+        let prec = Precision::ALL_EVALUATED[pi];
+        prop_assert!(prec.round(x) <= prec.round(x + d));
+    }
+
+    /// fma_acc never exceeds the error of one rounding at the
+    /// accumulator precision.
+    #[test]
+    fn fma_rounding_bounded(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+        let exact = a.mul_add(b, c);
+        let got = fma_acc(Precision::Fp32, a, b, c);
+        let u = Precision::Fp32.unit_roundoff();
+        prop_assert!((got - exact).abs() <= exact.abs() * u + 1e-30);
+    }
+
+    /// Morton encode/decode round-trips arbitrary coordinates.
+    #[test]
+    fn morton_roundtrip(r in 0usize..(1 << 20), c in 0usize..(1 << 20)) {
+        prop_assert_eq!(morton::decode(morton::encode(r, c)), (r, c));
+    }
+
+    /// Morton order preserves quadrant containment: a coordinate is in
+    /// an aligned quadrant iff its code is in the quadrant's range.
+    #[test]
+    fn morton_quadrant_membership(
+        r in 0usize..256,
+        c in 0usize..256,
+        exp in 0u32..6,
+        qr in 0usize..8,
+        qc in 0usize..8,
+    ) {
+        let extent = 1usize << exp;
+        let (row0, col0) = (qr * extent, qc * extent);
+        let (lo, hi) = morton::quadrant_range(row0, col0, extent);
+        let code = morton::encode(r, c);
+        let inside = (row0..row0 + extent).contains(&r) && (col0..col0 + extent).contains(&c);
+        prop_assert_eq!((lo..hi).contains(&code), inside);
+    }
+
+    /// θ is always in (0, 1] and 1 for contiguous access.
+    #[test]
+    fn theta_bounds(elem in prop::sample::select(vec![1usize, 2, 4, 8]),
+                    stride_mult in 1usize..64) {
+        let t = theta(32, 32, 4, elem, elem * stride_mult);
+        prop_assert!(t > 0.0 && t <= 1.0);
+        if stride_mult == 1 {
+            prop_assert_eq!(t, 1.0);
+        }
+    }
+
+    /// Matrix transpose is an involution and preserves the Frobenius
+    /// norm.
+    #[test]
+    fn transpose_involution(rows in 1usize..20, cols in 1usize..20, seed in 0u64..1000) {
+        let m = Matrix::seeded_uniform(rows, cols, seed);
+        let t = m.transposed();
+        prop_assert_eq!(t.transposed(), m.clone());
+        prop_assert!((t.frobenius_norm() - m.frobenius_norm()).abs() < 1e-12);
+    }
+
+    /// Block-sparse dense round-trip is exact for any density/order.
+    #[test]
+    fn bsr_dense_roundtrip(seed in 0u64..500, density in 0.0f64..1.0, morton_order in any::<bool>()) {
+        let order = if morton_order { BlockOrder::RowMajor } else { BlockOrder::ZMorton };
+        let s = kami::sparse::gen::random_block_sparse(64, 64, 16, density, order, seed);
+        let d = s.to_dense();
+        let s2 = BlockSparseMatrix::from_dense(&d, 16, order, 0.0);
+        prop_assert!(s2.to_dense().max_abs_diff(&d) == 0.0);
+        prop_assert!(s2.nnz_blocks() <= s.nnz_blocks());
+    }
+
+    /// GEMM distributes over addition: A(B + C) = AB + AC (FP64 exact up
+    /// to accumulation reordering tolerance).
+    #[test]
+    fn gemm_distributive(seed in 0u64..200) {
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let a = Matrix::seeded_uniform(16, 16, seed);
+        let b = Matrix::seeded_uniform(16, 16, seed + 1);
+        let c = Matrix::seeded_uniform(16, 16, seed + 2);
+        let bc = Matrix::from_fn(16, 16, |r, cc| b[(r, cc)] + c[(r, cc)]);
+        let ab = gemm_padded(&dev, &cfg, &a, &b).unwrap().c;
+        let ac = gemm_padded(&dev, &cfg, &a, &c).unwrap().c;
+        let abc = gemm_padded(&dev, &cfg, &a, &bc).unwrap().c;
+        let sum = Matrix::from_fn(16, 16, |r, cc| ab[(r, cc)] + ac[(r, cc)]);
+        prop_assert!(abc.max_abs_diff(&sum) < 1e-10);
+    }
+
+    /// All three algorithms agree with the oracle on random rectangular
+    /// FP64 problems (padded entry point, so any shape is legal).
+    #[test]
+    fn algorithms_agree_on_random_shapes(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        seed in 0u64..100,
+        ai in 0usize..3,
+    ) {
+        let algo = Algo::ALL[ai];
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(algo, Precision::Fp64);
+        let a = Matrix::seeded_uniform(m, k, seed);
+        let b = Matrix::seeded_uniform(k, n, seed + 7);
+        let res = gemm_padded(&dev, &cfg, &a, &b).unwrap();
+        let want = reference_gemm_f64(&a, &b);
+        prop_assert!(res.c.max_abs_diff(&want) < 1e-11);
+    }
+
+    /// Communication volume is invariant under the data (only shapes
+    /// matter), and cycles are deterministic.
+    #[test]
+    fn cycles_deterministic_and_data_independent(seed in 0u64..100) {
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+        let a1 = Matrix::seeded_uniform(32, 32, seed);
+        let b1 = Matrix::seeded_uniform(32, 32, seed + 1);
+        let a2 = Matrix::seeded_uniform(32, 32, seed + 2);
+        let b2 = Matrix::seeded_uniform(32, 32, seed + 3);
+        let r1 = kami::core::gemm(&dev, &cfg, &a1, &b1).unwrap();
+        let r2 = kami::core::gemm(&dev, &cfg, &a2, &b2).unwrap();
+        prop_assert_eq!(r1.report.cycles, r2.report.cycles);
+        prop_assert_eq!(r1.report.comm_volume(), r2.report.comm_volume());
+    }
+}

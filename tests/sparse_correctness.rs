@@ -1,0 +1,163 @@
+//! Integration tests for the sparse extensions: SpMM and SpGEMM across
+//! algorithms, densities, and block orders, against dense oracles.
+
+use kami::core::{reference_gemm_f64, Algo, KamiConfig};
+use kami::prelude::*;
+use kami::sparse::{gen::random_block_sparse, spgemm::spgemm, spmm::spmm, BlockSparseMatrix};
+
+fn order_for(algo: Algo) -> BlockOrder {
+    if algo == Algo::OneD {
+        BlockOrder::RowMajor
+    } else {
+        BlockOrder::ZMorton
+    }
+}
+
+#[test]
+fn spmm_matches_dense_oracle_across_densities() {
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    for density in [0.1, 0.3, 0.5, 0.8, 1.0] {
+        for (algo, warps, n) in [(Algo::OneD, 4, 64), (Algo::TwoD, 4, 64), (Algo::ThreeD, 8, 128)]
+        {
+            let a = random_block_sparse(n, n, 16, density, order_for(algo), 77);
+            let b = Matrix::seeded_uniform(n, n, 78);
+            let cfg = KamiConfig::new(algo, prec).with_warps(warps);
+            let res = spmm(&dev, &cfg, &a, &b)
+                .unwrap_or_else(|e| panic!("{} d={density}: {e}", algo.label()));
+            let want = reference_gemm_f64(&a.to_dense(), &b);
+            let err = res.c.rel_frobenius_error(&want);
+            assert!(err < 1e-2, "{} d={density}: err {err}", algo.label());
+        }
+    }
+}
+
+#[test]
+fn spgemm_matches_dense_oracle() {
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    for (algo, warps, n) in [(Algo::OneD, 4, 64), (Algo::TwoD, 4, 64), (Algo::ThreeD, 8, 128)] {
+        let a = random_block_sparse(n, n, 16, 0.5, order_for(algo), 81);
+        let b = random_block_sparse(n, n, 16, 0.5, order_for(algo), 82);
+        let cfg = KamiConfig::new(algo, prec).with_warps(warps);
+        let res = spgemm(&dev, &cfg, &a, &b)
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.label()));
+        let want = reference_gemm_f64(&a.to_dense(), &b.to_dense());
+        let err = res.c.to_dense().rel_frobenius_error(&want);
+        assert!(err < 1e-2, "{}: err {err}", algo.label());
+    }
+}
+
+#[test]
+fn spgemm_structure_is_superset_of_values() {
+    // Every nonzero of the value product appears within the symbolic
+    // structure — and the structure never misses a block.
+    let dev = device::gh200();
+    let a = random_block_sparse(64, 64, 16, 0.4, BlockOrder::RowMajor, 91);
+    let b = random_block_sparse(64, 64, 16, 0.4, BlockOrder::RowMajor, 92);
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+    let res = spgemm(&dev, &cfg, &a, &b).unwrap();
+    let dense = reference_gemm_f64(&a.to_dense(), &b.to_dense());
+    for br in 0..4 {
+        for bc in 0..4 {
+            let block = dense.submatrix(br * 16, bc * 16, 16, 16);
+            let has_values = block.frobenius_norm() > 1e-9;
+            let in_structure = res.c.block_at(br, bc).is_some();
+            assert!(
+                !has_values || in_structure,
+                "block ({br},{bc}) has values but no structure"
+            );
+        }
+    }
+}
+
+#[test]
+fn spmm_beats_equivalent_dense_gemm_in_cycles_at_half_density() {
+    // Skipping half the blocks must save real simulated time.
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    let n = 128;
+    let half = random_block_sparse(n, n, 16, 0.5, BlockOrder::RowMajor, 93);
+    let full = random_block_sparse(n, n, 16, 1.0, BlockOrder::RowMajor, 93);
+    let b = Matrix::seeded_uniform(n, n, 94);
+    let cfg = KamiConfig::new(Algo::OneD, prec).with_warps(8);
+    let rh = spmm(&dev, &cfg, &half, &b).unwrap();
+    let rf = spmm(&dev, &cfg, &full, &b).unwrap();
+    assert!(
+        rh.report.cycles < rf.report.cycles,
+        "sparse {} !< dense {}",
+        rh.report.cycles,
+        rf.report.cycles
+    );
+}
+
+#[test]
+fn morton_and_rowmajor_agree_numerically() {
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    let n = 64;
+    let dense_src = random_block_sparse(n, n, 16, 0.5, BlockOrder::RowMajor, 95).to_dense();
+    let am = BlockSparseMatrix::from_dense(&dense_src, 16, BlockOrder::ZMorton, 0.0);
+    let ar = BlockSparseMatrix::from_dense(&dense_src, 16, BlockOrder::RowMajor, 0.0);
+    let b = Matrix::seeded_uniform(n, n, 96);
+    let cfg = KamiConfig::new(Algo::TwoD, prec).with_warps(4);
+    let rm = spmm(&dev, &cfg, &am, &b).unwrap();
+    let rr = spmm(&dev, &cfg, &ar, &b).unwrap();
+    assert_eq!(rm.c.max_abs_diff(&rr.c), 0.0);
+}
+
+#[test]
+fn empty_and_diagonal_edge_cases() {
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+    // Empty A -> zero C, zero useful flops.
+    let empty = random_block_sparse(64, 64, 16, 0.0, BlockOrder::RowMajor, 1);
+    let b = Matrix::seeded_uniform(64, 64, 2);
+    let res = spmm(&dev, &cfg, &empty, &b).unwrap();
+    assert_eq!(res.c.frobenius_norm(), 0.0);
+    assert_eq!(res.useful_flops, 0);
+    // Block-diagonal identity -> C == B.
+    let entries = (0..4).map(|i| ((i, i), Matrix::identity(16))).collect();
+    let eye = BlockSparseMatrix::from_blocks(64, 64, 16, BlockOrder::RowMajor, entries);
+    let res = spmm(&dev, &cfg, &eye, &b).unwrap();
+    let want = b.quantized(Precision::Fp16);
+    assert!(res.c.rel_frobenius_error(&want) < 1e-3);
+}
+
+#[test]
+fn nondefault_block_sizes_work() {
+    // The paper's block size is "user-configurable, default 16x16"
+    // (§4.6): exercise 8 and 32.
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    for bs in [8usize, 32] {
+        let n = bs * 4;
+        let a = random_block_sparse(n, n, bs, 0.5, BlockOrder::ZMorton, 500 + bs as u64);
+        let b = Matrix::seeded_uniform(n, n, 600 + bs as u64);
+        let cfg = KamiConfig::new(Algo::TwoD, prec).with_warps(4);
+        let res = spmm(&dev, &cfg, &a, &b).unwrap_or_else(|e| panic!("bs={bs}: {e}"));
+        let want = reference_gemm_f64(&a.to_dense(), &b);
+        let err = res.c.rel_frobenius_error(&want);
+        assert!(err < 1e-2, "bs={bs}: err {err}");
+        // bs=8 pads the FP16 m16n8k16 instruction; bs=32 tiles it exactly.
+        if bs == 32 {
+            assert_eq!(res.report.flops_charged, res.useful_flops);
+        } else {
+            assert!(res.report.flops_charged > res.useful_flops);
+        }
+    }
+}
+
+#[test]
+fn spgemm_nondefault_block_size() {
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    let bs = 32;
+    let n = bs * 4;
+    let a = random_block_sparse(n, n, bs, 0.5, BlockOrder::RowMajor, 700);
+    let b = random_block_sparse(n, n, bs, 0.5, BlockOrder::RowMajor, 701);
+    let cfg = KamiConfig::new(Algo::OneD, prec).with_warps(4);
+    let res = spgemm(&dev, &cfg, &a, &b).unwrap();
+    let want = reference_gemm_f64(&a.to_dense(), &b.to_dense());
+    assert!(res.c.to_dense().rel_frobenius_error(&want) < 1e-2);
+}
