@@ -74,10 +74,7 @@ mod tests {
         let b = Matrix::seeded_uniform(16, 16, 2);
         let res = gemm(&dev, Precision::Fp64, &a, &b).unwrap();
         // Padded 64x64x32 work for a 16³ problem: 32x flop waste.
-        assert_eq!(
-            res.report.flops_charged,
-            2 * 64 * 64 * 32,
-        );
+        assert_eq!(res.report.flops_charged, 2 * 64 * 64 * 32,);
         assert_eq!(res.useful_flops, 2 * 16 * 16 * 16);
     }
 

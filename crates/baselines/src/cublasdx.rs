@@ -34,7 +34,9 @@ pub fn gemm(
     let n = b.cols();
     if m % p != 0 || k % p != 0 || k % TK != 0 {
         return Err(KamiError::Indivisible {
-            detail: format!("cuBLASDx-style kernel needs p | m, p | k, {TK} | k (got {m}x{n}x{k}, p={p})"),
+            detail: format!(
+                "cuBLASDx-style kernel needs p | m, p | k, {TK} | k (got {m}x{n}x{k}, p={p})"
+            ),
         });
     }
     run_gemm_kernel(device, prec, prec, a, b, |ab, bb, cb| {

@@ -79,7 +79,7 @@ fn build_kernel(
     let se = prec.size_bytes();
     let acc = prec.accumulator();
     let strip = tm / p; // warp's row strip within the tile
-    // Double-buffered A and B k-tiles, then the C epilogue area.
+                        // Double-buffered A and B k-tiles, then the C epilogue area.
     let a_buf_bytes = tm * tk * se;
     let b_buf_bytes = tk * tn * se;
     let a_addr = |buf: usize| buf * (a_buf_bytes + b_buf_bytes);
@@ -188,7 +188,10 @@ mod tests {
         let kami = kami_core::gemm_auto(&dev, &cfg, &a, &b).unwrap();
         let ratio = kami.block_tflops(&dev) / res.block_tflops(&dev);
         // Paper (Fig 8b): up to 10.31x over CUTLASS for FP16 on GH200.
-        assert!(ratio > 5.0, "KAMI/CUTLASS ratio {ratio:.1} should be large at 16³");
+        assert!(
+            ratio > 5.0,
+            "KAMI/CUTLASS ratio {ratio:.1} should be large at 16³"
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@
 use crate::common::{pad_matrix, round_up, BaselineResult};
 use kami_core::error::KamiError;
 use kami_core::schedule_cycles;
-use kami_gpu_sim::{
-    BlockKernel, CostConfig, DeviceSpec, Engine, GlobalMemory, Matrix, Precision,
-};
+use kami_gpu_sim::{BlockKernel, CostConfig, DeviceSpec, Engine, GlobalMemory, Matrix, Precision};
 
 /// Small-size-aware tile.
 pub const TILE: (usize, usize, usize) = (32, 32, 16);

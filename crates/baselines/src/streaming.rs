@@ -30,7 +30,10 @@ pub fn gemm(
     a: &Matrix,
     b: &Matrix,
 ) -> Result<BaselineResult, KamiError> {
-    assert!(tm.is_multiple_of(p) && tk.is_multiple_of(p) && tk.is_multiple_of(STEP), "tile/warp mismatch");
+    assert!(
+        tm.is_multiple_of(p) && tk.is_multiple_of(p) && tk.is_multiple_of(STEP),
+        "tile/warp mismatch"
+    );
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     let (mp, np, kp) = (round_up(m, tm), round_up(n, tn), round_up(k, tk));

@@ -32,7 +32,9 @@ pub fn gemm(
     let n = b.cols();
     if m % p != 0 || k % p != 0 || k % TK != 0 {
         return Err(KamiError::Indivisible {
-            detail: format!("SYCL-Bench-style kernel needs p | m, p | k, {TK} | k (got {m}x{n}x{k}, p={p})"),
+            detail: format!(
+                "SYCL-Bench-style kernel needs p | m, p | k, {TK} | k (got {m}x{n}x{k}, p={p})"
+            ),
         });
     }
     let cost = CostConfig::default().with_mma_efficiency(SCALAR_EFFICIENCY);

@@ -25,8 +25,8 @@ fn arg(name: &str) -> Option<String> {
 
 fn main() {
     let dev: DeviceSpec = if let Some(path) = arg("--device-file") {
-        let json = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let json =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         DeviceSpec::from_json(&json).unwrap_or_else(|e| panic!("bad device spec: {e}"))
     } else {
         match arg("--device").as_deref() {
@@ -88,22 +88,34 @@ fn main() {
     println!("  register copies:     {:>10.1}", r.totals.reg);
     println!("phases: {}", r.phase_costs.len());
     println!();
-    println!("shared memory: {} B written, {} B read, {} B footprint",
-        r.smem_bytes_written, r.smem_bytes_read, r.smem_extent);
-    println!("global memory: {} B read, {} B written",
-        r.gmem_bytes_read, r.gmem_bytes_written);
-    println!("registers/thread: {} measured ({} theoretical), limit {}",
+    println!(
+        "shared memory: {} B written, {} B read, {} B footprint",
+        r.smem_bytes_written, r.smem_bytes_read, r.smem_extent
+    );
+    println!(
+        "global memory: {} B read, {} B written",
+        r.gmem_bytes_read, r.gmem_bytes_written
+    );
+    println!(
+        "registers/thread: {} measured ({} theoretical), limit {}",
         r.max_registers().measured_regs,
         r.max_registers().theoretical_regs,
-        dev.max_regs_per_thread);
-    println!("flops: {} charged / {} useful ({:.1}% padding)",
+        dev.max_regs_per_thread
+    );
+    println!(
+        "flops: {} charged / {} useful ({:.1}% padding)",
         r.flops_charged,
         res.useful_flops,
-        100.0 * (r.flops_charged as f64 / res.useful_flops as f64 - 1.0));
+        100.0 * (r.flops_charged as f64 / res.useful_flops as f64 - 1.0)
+    );
     println!("smem fraction actually used: {}", res.smem_fraction);
     println!();
-    println!("block-level throughput: {:.1} TFLOPS ({} SMs at {} MHz)",
-        res.block_tflops(&dev), dev.num_sms, dev.boost_clock_mhz);
+    println!(
+        "block-level throughput: {:.1} TFLOPS ({} SMs at {} MHz)",
+        res.block_tflops(&dev),
+        dev.num_sms,
+        dev.boost_clock_mhz
+    );
 
     let occ = kami_gpu_sim::analyze_occupancy(&dev, r, res.useful_flops);
     println!(
@@ -117,9 +129,13 @@ fn main() {
         let t_comp = cycles::t_all_compute(m, n, k, &prm);
         println!();
         println!("analytic model (Formulas 1-12, unparked, unpadded):");
-        println!("  comm {:.1} (measured {:.1}), compute {:.1} (measured {:.1})",
-            t_comm, r.totals.comm, t_comp, r.totals.compute);
-        println!("  per-stage V_cm: {} B",
-            cycles::v_cm_per_stage(algo, m, n, k, cfg.warps, prm.s_e) as u64);
+        println!(
+            "  comm {:.1} (measured {:.1}), compute {:.1} (measured {:.1})",
+            t_comm, r.totals.comm, t_comp, r.totals.compute
+        );
+        println!(
+            "  per-stage V_cm: {} B",
+            cycles::v_cm_per_stage(algo, m, n, k, cfg.warps, prm.s_e) as u64
+        );
     }
 }

@@ -40,7 +40,9 @@ fn main() {
         Algo::ThreeD => kami_core::algo3d::build_kernel(&cfg, n, n, n, ab, bb, cb, prec),
     };
 
-    let (report, trace) = Engine::new(&dev).run_traced(&kernel, &mut gmem).expect("runs");
+    let (report, trace) = Engine::new(&dev)
+        .run_traced(&kernel, &mut gmem)
+        .expect("runs");
     std::fs::write(&out, trace.to_chrome_json()).expect("write trace");
     println!(
         "{} {}x{}x{} on {}: {:.0} cycles, {} events -> {}",
@@ -56,7 +58,18 @@ fn main() {
     println!("open in chrome://tracing or https://ui.perfetto.dev");
     // Terminal summary per category.
     use kami_gpu_sim::TraceKind::*;
-    for kind in [GlobalLoad, SharedStore, SharedLoad, Mma, RegCopy, GlobalStore] {
-        println!("  {:<11} {:>10.1} warp-cycles", kind.label(), trace.cycles_by_kind(kind));
+    for kind in [
+        GlobalLoad,
+        SharedStore,
+        SharedLoad,
+        Mma,
+        RegCopy,
+        GlobalStore,
+    ] {
+        println!(
+            "  {:<11} {:>10.1} warp-cycles",
+            kind.label(),
+            trace.cycles_by_kind(kind)
+        );
     }
 }

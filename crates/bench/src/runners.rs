@@ -25,7 +25,10 @@ fn seeded_pair(n: usize, k: usize) -> (Matrix, Matrix) {
 /// divisors, largest first).
 fn warp_candidates(algo: Algo, n: usize) -> Vec<usize> {
     match algo {
-        Algo::OneD => (1..=16usize).rev().filter(|p| n.is_multiple_of(*p)).collect(),
+        Algo::OneD => (1..=16usize)
+            .rev()
+            .filter(|p| n.is_multiple_of(*p))
+            .collect(),
         Algo::TwoD => (1..=4usize)
             .rev()
             .filter(|&q| n.is_multiple_of(q))
@@ -161,7 +164,11 @@ pub fn fig3_cublasdx_curve() -> Table {
 pub fn fig8_panel(dev: &DeviceSpec, prec: Precision) -> Table {
     let sizes = paper_orders(prec);
     let mut t = Table::new(
-        format!("Fig 8: block-level {} square GEMM on {}", prec.label(), dev.name),
+        format!(
+            "Fig 8: block-level {} square GEMM on {}",
+            prec.label(),
+            dev.name
+        ),
         "n",
         "TFLOPS",
         sizes.clone(),
@@ -169,14 +176,20 @@ pub fn fig8_panel(dev: &DeviceSpec, prec: Precision) -> Table {
     for algo in Algo::ALL {
         t.push_series(
             algo.label(),
-            sizes.iter().map(|&n| kami_point(dev, algo, prec, n)).collect(),
+            sizes
+                .iter()
+                .map(|&n| kami_point(dev, algo, prec, n))
+                .collect(),
         );
     }
     match dev.vendor {
         kami_gpu_sim::Vendor::Nvidia => {
             t.push_series(
                 "cuBLASDx",
-                sizes.iter().map(|&n| cublasdx_point(dev, prec, n)).collect(),
+                sizes
+                    .iter()
+                    .map(|&n| cublasdx_point(dev, prec, n))
+                    .collect(),
             );
             t.push_series(
                 "CUTLASS",
@@ -356,7 +369,9 @@ pub fn fig11_lowrank(k: usize) -> Table {
                 let u = Matrix::seeded_uniform(m, k, 0x10);
                 let v = Matrix::seeded_uniform(k, m, 0x11);
                 // Largest warp count its layout accepts.
-                let p = (1..=4usize).rev().find(|p| m % p == 0 && k.is_multiple_of(*p))?;
+                let p = (1..=4usize)
+                    .rev()
+                    .find(|p| m % p == 0 && k.is_multiple_of(*p))?;
                 cublasdx::gemm(&dev, prec, p, &u, &v)
                     .ok()
                     .map(|r| r.block_tflops(&dev))
@@ -448,8 +463,18 @@ pub fn fig13_sparse() -> (Table, Table) {
     let dev = device::gh200();
     let prec = Precision::Fp16;
     let sizes = vec![32, 64, 96, 128, 192];
-    let mut tm = Table::new("Fig 13: SpMM FP16, 50% block sparsity (GH200)", "n", "TFLOPS", sizes.clone());
-    let mut tg = Table::new("Fig 13: SpGEMM FP16, 50% block sparsity (GH200)", "n", "TFLOPS", sizes.clone());
+    let mut tm = Table::new(
+        "Fig 13: SpMM FP16, 50% block sparsity (GH200)",
+        "n",
+        "TFLOPS",
+        sizes.clone(),
+    );
+    let mut tg = Table::new(
+        "Fig 13: SpGEMM FP16, 50% block sparsity (GH200)",
+        "n",
+        "TFLOPS",
+        sizes.clone(),
+    );
 
     let sparse_candidates = |algo: Algo, rb: usize, n: usize| -> Vec<usize> {
         match algo {

@@ -12,7 +12,10 @@ fn fig9_block_size_shape() {
     // x = [64, 128, 256, 512, 1024] threads.
     // 2D at 64 threads lands near half of 1D (paper: 54.22%).
     let ratio = get("KAMI-2D", 0) / get("KAMI-1D", 0);
-    assert!((0.35..0.75).contains(&ratio), "2D/1D at 64 threads = {ratio:.2}");
+    assert!(
+        (0.35..0.75).contains(&ratio),
+        "2D/1D at 64 threads = {ratio:.2}"
+    );
     // 3D is flat-low until 256 threads, then jumps.
     let jump = get("KAMI-3D", 2) / get("KAMI-3D", 1);
     assert!(jump > 2.0, "3D jump at 256 threads = {jump:.2}");
@@ -53,7 +56,10 @@ fn onchip_usage_ordering() {
         .iter()
         .map(|l| smem(l))
         .fold(f64::MIN, f64::max);
-    assert!(kami_max <= 8.0, "KAMI smem {kami_max:.1} KB should be <= 8 KB");
+    assert!(
+        kami_max <= 8.0,
+        "KAMI smem {kami_max:.1} KB should be <= 8 KB"
+    );
     assert!(smem("cuBLASDx") > kami_max);
     assert!(smem("CUTLASS") > smem("cuBLASDx"));
 }

@@ -41,7 +41,10 @@ pub const SLICE_K: usize = 16;
 
 /// Largest divisor of `ki` no bigger than [`SLICE_K`].
 fn slice_height(ki: usize) -> usize {
-    (1..=SLICE_K.min(ki)).rev().find(|s| ki.is_multiple_of(*s)).unwrap_or(1)
+    (1..=SLICE_K.min(ki))
+        .rev()
+        .find(|s| ki.is_multiple_of(*s))
+        .unwrap_or(1)
 }
 
 /// Rows of `B_i` parked in shared memory for a fraction `f`, quantized
@@ -193,11 +196,11 @@ fn build_sliced(
                 // parked rows re-staged behind them.
                 w.shared_store(b_own, map.b_addr(0));
                 for s in 0..b_park / slice {
-                    w.shared_load(
+                    w.shared_load(b_slice, map.park_addr(i, b_park_base + s * slice_bytes));
+                    w.shared_store(
                         b_slice,
-                        map.park_addr(i, b_park_base + s * slice_bytes),
+                        map.b_addr(0) + tile_bytes(b_reg, n, prec) + s * slice_bytes,
                     );
-                    w.shared_store(b_slice, map.b_addr(0) + tile_bytes(b_reg, n, prec) + s * slice_bytes);
                 }
             }
             if z >= reg_chunks {
@@ -214,7 +217,13 @@ fn build_sliced(
                 if z < reg_chunks {
                     w.mma_a_cols(c_i, a_reg, b_slice, z * ki + s * slice, slice);
                 } else {
-                    w.mma_a_cols(c_i, a_stage.expect("parked stage"), b_slice, s * slice, slice);
+                    w.mma_a_cols(
+                        c_i,
+                        a_stage.expect("parked stage"),
+                        b_slice,
+                        s * slice,
+                        slice,
+                    );
                 }
             }
             w.barrier();

@@ -21,9 +21,7 @@ use crate::error::KamiError;
 use crate::gemm::{c_precision, GemmResult};
 use crate::layout::{tile_bytes, SmemMap};
 use crate::model::cycles::ModelParams;
-use kami_gpu_sim::{
-    BlockKernel, BufferId, DeviceSpec, Engine, GlobalMemory, Matrix, Precision,
-};
+use kami_gpu_sim::{BlockKernel, BufferId, DeviceSpec, Engine, GlobalMemory, Matrix, Precision};
 
 /// Configuration of a 2.5D block GEMM: a `q×q` grid replicated over `c`
 /// layers (`p = c·q²` warps).
@@ -80,7 +78,10 @@ impl Kami25dConfig {
                 ),
             });
         }
-        if !m.is_multiple_of(self.q) || !n.is_multiple_of(self.q) || !k.is_multiple_of(self.c * self.q) {
+        if !m.is_multiple_of(self.q)
+            || !n.is_multiple_of(self.q)
+            || !k.is_multiple_of(self.c * self.q)
+        {
             return Err(KamiError::Indivisible {
                 detail: format!(
                     "2.5D with q={}, c={} needs q | m, q | n, c·q | k (got {m}x{n}x{k})",
@@ -240,10 +241,7 @@ mod tests {
                 continue;
             }
             let res = run_25d(n, q, c, Precision::Fp64);
-            assert!(
-                res.c.max_abs_diff(&want) < 1e-12,
-                "q={q} c={c}"
-            );
+            assert!(res.c.max_abs_diff(&want) < 1e-12, "q={q} c={c}");
         }
     }
 
@@ -308,7 +306,7 @@ mod tests {
         let n = 64;
         let t_2d = t_all_25d(n, n, n, 4, 1, &prm); // 16 warps, 4 stages
         let t_25 = t_all_25d(n, n, n, 2, 2, &prm); // 8 warps, 2 stages
-        // Fewer stages -> less latency; same asymptotic volume.
+                                                   // Fewer stages -> less latency; same asymptotic volume.
         assert!(t_25 < t_2d, "{t_25} !< {t_2d}");
     }
 

@@ -26,14 +26,16 @@ use crate::config::KamiConfig;
 use crate::layout::{grid_pos, split_chunks, tile_bytes, SmemMap};
 use kami_gpu_sim::{BlockKernel, BufferId, Precision};
 
-
 /// Height of the staging slice used to move `rows` parked rows through
 /// registers. Staging is pure data movement (the MMA operands are the
 /// assembled `ARecv`/`BRecv`), so a small slice costs no extra latency
 /// or bandwidth — the largest divisor of `rows` no bigger than 8 keeps
 /// the staging fragment tiny.
 fn park_slice(rows: usize) -> usize {
-    (1..=8usize.min(rows)).rev().find(|h| rows.is_multiple_of(*h)).unwrap_or(1)
+    (1..=8usize.min(rows))
+        .rev()
+        .find(|h| rows.is_multiple_of(*h))
+        .unwrap_or(1)
 }
 
 /// Shared-memory address map of a 2D kernel: `q` broadcast regions for A

@@ -32,14 +32,16 @@ use crate::config::KamiConfig;
 use crate::layout::{cube_pos, split_chunks, tile_bytes, SmemMap};
 use kami_gpu_sim::{BlockKernel, BufferId, Precision};
 
-
 /// Height of the staging slice used to move `rows` parked rows through
 /// registers. Staging is pure data movement (the MMA operands are the
 /// assembled `ARecv`/`BRecv`), so a small slice costs no extra latency
 /// or bandwidth — the largest divisor of `rows` no bigger than 8 keeps
 /// the staging fragment tiny.
 fn park_slice(rows: usize) -> usize {
-    (1..=8usize.min(rows)).rev().find(|h| rows.is_multiple_of(*h)).unwrap_or(1)
+    (1..=8usize.min(rows))
+        .rev()
+        .find(|h| rows.is_multiple_of(*h))
+        .unwrap_or(1)
 }
 
 /// Shared-memory address map of a 3D kernel: `q²` A regions (one per
@@ -272,8 +274,7 @@ mod tests {
         let abuf = gmem.upload("A", &a, Precision::Fp16);
         let bbuf = gmem.upload("B", &b, Precision::Fp16);
         let cbuf = gmem.alloc_zeroed("C", n, n, Precision::Fp32);
-        let kern =
-            crate::algo2d::build_kernel(&cfg2, n, n, n, abuf, bbuf, cbuf, Precision::Fp32);
+        let kern = crate::algo2d::build_kernel(&cfg2, n, n, n, abuf, bbuf, cbuf, Precision::Fp32);
         let r2 = Engine::new(&dev).run(&kern, &mut gmem).unwrap();
         // Same write volume (A and B once each)...
         assert_eq!(r2.smem_bytes_written, r3.smem_bytes_written);

@@ -277,7 +277,12 @@ mod tests {
     fn varied_batch_outputs_match_reference() {
         let dev = gh200();
         let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
-        let shapes = [(16usize, 16usize, 16usize), (24, 8, 12), (32, 32, 32), (10, 50, 7)];
+        let shapes = [
+            (16usize, 16usize, 16usize),
+            (24, 8, 12),
+            (32, 32, 32),
+            (10, 50, 7),
+        ];
         let pairs: Vec<_> = shapes
             .iter()
             .enumerate()

@@ -169,9 +169,18 @@ fn apply_epilogue(
         let ops = std::mem::take(&mut w.ops);
         for op in ops {
             match op {
-                Op::GlobalStore { src, buf, row0, col0, accumulate } if buf == c_buf => {
+                Op::GlobalStore {
+                    src,
+                    buf,
+                    row0,
+                    col0,
+                    accumulate,
+                } if buf == c_buf => {
                     if alpha != 1.0 {
-                        new_ops.push(Op::Scale { frag: src, factor: alpha });
+                        new_ops.push(Op::Scale {
+                            frag: src,
+                            factor: alpha,
+                        });
                     }
                     if !three_d && beta != 0.0 {
                         // Blend with the previous C window in registers.
@@ -179,17 +188,33 @@ fn apply_epilogue(
                             let d = &w.frags[src];
                             (d.rows, d.cols)
                         };
-                        w.frags.push(kami_gpu_sim::FragDecl::new(
-                            "CPrev", rows, cols, c_prec,
-                        ));
+                        w.frags
+                            .push(kami_gpu_sim::FragDecl::new("CPrev", rows, cols, c_prec));
                         let prev = w.frags.len() - 1;
-                        new_ops.push(Op::GlobalLoad { dst: prev, buf, row0, col0 });
+                        new_ops.push(Op::GlobalLoad {
+                            dst: prev,
+                            buf,
+                            row0,
+                            col0,
+                        });
                         if beta != 1.0 {
-                            new_ops.push(Op::Scale { frag: prev, factor: beta });
+                            new_ops.push(Op::Scale {
+                                frag: prev,
+                                factor: beta,
+                            });
                         }
-                        new_ops.push(Op::AddAssign { dst: src, src: prev });
+                        new_ops.push(Op::AddAssign {
+                            dst: src,
+                            src: prev,
+                        });
                     }
-                    new_ops.push(Op::GlobalStore { src, buf, row0, col0, accumulate });
+                    new_ops.push(Op::GlobalStore {
+                        src,
+                        buf,
+                        row0,
+                        col0,
+                        accumulate,
+                    });
                 }
                 other => new_ops.push(other),
             }
@@ -252,7 +277,10 @@ pub fn gemm_auto(
     if !matches!(last, Err(KamiError::Sim(SimError::RegisterOverflow { .. }))) {
         return last;
     }
-    for &f in FALLBACK_FRACTIONS.iter().filter(|&&f| f > cfg.smem_fraction) {
+    for &f in FALLBACK_FRACTIONS
+        .iter()
+        .filter(|&&f| f > cfg.smem_fraction)
+    {
         let mut c2 = cfg.clone();
         c2.smem_fraction = f;
         last = gemm(device, &c2, a, b);

@@ -43,11 +43,11 @@ pub mod model;
 pub mod reference;
 pub mod tune;
 
+pub use algo25d::{gemm_25d, Kami25dConfig};
 pub use batched::{
     batched_gemm, batched_gemm_varied, estimate_batched, lpt_makespan, schedule_cycles,
     BatchedResult,
 };
-pub use algo25d::{gemm_25d, Kami25dConfig};
 pub use config::{Algo, KamiConfig};
 pub use error::KamiError;
 pub use gemm::{
@@ -56,4 +56,4 @@ pub use gemm::{
 };
 pub use lowrank::{auto_warps, lowrank_gemm, lowrank_gemm_colsplit, MAX_LOW_RANK};
 pub use reference::{reference_gemm, reference_gemm_f64};
-pub use tune::{tune, TunedConfig, Tuner};
+pub use tune::{tune, SharedTuner, TunedConfig, Tuner};

@@ -29,9 +29,7 @@ use crate::config::{Algo, KamiConfig};
 use crate::error::KamiError;
 use crate::gemm::{c_precision, gemm_auto, GemmResult};
 use crate::layout::{tile_bytes, SmemMap};
-use kami_gpu_sim::{
-    BlockKernel, BufferId, DeviceSpec, Engine, GlobalMemory, Matrix, Precision,
-};
+use kami_gpu_sim::{BlockKernel, BufferId, DeviceSpec, Engine, GlobalMemory, Matrix, Precision};
 
 /// Largest inner dimension still considered "low-rank" by this interface
 /// (the paper evaluates 16 and 32; 64 is a generous upper bound).
@@ -210,8 +208,12 @@ mod tests {
         let (m, n, k) = (64, 64, 16);
         let u = Matrix::seeded_uniform(m, k, 71);
         let v = Matrix::seeded_uniform(k, n, 72);
-        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16)
-            .with_warps(auto_warps(Algo::OneD, m, n, k));
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16).with_warps(auto_warps(
+            Algo::OneD,
+            m,
+            n,
+            k,
+        ));
         let res = lowrank_gemm(&dev, &cfg, &u, &v).unwrap();
         let want = reference_gemm(&u, &v, Precision::Fp16);
         assert!(res.c.rel_frobenius_error(&want) < 1e-2);
@@ -274,8 +276,12 @@ mod tests {
         let (m, n, k) = (32, 32, 16);
         let u = Matrix::seeded_uniform(m, k, 81);
         let v = Matrix::seeded_uniform(k, n, 82);
-        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16)
-            .with_warps(auto_warps(Algo::TwoD, m, n, k));
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16).with_warps(auto_warps(
+            Algo::TwoD,
+            m,
+            n,
+            k,
+        ));
         let res = lowrank_gemm(&dev, &cfg, &u, &v).unwrap();
         let exact = reference_gemm_f64(&u, &v);
         assert!(res.c.rel_frobenius_error(&exact) < 1e-2);

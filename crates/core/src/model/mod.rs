@@ -8,7 +8,10 @@ pub mod error;
 pub mod registers;
 pub mod roofline;
 
+pub use cycles::{
+    t_all, t_all_comm, t_all_compute, t_cm_per_stage, t_cp_per_warp_stage, v_cm_per_stage,
+    ModelParams,
+};
 pub use error::{bound_utilization, gamma, gemm_error_bound};
-pub use cycles::{t_all, t_cm_per_stage, t_cp_per_warp_stage, v_cm_per_stage, ModelParams};
 pub use registers::theoretical_registers;
 pub use roofline::{cublas_like_gflops, machine_balance, Roofline};

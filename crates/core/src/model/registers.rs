@@ -32,24 +32,18 @@ pub fn theoretical_registers(
         Algo::OneD => {
             let (mi, ki) = (m / p, k / p);
             // A_i (m/p × k) + B_i (k/p × n) + BRecv (k/p × n) + C_i.
-            tile_regs(mi, k, prec)
-                + 2 * tile_regs(ki, n, prec)
-                + tile_regs(mi, n, c_prec)
+            tile_regs(mi, k, prec) + 2 * tile_regs(ki, n, prec) + tile_regs(mi, n, c_prec)
         }
         Algo::TwoD => {
             let q = (p as f64).sqrt().round() as usize;
             let (mi, ni, ki) = (m / q, n / q, k / q);
             // A_i + ARecv + B_i + BRecv + C_i.
-            2 * tile_regs(mi, ki, prec)
-                + 2 * tile_regs(ki, ni, prec)
-                + tile_regs(mi, ni, c_prec)
+            2 * tile_regs(mi, ki, prec) + 2 * tile_regs(ki, ni, prec) + tile_regs(mi, ni, c_prec)
         }
         Algo::ThreeD => {
             let q = (p as f64).cbrt().round() as usize;
             let (mi, ni, ks) = (m / q, n / q, k / (q * q));
-            2 * tile_regs(mi, ks, prec)
-                + 2 * tile_regs(ks, ni, prec)
-                + tile_regs(mi, ni, c_prec)
+            2 * tile_regs(mi, ks, prec) + 2 * tile_regs(ks, ni, prec) + tile_regs(mi, ni, c_prec)
         }
     }
 }

@@ -14,6 +14,8 @@ use crate::error::KamiError;
 use crate::gemm::{gemm, GemmResult};
 use kami_gpu_sim::{DeviceSpec, Matrix, Precision};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Winning configuration for one problem shape.
 #[derive(Debug, Clone)]
@@ -33,7 +35,7 @@ pub fn candidates(m: usize, n: usize, k: usize, precision: Precision) -> Vec<Kam
     let fractions = [0.0, 0.25, 0.5, 0.75];
     // 1D: any warp count dividing m and k.
     for p in 1..=16usize {
-        if m % p == 0 && k % p == 0 {
+        if m.is_multiple_of(p) && k.is_multiple_of(p) {
             for &f in &fractions {
                 out.push(
                     KamiConfig::new(Algo::OneD, precision)
@@ -45,7 +47,7 @@ pub fn candidates(m: usize, n: usize, k: usize, precision: Precision) -> Vec<Kam
     }
     // 2D: square grids.
     for q in 1..=4usize {
-        if m % q == 0 && n % q == 0 && k % q == 0 {
+        if m.is_multiple_of(q) && n.is_multiple_of(q) && k.is_multiple_of(q) {
             for &f in &fractions {
                 out.push(
                     KamiConfig::new(Algo::TwoD, precision)
@@ -57,7 +59,7 @@ pub fn candidates(m: usize, n: usize, k: usize, precision: Precision) -> Vec<Kam
     }
     // 3D: cubes (q = 1 duplicates 1D/2D degenerate cases; start at 2).
     for q in 2..=3usize {
-        if m % q == 0 && n % q == 0 && k % (q * q) == 0 {
+        if m.is_multiple_of(q) && n.is_multiple_of(q) && k.is_multiple_of(q * q) {
             for &f in &fractions {
                 out.push(
                     KamiConfig::new(Algo::ThreeD, precision)
@@ -161,6 +163,85 @@ impl Tuner {
     }
 }
 
+/// Thread-safe shape-keyed tuning cache: the sharable extension of
+/// [`Tuner`] that a device-level scheduler fans out across SM workers.
+/// Lookups clone the winning [`TunedConfig`] out of the cache (the
+/// configs are small) so no lock is held while a GEMM runs, and hit /
+/// miss counters expose whether repeated shapes actually reuse their
+/// plan — the property `kami-sched`'s plan cache asserts on.
+#[derive(Default)]
+pub struct SharedTuner {
+    cache: Mutex<HashMap<TuneKey, TunedConfig>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Cache key: device name + problem shape + precision.
+pub type TuneKey = (String, usize, usize, usize, Precision);
+
+impl SharedTuner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached configurations held.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("tuner cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache without re-tuning.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the full candidate sweep.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The tuned configuration for a shape (tuning on first use).
+    ///
+    /// The tuning sweep itself runs outside the lock; if two threads
+    /// race on the same fresh shape, both tune and one result wins —
+    /// harmless, since tuning is deterministic per shape.
+    pub fn config_for(
+        &self,
+        device: &DeviceSpec,
+        m: usize,
+        n: usize,
+        k: usize,
+        precision: Precision,
+    ) -> Result<TunedConfig, KamiError> {
+        let key = (device.name.clone(), m, n, k, precision);
+        if let Some(hit) = self.cache.lock().expect("tuner cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tuned = tune(device, m, n, k, precision)?;
+        let mut cache = self.cache.lock().expect("tuner cache poisoned");
+        Ok(cache.entry(key).or_insert(tuned).clone())
+    }
+
+    /// Run a GEMM through the cached winner for its shape.
+    pub fn gemm(
+        &self,
+        device: &DeviceSpec,
+        precision: Precision,
+        a: &Matrix,
+        b: &Matrix,
+    ) -> Result<GemmResult, KamiError> {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        let cfg = self.config_for(device, m, n, k, precision)?.cfg;
+        gemm(device, &cfg, a, b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +297,29 @@ mod tests {
         let b2 = Matrix::seeded_uniform(16, 16, 8);
         tuner.gemm(&dev, Precision::Fp64, &a2, &b2).unwrap();
         assert_eq!(tuner.len(), 2);
+    }
+
+    #[test]
+    fn shared_tuner_counts_hits_across_threads() {
+        let dev = gh200();
+        let tuner = SharedTuner::new();
+        let first = tuner.config_for(&dev, 32, 32, 32, Precision::Fp16).unwrap();
+        assert_eq!((tuner.hits(), tuner.misses()), (0, 1));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let again = tuner.config_for(&dev, 32, 32, 32, Precision::Fp16).unwrap();
+                    assert_eq!(again.cfg.algo, first.cfg.algo);
+                    assert_eq!(again.cfg.warps, first.cfg.warps);
+                });
+            }
+        });
+        assert_eq!((tuner.hits(), tuner.misses()), (4, 1));
+        assert_eq!(tuner.len(), 1);
+        // Matches the single-threaded Tuner's winner.
+        let single = tune(&dev, 32, 32, 32, Precision::Fp16).unwrap();
+        assert_eq!(first.cfg.algo, single.cfg.algo);
+        assert_eq!(first.cycles, single.cycles);
     }
 
     #[test]

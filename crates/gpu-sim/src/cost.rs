@@ -103,10 +103,7 @@ pub struct PhaseTally {
 
 impl PhaseTally {
     pub fn add_flops(&mut self, prec: Precision, flops: u64) {
-        let e = self
-            .flops_by_prec
-            .entry(prec.label())
-            .or_insert((prec, 0));
+        let e = self.flops_by_prec.entry(prec.label()).or_insert((prec, 0));
         e.1 += flops;
     }
 
@@ -168,12 +165,13 @@ pub fn phase_cost(
 
     let mut compute = 0.0;
     for (label, &(prec, flops)) in &tally.flops_by_prec {
-        let sm_ops = device.sm_ops_per_cycle(prec).ok_or_else(|| {
-            SimError::UnsupportedPrecision {
-                device: device.name.to_string(),
-                precision: prec.label().to_string(),
-            }
-        })?;
+        let sm_ops =
+            device
+                .sm_ops_per_cycle(prec)
+                .ok_or_else(|| SimError::UnsupportedPrecision {
+                    device: device.name.to_string(),
+                    precision: prec.label().to_string(),
+                })?;
         let o_tc = sm_ops / f64::from(device.tensor_cores_per_sm);
         // All warps spread over n_tc tensor cores, but no faster than the
         // busiest warp on its single core.
@@ -296,8 +294,7 @@ mod tests {
         let mut t = PhaseTally::default();
         t.add_flops(Precision::Fp16, 100_000);
         let full = phase_cost(&dev, &CostConfig::default(), &t).unwrap();
-        let half =
-            phase_cost(&dev, &CostConfig::default().with_mma_efficiency(0.5), &t).unwrap();
+        let half = phase_cost(&dev, &CostConfig::default().with_mma_efficiency(0.5), &t).unwrap();
         assert!((half.compute - 2.0 * full.compute).abs() < 1e-9);
     }
 

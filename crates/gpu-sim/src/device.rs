@@ -149,7 +149,10 @@ impl DeviceSpec {
             || spec.warp_size == 0
             || spec.peak_fp16_tflops <= 0.0
         {
-            return Err(format!("device '{}' has a zero/negative resource", spec.name));
+            return Err(format!(
+                "device '{}' has a zero/negative resource",
+                spec.name
+            ));
         }
         Ok(spec)
     }

@@ -181,10 +181,8 @@ impl<'a> Engine<'a> {
             #[allow(clippy::needless_range_loop)] // warp id is semantic, not positional
             for w in 0..p {
                 let prog = &kernel.warps[w];
-                let mut warp_flops: std::collections::BTreeMap<
-                    crate::precision::Precision,
-                    u64,
-                > = std::collections::BTreeMap::new();
+                let mut warp_flops: std::collections::BTreeMap<crate::precision::Precision, u64> =
+                    std::collections::BTreeMap::new();
                 loop {
                     if cursors[w] >= prog.ops.len() {
                         break;
@@ -292,7 +290,12 @@ impl<'a> Engine<'a> {
         flops_charged: &mut u64,
     ) -> Result<(), SimError> {
         match *op {
-            Op::GlobalLoad { dst, buf, row0, col0 } => {
+            Op::GlobalLoad {
+                dst,
+                buf,
+                row0,
+                col0,
+            } => {
                 let decl = frag_decl(prog, dst)?;
                 let (rows, cols) = (decl.rows, decl.cols);
                 let bytes = rows * cols * gmem.precision(buf).size_bytes();
@@ -328,9 +331,8 @@ impl<'a> Engine<'a> {
                 let elem = frags[w][src].decl.precision.size_bytes();
                 let n = frags[w][src].decl.elems();
                 let data = frags[w][src].data.clone();
-                smem.store(addr, elem, &data).map_err(|detail| {
-                    SimError::SharedMemoryOverflow { detail }
-                })?;
+                smem.store(addr, elem, &data)
+                    .map_err(|detail| SimError::SharedMemoryOverflow { detail })?;
                 tally.smem_bytes_written += (n * elem) as u64;
                 writes.push((w, (addr, n * elem)));
             }
@@ -412,10 +414,7 @@ impl<'a> Engine<'a> {
             Op::MetaStore { addr, bytes } => {
                 if addr + bytes > smem.capacity() {
                     return Err(SimError::SharedMemoryOverflow {
-                        detail: format!(
-                            "metadata at {addr}+{bytes} exceeds {} B",
-                            smem.capacity()
-                        ),
+                        detail: format!("metadata at {addr}+{bytes} exceeds {} B", smem.capacity()),
                     });
                 }
                 tally.smem_bytes_written += bytes as u64;
@@ -451,10 +450,7 @@ impl<'a> Engine<'a> {
         );
         if ad.precision != bd.precision {
             return Err(SimError::ShapeMismatch {
-                detail: format!(
-                    "A is {:?} but B is {:?}",
-                    ad.precision, bd.precision
-                ),
+                detail: format!("A is {:?} but B is {:?}", ad.precision, bd.precision),
             });
         }
         let (ac0, ak) = a_cols.unwrap_or((0, ad.cols));
@@ -483,12 +479,11 @@ impl<'a> Engine<'a> {
                 ),
             });
         }
-        let shape = shape_for(self.device, ad.precision).ok_or_else(|| {
-            SimError::UnsupportedPrecision {
+        let shape =
+            shape_for(self.device, ad.precision).ok_or_else(|| SimError::UnsupportedPrecision {
                 device: self.device.name.to_string(),
                 precision: ad.precision.label().to_string(),
-            }
-        })?;
+            })?;
 
         // Extract the k-slices row-major.
         let (m, n, k) = (ad.rows, bd.cols, ak);
@@ -510,7 +505,16 @@ impl<'a> Engine<'a> {
         };
         let flops = {
             let dv = &mut frags[w][d];
-            let f = mma_fragment(shape, ad.precision, m, n, k, &a_slice, &b_slice, &mut dv.data);
+            let f = mma_fragment(
+                shape,
+                ad.precision,
+                m,
+                n,
+                k,
+                &a_slice,
+                &b_slice,
+                &mut dv.data,
+            );
             // The accumulator fragment holds values at its own precision.
             let dp = dv.decl.precision;
             for x in dv.data.iter_mut() {
@@ -533,8 +537,7 @@ impl<'a> Engine<'a> {
         raw: &[(usize, TraceKind, u64, String)],
     ) {
         let b_sm = self.device.smem_bytes_per_cycle();
-        let mut offsets: std::collections::BTreeMap<usize, f64> =
-            std::collections::BTreeMap::new();
+        let mut offsets: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         let mut first_load: std::collections::BTreeMap<usize, bool> =
             std::collections::BTreeMap::new();
         for (warp, kind, amount, detail) in raw {
@@ -543,7 +546,11 @@ impl<'a> Engine<'a> {
                 TraceKind::SharedStore | TraceKind::Meta => *amount as f64 / b_sm,
                 TraceKind::SharedLoad => {
                     let fl = first_load.entry(*warp).or_insert(true);
-                    let lat = if *fl { self.device.smem_latency as f64 } else { 0.0 };
+                    let lat = if *fl {
+                        self.device.smem_latency as f64
+                    } else {
+                        0.0
+                    };
                     *fl = false;
                     lat + *amount as f64 / b_sm
                 }
@@ -593,7 +600,9 @@ fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
     };
     match *op {
         Op::GlobalLoad { dst, .. } => (TraceKind::GlobalLoad, name(dst)),
-        Op::GlobalStore { src, accumulate, .. } => (
+        Op::GlobalStore {
+            src, accumulate, ..
+        } => (
             TraceKind::GlobalStore,
             if accumulate {
                 format!("{} (accumulate)", name(src))
@@ -601,18 +610,24 @@ fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
                 name(src)
             },
         ),
-        Op::SharedStore { src, addr } => (TraceKind::SharedStore, format!("{} @{}", name(src), addr)),
+        Op::SharedStore { src, addr } => {
+            (TraceKind::SharedStore, format!("{} @{}", name(src), addr))
+        }
         Op::SharedLoad { dst, addr } => (TraceKind::SharedLoad, format!("{} @{}", name(dst), addr)),
-        Op::RegCopy { dst, src } => (TraceKind::RegCopy, format!("{} <- {}", name(dst), name(src))),
+        Op::RegCopy { dst, src } => (
+            TraceKind::RegCopy,
+            format!("{} <- {}", name(dst), name(src)),
+        ),
         Op::ZeroAcc { frag } => (TraceKind::RegCopy, format!("zero {}", name(frag))),
         Op::Mma { d, a, b, .. } => (
             TraceKind::Mma,
             format!("{} += {} x {}", name(d), name(a), name(b)),
         ),
         Op::Scale { frag, factor } => (TraceKind::RegCopy, format!("{} *= {factor}", name(frag))),
-        Op::AddAssign { dst, src } => {
-            (TraceKind::RegCopy, format!("{} += {}", name(dst), name(src)))
-        }
+        Op::AddAssign { dst, src } => (
+            TraceKind::RegCopy,
+            format!("{} += {}", name(dst), name(src)),
+        ),
         Op::MetaStore { bytes, .. } => (TraceKind::Meta, format!("meta store {bytes} B")),
         Op::MetaLoad { bytes, .. } => (TraceKind::Meta, format!("meta load {bytes} B")),
         Op::Barrier => (TraceKind::Barrier, String::new()),
@@ -621,7 +636,10 @@ fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
 
 fn frag_decl(prog: &WarpProgram, id: usize) -> Result<&crate::fragment::FragDecl, SimError> {
     prog.frags.get(id).ok_or_else(|| SimError::BadOperand {
-        detail: format!("fragment id {id} out of range ({} declared)", prog.frags.len()),
+        detail: format!(
+            "fragment id {id} out of range ({} declared)",
+            prog.frags.len()
+        ),
     })
 }
 
@@ -714,7 +732,13 @@ fn lazy_register_usage(prog: &WarpProgram, warp_size: u32, reg_width: u32) -> u3
                 events[dst].push((idx, Access::ReadFull));
                 events[src].push((idx, Access::ReadFull));
             }
-            Op::Mma { d, a, b, a_cols, b_rows } => {
+            Op::Mma {
+                d,
+                a,
+                b,
+                a_cols,
+                b_rows,
+            } => {
                 events[d].push((idx, Access::ReadFull));
                 match a_cols {
                     Some((c0, nc)) => events[a].push((idx, Access::ReadCols(c0, nc))),
@@ -740,8 +764,8 @@ fn lazy_register_usage(prog: &WarpProgram, warp_size: u32, reg_width: u32) -> u3
             .iter()
             .filter(|(_, a)| !matches!(a, Access::Def))
             .collect();
-        let all_sliced = !reads.is_empty()
-            && reads.iter().all(|(_, a)| matches!(a, Access::ReadCols(..)));
+        let all_sliced =
+            !reads.is_empty() && reads.iter().all(|(_, a)| matches!(a, Access::ReadCols(..)));
         if all_sliced {
             // Chunked allocation: group reads by column interval.
             let mut chunks: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
@@ -754,8 +778,9 @@ fn lazy_register_usage(prog: &WarpProgram, warp_size: u32, reg_width: u32) -> u3
             }
             for (&(_, nc), &(from, to)) in &chunks {
                 let bytes = frag.rows * nc * frag.precision.size_bytes();
-                let regs =
-                    bytes.div_ceil(warp_size as usize).div_ceil(reg_width as usize) as u32;
+                let regs = bytes
+                    .div_ceil(warp_size as usize)
+                    .div_ceil(reg_width as usize) as u32;
                 units.push((regs, from, to));
             }
         } else {
@@ -766,11 +791,7 @@ fn lazy_register_usage(prog: &WarpProgram, warp_size: u32, reg_width: u32) -> u3
                 .min()
                 .unwrap_or_else(|| evs.iter().map(|(i, _)| *i).min().unwrap());
             let to = evs.iter().map(|(i, _)| *i).max().unwrap();
-            units.push((
-                frag.regs_per_thread(warp_size, reg_width),
-                from.min(to),
-                to,
-            ));
+            units.push((frag.regs_per_thread(warp_size, reg_width), from.min(to), to));
         }
     }
 
@@ -789,8 +810,8 @@ fn lazy_register_usage(prog: &WarpProgram, warp_size: u32, reg_width: u32) -> u3
 /// Live ranges of each fragment of a warp program (op-index granularity).
 fn live_ranges(prog: &WarpProgram) -> Vec<Option<LiveRange>> {
     let mut ranges: Vec<Option<LiveRange>> = vec![None; prog.frags.len()];
-    let touch = |frag: usize, idx: usize, ranges: &mut Vec<Option<LiveRange>>| {
-        match &mut ranges[frag] {
+    let touch =
+        |frag: usize, idx: usize, ranges: &mut Vec<Option<LiveRange>>| match &mut ranges[frag] {
             Some(r) => {
                 r.first_def = r.first_def.min(idx);
                 r.last_use = r.last_use.max(idx);
@@ -801,8 +822,7 @@ fn live_ranges(prog: &WarpProgram) -> Vec<Option<LiveRange>> {
                     last_use: idx,
                 })
             }
-        }
-    };
+        };
     for (idx, op) in prog.ops.iter().enumerate() {
         match *op {
             Op::GlobalLoad { dst, .. } | Op::SharedLoad { dst, .. } | Op::ZeroAcc { frag: dst } => {

@@ -66,7 +66,11 @@ impl fmt::Display for SimError {
             SimError::SharedMemoryHazard { detail } => {
                 write!(f, "shared memory race: {detail}")
             }
-            SimError::RegisterOverflow { warp, needed, limit } => write!(
+            SimError::RegisterOverflow {
+                warp,
+                needed,
+                limit,
+            } => write!(
                 f,
                 "warp {warp} needs {needed} registers/thread, limit is {limit} \
                  (use k-slicing to spill to shared memory, §4.7)"

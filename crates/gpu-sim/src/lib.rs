@@ -70,11 +70,10 @@ pub use error::SimError;
 pub use fragment::{FragDecl, FragId};
 pub use matrix::Matrix;
 pub use memory::global::{BufferId, GlobalMemory};
-pub use occupancy::{
-    analyze as analyze_occupancy, analyze_on_chip as analyze_occupancy_on_chip, Limiter,
-    Occupancy,
-};
 pub use memory::regfile::RegisterUsage;
+pub use occupancy::{
+    analyze as analyze_occupancy, analyze_on_chip as analyze_occupancy_on_chip, Limiter, Occupancy,
+};
 pub use precision::Precision;
 pub use program::{BlockKernel, Op, WarpProgram};
 pub use report::ExecutionReport;

@@ -34,7 +34,12 @@ impl GlobalMemory {
 
     /// Upload a host matrix; values are quantized to `precision` exactly
     /// as a host-to-device copy of a typed buffer would.
-    pub fn upload(&mut self, name: impl Into<String>, m: &Matrix, precision: Precision) -> BufferId {
+    pub fn upload(
+        &mut self,
+        name: impl Into<String>,
+        m: &Matrix,
+        precision: Precision,
+    ) -> BufferId {
         let id = BufferId(self.buffers.len());
         self.buffers.push(Buffer {
             data: m.quantized(precision),
@@ -136,7 +141,11 @@ impl GlobalMemory {
             for c in 0..cols {
                 let v = values[r * cols + c];
                 let cur = b.data.get(row0 + r, col0 + c);
-                let new = if accumulate { prec.round(cur + v) } else { prec.round(v) };
+                let new = if accumulate {
+                    prec.round(cur + v)
+                } else {
+                    prec.round(v)
+                };
                 b.data.set(row0 + r, col0 + c, new);
             }
         }

@@ -92,8 +92,14 @@ mod tests {
     fn disjoint_lifetimes_reuse_registers() {
         let frags = vec![frag(4), frag(4)];
         let ranges = vec![
-            Some(LiveRange { first_def: 0, last_use: 2 }),
-            Some(LiveRange { first_def: 3, last_use: 5 }),
+            Some(LiveRange {
+                first_def: 0,
+                last_use: 2,
+            }),
+            Some(LiveRange {
+                first_def: 3,
+                last_use: 5,
+            }),
         ];
         let u = analyze(&frags, &ranges, 32, 4, 6);
         assert_eq!(u.theoretical_regs, 8);
@@ -105,8 +111,14 @@ mod tests {
     fn overlapping_lifetimes_add_up() {
         let frags = vec![frag(4), frag(2)];
         let ranges = vec![
-            Some(LiveRange { first_def: 0, last_use: 5 }),
-            Some(LiveRange { first_def: 3, last_use: 4 }),
+            Some(LiveRange {
+                first_def: 0,
+                last_use: 5,
+            }),
+            Some(LiveRange {
+                first_def: 3,
+                last_use: 4,
+            }),
         ];
         let u = analyze(&frags, &ranges, 32, 4, 6);
         assert_eq!(u.measured_regs, 6);
@@ -115,7 +127,13 @@ mod tests {
     #[test]
     fn untouched_fragment_counts_only_theoretically() {
         let frags = vec![frag(4), frag(4)];
-        let ranges = vec![Some(LiveRange { first_def: 0, last_use: 1 }), None];
+        let ranges = vec![
+            Some(LiveRange {
+                first_def: 0,
+                last_use: 1,
+            }),
+            None,
+        ];
         let u = analyze(&frags, &ranges, 32, 4, 2);
         assert_eq!(u.theoretical_regs, 8);
         assert_eq!(u.measured_regs, 4);

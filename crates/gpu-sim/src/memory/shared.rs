@@ -51,12 +51,7 @@ impl SharedMemory {
 
     /// Store `values` contiguously at byte `addr` with elements of
     /// `elem_size` bytes. Returns `Err` description on capacity overflow.
-    pub fn store(
-        &mut self,
-        addr: usize,
-        elem_size: usize,
-        values: &[f64],
-    ) -> Result<(), String> {
+    pub fn store(&mut self, addr: usize, elem_size: usize, values: &[f64]) -> Result<(), String> {
         let extent = addr + values.len() * elem_size;
         if extent > self.capacity {
             return Err(format!(
@@ -91,11 +86,7 @@ impl SharedMemory {
                          written as {sz} B, read as {elem_size} B"
                     ))
                 }
-                None => {
-                    return Err(format!(
-                        "read of uninitialized shared memory at byte {a}"
-                    ))
-                }
+                None => return Err(format!("read of uninitialized shared memory at byte {a}")),
             }
         }
         self.bytes_read += (count * elem_size) as u64;

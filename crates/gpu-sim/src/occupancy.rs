@@ -138,8 +138,7 @@ fn analyze_with(
         residency_limiter,
         rate_per_cycle: rate,
         rate_limiter,
-        steady_tflops: useful_flops as f64 * rate * f64::from(device.num_sms)
-            * device.clock_hz()
+        steady_tflops: useful_flops as f64 * rate * f64::from(device.num_sms) * device.clock_hz()
             / 1e12,
     }
 }

@@ -129,8 +129,7 @@ fn round_tf32(x: f64) -> f64 {
     let truncated = bits & keep_mask;
     let remainder = bits & !keep_mask;
     let halfway = 1u32 << (DROP - 1);
-    let rounded = if remainder > halfway || (remainder == halfway && (truncated >> DROP) & 1 == 1)
-    {
+    let rounded = if remainder > halfway || (remainder == halfway && (truncated >> DROP) & 1 == 1) {
         // Round up; mantissa overflow naturally carries into the exponent,
         // which is the correct IEEE behaviour (e.g. 1.999.. -> 2.0).
         truncated.wrapping_add(1 << DROP)

@@ -89,7 +89,12 @@ impl WarpProgram {
     }
 
     pub fn global_load(&mut self, dst: FragId, buf: BufferId, row0: usize, col0: usize) {
-        self.ops.push(Op::GlobalLoad { dst, buf, row0, col0 });
+        self.ops.push(Op::GlobalLoad {
+            dst,
+            buf,
+            row0,
+            col0,
+        });
     }
 
     pub fn global_store(&mut self, src: FragId, buf: BufferId, row0: usize, col0: usize) {

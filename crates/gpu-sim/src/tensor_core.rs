@@ -172,7 +172,16 @@ mod tests {
         let a: Vec<f64> = (0..m * k).map(|i| i as f64 * 0.5).collect();
         let b: Vec<f64> = (0..k * n).map(|i| (i as f64).sin()).collect();
         let mut d = vec![0.0; m * n];
-        mma_fragment(MmaShape::new(16, 8, 8), Precision::Fp64, m, n, k, &a, &b, &mut d);
+        mma_fragment(
+            MmaShape::new(16, 8, 8),
+            Precision::Fp64,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut d,
+        );
         for i in 0..m {
             for j in 0..n {
                 let mut want = 0.0f64;
@@ -190,7 +199,16 @@ mod tests {
         let a = vec![1.0 + (2.0f64).powi(-12)];
         let b = vec![1.0];
         let mut d = vec![0.0];
-        mma_fragment(MmaShape::new(16, 8, 16), Precision::Fp16, 1, 1, 1, &a, &b, &mut d);
+        mma_fragment(
+            MmaShape::new(16, 8, 16),
+            Precision::Fp16,
+            1,
+            1,
+            1,
+            &a,
+            &b,
+            &mut d,
+        );
         assert_eq!(d[0], 1.0);
     }
 
@@ -199,7 +217,16 @@ mod tests {
         let a = vec![2.0];
         let b = vec![3.0];
         let mut d = vec![10.0];
-        mma_fragment(MmaShape::new(16, 8, 8), Precision::Fp64, 1, 1, 1, &a, &b, &mut d);
+        mma_fragment(
+            MmaShape::new(16, 8, 8),
+            Precision::Fp64,
+            1,
+            1,
+            1,
+            &a,
+            &b,
+            &mut d,
+        );
         assert_eq!(d[0], 16.0);
     }
 
@@ -208,8 +235,16 @@ mod tests {
         let a = vec![1.0];
         let b = vec![1.0];
         let mut d = vec![0.0];
-        let flops =
-            mma_fragment(MmaShape::new(16, 8, 16), Precision::Fp16, 1, 1, 1, &a, &b, &mut d);
+        let flops = mma_fragment(
+            MmaShape::new(16, 8, 16),
+            Precision::Fp16,
+            1,
+            1,
+            1,
+            &a,
+            &b,
+            &mut d,
+        );
         assert_eq!(flops, 4096); // one full instruction despite 1x1x1 work
     }
 }

@@ -1,0 +1,254 @@
+//! The shared plan cache: shape + precision + device → winning
+//! [`KamiConfig`](kami_core::KamiConfig), per-block cost quantities,
+//! and the decomposition the scheduler settled on.
+//!
+//! Built on [`kami_core::tune::SharedTuner`] — the thread-safe
+//! extension of the §5.2.5 autotuner — plus one representative
+//! simulator run per shape to extract the quantities the device-level
+//! model needs (serial cycles, shared-resource bottleneck, residency,
+//! k-stage count, C-tile writeback bytes). Repeated shapes are served
+//! from the cache without re-tuning; hit/miss counters make that
+//! observable.
+
+use crate::schedule::Decomposition;
+use crate::work::WorkItem;
+use kami_core::tune::{SharedTuner, TunedConfig};
+use kami_core::{gemm, KamiError};
+use kami_gpu_sim::{occupancy, DeviceSpec, Matrix, Occupancy, Precision};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-block cost quantities of one tuned shape on one device, in the
+/// batched regime (global I/O included — §5.4).
+#[derive(Debug, Clone)]
+pub struct BlockCost {
+    /// One block's serialized cycles (latency through the whole kernel).
+    pub serial_cycles: f64,
+    /// Cycles one block occupies the binding shared resource
+    /// (max of smem bandwidth, tensor cores, global bandwidth).
+    pub bottleneck_cycles: f64,
+    /// Blocks resident per SM ([`occupancy::analyze`]).
+    pub resident_blocks: u32,
+    /// Communication rounds in the kernel — the granularity Stream-K
+    /// splits the k-loop at (each stage is one comm + compute phase
+    /// pair).
+    pub k_stages: usize,
+    /// C-tile writeback bytes: the payload a Stream-K fixup spills and
+    /// reloads per extra partial.
+    pub c_tile_bytes: u64,
+    /// Useful flops of one block.
+    pub flops: u64,
+    /// The full occupancy analysis behind the numbers above.
+    pub occupancy: Occupancy,
+}
+
+impl BlockCost {
+    /// Steady-state cycles one block costs its SM: latency overlapped
+    /// across `resident_blocks`, floored by the shared-resource
+    /// bottleneck. The reciprocal is [`Occupancy::rate_per_cycle`].
+    pub fn steady_cycles(&self) -> f64 {
+        (self.serial_cycles / f64::from(self.resident_blocks.max(1))).max(self.bottleneck_cycles)
+    }
+}
+
+/// One cached plan: the tuned config plus everything the scheduler
+/// needs to place this shape without touching the simulator again.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    pub tuned: TunedConfig,
+    /// Decomposition the scheduler chose the last time it launched this
+    /// shape (`Auto` until a launch records a choice).
+    pub decomposition: Decomposition,
+    pub cost: BlockCost,
+}
+
+type PlanKey = (String, usize, usize, usize, Precision);
+
+/// Thread-safe plan cache shared across launches (and across SM workers
+/// within a launch).
+#[derive(Default)]
+pub struct PlanCache {
+    tuner: SharedTuner,
+    plans: Mutex<HashMap<PlanKey, PlanEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying shared tuner (exposes `candidates_tried` and its
+    /// own hit/miss counters).
+    pub fn tuner(&self) -> &SharedTuner {
+        &self.tuner
+    }
+
+    /// Plans served from the cache without tuning or simulating.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Plans that ran the tuning sweep plus one representative block.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The plan for one work-item shape, tuning and profiling on first
+    /// use. Returns the entry and whether it was served from the cache.
+    pub fn plan_for(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+    ) -> Result<(PlanEntry, bool), KamiError> {
+        let key = self.key(device, item);
+        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit.clone(), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = self.build_plan(device, item)?;
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Ok((plans.entry(key).or_insert(entry).clone(), false))
+    }
+
+    /// Record the decomposition a launch chose for this shape, so the
+    /// cache maps shape → config **and** decomposition.
+    pub fn record_decomposition(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        decomposition: Decomposition,
+    ) {
+        let key = self.key(device, item);
+        if let Some(entry) = self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get_mut(&key)
+        {
+            entry.decomposition = decomposition;
+        }
+    }
+
+    fn key(&self, device: &DeviceSpec, item: &WorkItem) -> PlanKey {
+        (device.name.clone(), item.m, item.n, item.k, item.precision)
+    }
+
+    /// Tune the shape, then run the winner once on seeded data to
+    /// extract the block-level cost quantities.
+    fn build_plan(&self, device: &DeviceSpec, item: &WorkItem) -> Result<PlanEntry, KamiError> {
+        let tuned = self
+            .tuner
+            .config_for(device, item.m, item.n, item.k, item.precision)?;
+        let a = Matrix::seeded_uniform(item.m, item.k, 0x5CED);
+        let b = Matrix::seeded_uniform(item.k, item.n, 0x5CED + 1);
+        let res = gemm(device, &tuned.cfg, &a, &b)?;
+        let report = &res.report;
+        let occ = occupancy::analyze(device, report, res.useful_flops);
+
+        let smem_bw_cycles = (report.smem_bytes_written + report.smem_bytes_read) as f64
+            / device.smem_bytes_per_cycle();
+        let gmem_bw_cycles = (report.gmem_bytes_read + report.gmem_bytes_written) as f64
+            / device.gmem_bytes_per_cycle;
+        let bottleneck_cycles = smem_bw_cycles
+            .max(report.totals.compute)
+            .max(gmem_bw_cycles);
+        // Phases lay out as (comm, compute) pairs plus one tail phase.
+        let k_stages = (report.phase_costs.len().saturating_sub(1) / 2).max(1);
+
+        Ok(PlanEntry {
+            tuned,
+            decomposition: Decomposition::Auto,
+            cost: BlockCost {
+                serial_cycles: report.cycles,
+                bottleneck_cycles,
+                resident_blocks: occ.resident_blocks,
+                k_stages,
+                c_tile_bytes: report.gmem_bytes_written,
+                flops: res.useful_flops,
+                occupancy: occ,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_gpu_sim::device::gh200;
+
+    #[test]
+    fn plan_is_cached_after_first_use() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let item = WorkItem::new(64, 64, 64, Precision::Fp16);
+        let (first, was_hit) = cache.plan_for(&dev, &item).unwrap();
+        assert!(!was_hit);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert!(first.tuned.candidates_tried > 1);
+        let (second, was_hit) = cache.plan_for(&dev, &item).unwrap();
+        assert!(was_hit);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(second.cost.serial_cycles, first.cost.serial_cycles);
+        // Exactly one tuning sweep happened underneath.
+        assert_eq!(cache.tuner().misses(), 1);
+    }
+
+    #[test]
+    fn cost_quantities_are_consistent() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let item = WorkItem::new(64, 64, 64, Precision::Fp16);
+        let (entry, _) = cache.plan_for(&dev, &item).unwrap();
+        let c = &entry.cost;
+        assert!(c.serial_cycles > 0.0);
+        assert!(c.bottleneck_cycles > 0.0 && c.bottleneck_cycles <= c.serial_cycles);
+        assert!(c.resident_blocks >= 1);
+        assert!(c.k_stages >= 1);
+        assert!(c.c_tile_bytes > 0);
+        assert_eq!(c.flops, item.flops());
+        // steady_cycles is the reciprocal of the occupancy rate.
+        let rate = 1.0 / c.steady_cycles();
+        assert!((rate - c.occupancy.rate_per_cycle).abs() / rate < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_lookups_tune_once_logically() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let item = WorkItem::new(32, 32, 32, Precision::Fp64);
+        cache.plan_for(&dev, &item).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let (_, hit) = cache.plan_for(&dev, &item).unwrap();
+                    assert!(hit);
+                });
+            }
+        });
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn decomposition_is_recorded() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let item = WorkItem::new(64, 64, 64, Precision::Fp16);
+        cache.plan_for(&dev, &item).unwrap();
+        cache.record_decomposition(&dev, &item, Decomposition::StreamK);
+        let (entry, _) = cache.plan_for(&dev, &item).unwrap();
+        assert_eq!(entry.decomposition, Decomposition::StreamK);
+    }
+}

@@ -1,0 +1,733 @@
+//! The device-level scheduler: place a stream of block-GEMM work items
+//! across every SM of a [`DeviceSpec`] and report the makespan.
+//!
+//! Two decompositions are supported, mirroring the split CUTLASS /
+//! Stream-K draw for irregular batch counts:
+//!
+//! * **Data-parallel** — one block per work item, round-robin across
+//!   SMs. Simple, but an `S·w + 1`-block workload pays a whole extra
+//!   wave for one block (the tail-quantization problem).
+//! * **Stream-K** — the k-loop of each block is split at its
+//!   communication-stage granularity into `g` iterations; the flat
+//!   iteration space is divided contiguously and evenly across SMs.
+//!   Blocks straddling an SM boundary need a fixup pass: the non-owner
+//!   spills its partial C tile to global memory and the owner reloads
+//!   and reduces it.
+//!
+//! Cost quantities come from the plan cache ([`crate::plan`]): one
+//! block costs its SM `M = max(serial/resident, bottleneck)` cycles at
+//! steady state — exactly the reciprocal of
+//! [`kami_gpu_sim::occupancy::analyze`]'s `rate_per_cycle`, which is
+//! what ties the device-level makespan back to the single-block model.
+
+use crate::plan::{PlanCache, PlanEntry};
+use crate::work::BlockWork;
+use kami_core::KamiError;
+use kami_gpu_sim::{DeviceSpec, Trace, TraceEvent, TraceKind};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How the work stream is decomposed across SMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decomposition {
+    /// One thread block per work item.
+    DataParallel,
+    /// Work-centric k-loop splitting with a fixup/reduction pass.
+    StreamK,
+    /// Model both and keep the smaller makespan (ties go data-parallel).
+    Auto,
+}
+
+impl Decomposition {
+    pub fn label(self) -> &'static str {
+        match self {
+            Decomposition::DataParallel => "data-parallel",
+            Decomposition::StreamK => "stream-k",
+            Decomposition::Auto => "auto",
+        }
+    }
+}
+
+/// Per-SM placement outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmStats {
+    pub sm: usize,
+    /// Blocks whose first (owning) chunk ran here.
+    pub blocks: usize,
+    /// K-loop iterations executed here (`blocks · k_stages` under
+    /// data-parallel).
+    pub k_iters: usize,
+    /// Fixup transfers (partial-tile spills plus reductions) this SM
+    /// performed.
+    pub fixups: usize,
+    pub busy_cycles: f64,
+}
+
+/// Device-level schedule report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    pub device_name: String,
+    /// What the caller asked for.
+    pub requested: Decomposition,
+    /// What actually ran (`Auto` resolves to one of the two).
+    pub decomposition: Decomposition,
+    pub total_blocks: usize,
+    /// K-loop split granularity of the scheduled shape (1 when ragged).
+    pub k_stages: usize,
+    /// Cycles until the last SM finishes.
+    pub makespan_cycles: f64,
+    pub useful_flops: u64,
+    /// Device throughput over the makespan.
+    pub achieved_tflops: f64,
+    /// Mean SM busy time over the makespan (1.0 = no idling).
+    pub utilization: f64,
+    /// `1 − mean(busy)/max(busy)`: 0 when perfectly balanced, → 1 when
+    /// one SM carries the tail alone.
+    pub tail_imbalance: f64,
+    /// Work items whose plan was served from the cache this launch.
+    pub plans_reused: usize,
+    /// Work items that triggered a tuning sweep this launch.
+    pub plans_tuned: usize,
+    pub per_sm: Vec<SmStats>,
+}
+
+impl ScheduleReport {
+    /// The SM that finishes last.
+    pub fn busiest_sm(&self) -> Option<&SmStats> {
+        self.per_sm
+            .iter()
+            .max_by(|a, b| a.busy_cycles.partial_cmp(&b.busy_cycles).expect("finite"))
+    }
+}
+
+/// One scheduled span of SM time (internal currency shared by the
+/// stats and trace builders).
+#[derive(Debug, Clone)]
+enum Segment {
+    /// A whole block (data-parallel / ragged).
+    Block {
+        block: usize,
+        cycles: f64,
+        flops: u64,
+    },
+    /// A contiguous run of k-loop iterations of one block (Stream-K).
+    Chunk {
+        block: usize,
+        iters: (usize, usize),
+        owner: bool,
+        cycles: f64,
+        flops: u64,
+    },
+    /// Non-owner spills its partial C tile.
+    FixupStore {
+        block: usize,
+        bytes: u64,
+        cycles: f64,
+    },
+    /// Owner reloads `partials` spilled tiles and reduces them.
+    FixupLoad {
+        block: usize,
+        partials: usize,
+        bytes: u64,
+        cycles: f64,
+    },
+}
+
+impl Segment {
+    fn cycles(&self) -> f64 {
+        match *self {
+            Segment::Block { cycles, .. }
+            | Segment::Chunk { cycles, .. }
+            | Segment::FixupStore { cycles, .. }
+            | Segment::FixupLoad { cycles, .. } => cycles,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SmPlan {
+    sm: usize,
+    segments: Vec<Segment>,
+}
+
+impl SmPlan {
+    fn busy(&self) -> f64 {
+        self.segments.iter().map(Segment::cycles).sum()
+    }
+}
+
+/// Device-level scheduler for one [`DeviceSpec`].
+pub struct Scheduler<'a> {
+    device: &'a DeviceSpec,
+    decomposition: Decomposition,
+}
+
+impl<'a> Scheduler<'a> {
+    pub fn new(device: &'a DeviceSpec) -> Self {
+        Scheduler {
+            device,
+            decomposition: Decomposition::Auto,
+        }
+    }
+
+    /// Force a specific decomposition instead of `Auto`.
+    pub fn with_decomposition(mut self, decomposition: Decomposition) -> Self {
+        self.decomposition = decomposition;
+        self
+    }
+
+    /// Schedule `work` across all SMs and report.
+    pub fn run(&self, work: &BlockWork, plans: &PlanCache) -> Result<ScheduleReport, KamiError> {
+        self.schedule(work, plans).map(|(report, _)| report)
+    }
+
+    /// Like [`Scheduler::run`], but also emit a merged device-level
+    /// trace: one Chrome-trace track per SM.
+    pub fn run_traced(
+        &self,
+        work: &BlockWork,
+        plans: &PlanCache,
+    ) -> Result<(ScheduleReport, Trace), KamiError> {
+        let (report, sm_plans) = self.schedule(work, plans)?;
+        let trace = build_trace(self.device, &report, &sm_plans);
+        Ok((report, trace))
+    }
+
+    fn schedule(
+        &self,
+        work: &BlockWork,
+        plans: &PlanCache,
+    ) -> Result<(ScheduleReport, Vec<SmPlan>), KamiError> {
+        if work.is_empty() {
+            return Err(KamiError::Unsupported {
+                detail: "cannot schedule an empty work stream".into(),
+            });
+        }
+        if work.is_uniform() {
+            self.schedule_uniform(work, plans)
+        } else {
+            self.schedule_ragged(work, plans)
+        }
+    }
+
+    fn schedule_uniform(
+        &self,
+        work: &BlockWork,
+        plans: &PlanCache,
+    ) -> Result<(ScheduleReport, Vec<SmPlan>), KamiError> {
+        let item = work.items[0];
+        let count = work.len();
+        let sms = self.device.num_sms as usize;
+        let (entry, hit) = plans.plan_for(self.device, &item)?;
+        let cost = &entry.cost;
+        let steady = cost.steady_cycles();
+        let g = cost.k_stages;
+        let fixup_cycles = cost.c_tile_bytes as f64 / self.device.gmem_bytes_per_cycle;
+
+        let dp = dp_plans(count, sms, steady, cost.serial_cycles, cost.flops);
+        let dp_makespan = makespan(&dp);
+
+        // Stream-K needs ≥ 2 stages to split at.
+        let sk = (g > 1).then(|| {
+            streamk_plans(
+                count,
+                g,
+                sms,
+                steady,
+                cost.flops,
+                cost.c_tile_bytes,
+                fixup_cycles,
+            )
+        });
+        let sk_makespan = sk.as_ref().map(|p| makespan(p));
+
+        let (chosen, sm_plans, span) = match (self.decomposition, sk, sk_makespan) {
+            (Decomposition::StreamK, Some(p), Some(ms)) => (Decomposition::StreamK, p, ms),
+            (Decomposition::StreamK, None, _) => {
+                return Err(KamiError::Unsupported {
+                    detail: format!(
+                        "stream-k needs a multi-stage k-loop; {}x{}x{} tunes to a single stage",
+                        item.m, item.n, item.k
+                    ),
+                });
+            }
+            (Decomposition::Auto, Some(p), Some(ms)) if ms < dp_makespan => {
+                (Decomposition::StreamK, p, ms)
+            }
+            _ => (Decomposition::DataParallel, dp, dp_makespan),
+        };
+        plans.record_decomposition(self.device, &item, chosen);
+
+        let report = self.finish(
+            chosen,
+            g,
+            work.total_flops(),
+            span,
+            &sm_plans,
+            if hit { (1, 0) } else { (0, 1) },
+        );
+        Ok((report, sm_plans))
+    }
+
+    /// Ragged streams: per-shape plans, greedy LPT placement on the
+    /// steady per-block weights. Stream-K splitting is not attempted —
+    /// the iteration spaces are heterogeneous.
+    fn schedule_ragged(
+        &self,
+        work: &BlockWork,
+        plans: &PlanCache,
+    ) -> Result<(ScheduleReport, Vec<SmPlan>), KamiError> {
+        let sms = self.device.num_sms as usize;
+        let mut reused = 0usize;
+        let mut tuned = 0usize;
+        let mut entries: Vec<PlanEntry> = Vec::with_capacity(work.len());
+        for item in &work.items {
+            let (entry, hit) = plans.plan_for(self.device, item)?;
+            if hit {
+                reused += 1;
+            } else {
+                tuned += 1;
+            }
+            entries.push(entry);
+        }
+
+        // LPT: heaviest block first onto the least-loaded SM.
+        let mut order: Vec<usize> = (0..work.len()).collect();
+        order.sort_by(|&i, &j| {
+            entries[j]
+                .cost
+                .steady_cycles()
+                .partial_cmp(&entries[i].cost.steady_cycles())
+                .expect("finite")
+        });
+        let mut sm_plans: Vec<SmPlan> = (0..sms)
+            .map(|sm| SmPlan {
+                sm,
+                segments: Vec::new(),
+            })
+            .collect();
+        let mut loads = vec![0.0f64; sms];
+        for block in order {
+            let sm = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("at least one SM");
+            let cost = &entries[block].cost;
+            loads[sm] += cost.steady_cycles();
+            sm_plans[sm].segments.push(Segment::Block {
+                block,
+                cycles: cost.steady_cycles(),
+                flops: cost.flops,
+            });
+        }
+        // A lone block cannot finish faster than its serial latency:
+        // floor each SM at the largest serial among its blocks.
+        for (plan, load) in sm_plans.iter_mut().zip(&mut loads) {
+            let serial_floor = plan
+                .segments
+                .iter()
+                .map(|s| match *s {
+                    Segment::Block { block, .. } => entries[block].cost.serial_cycles,
+                    _ => 0.0,
+                })
+                .fold(0.0f64, f64::max);
+            if *load > 0.0 && *load < serial_floor {
+                let scale = serial_floor / *load;
+                for seg in &mut plan.segments {
+                    if let Segment::Block { cycles, .. } = seg {
+                        *cycles *= scale;
+                    }
+                }
+                *load = serial_floor;
+            }
+        }
+
+        let span = makespan(&sm_plans);
+        let report = self.finish(
+            Decomposition::DataParallel,
+            1,
+            work.total_flops(),
+            span,
+            &sm_plans,
+            (reused, tuned),
+        );
+        Ok((report, sm_plans))
+    }
+
+    fn finish(
+        &self,
+        chosen: Decomposition,
+        k_stages: usize,
+        useful_flops: u64,
+        span: f64,
+        sm_plans: &[SmPlan],
+        (plans_reused, plans_tuned): (usize, usize),
+    ) -> ScheduleReport {
+        // Per-SM accounting fans out across worker threads (rayon).
+        let per_sm: Vec<SmStats> = sm_plans
+            .par_iter()
+            .map(|plan| {
+                let mut stats = SmStats {
+                    sm: plan.sm,
+                    blocks: 0,
+                    k_iters: 0,
+                    fixups: 0,
+                    busy_cycles: plan.busy(),
+                };
+                for seg in &plan.segments {
+                    match *seg {
+                        Segment::Block { .. } => {
+                            stats.blocks += 1;
+                            stats.k_iters += k_stages;
+                        }
+                        Segment::Chunk { iters, owner, .. } => {
+                            if owner {
+                                stats.blocks += 1;
+                            }
+                            stats.k_iters += iters.1 - iters.0;
+                        }
+                        Segment::FixupStore { .. } => stats.fixups += 1,
+                        Segment::FixupLoad { partials, .. } => stats.fixups += partials,
+                    }
+                }
+                stats
+            })
+            .collect();
+
+        let busy_sum: f64 = per_sm.iter().map(|s| s.busy_cycles).sum();
+        let busy_max = per_sm.iter().map(|s| s.busy_cycles).fold(0.0f64, f64::max);
+        let mean = busy_sum / per_sm.len().max(1) as f64;
+        let seconds = span / self.device.clock_hz();
+        ScheduleReport {
+            device_name: self.device.name.clone(),
+            requested: self.decomposition,
+            decomposition: chosen,
+            total_blocks: per_sm.iter().map(|s| s.blocks).sum(),
+            k_stages,
+            makespan_cycles: span,
+            useful_flops,
+            achieved_tflops: useful_flops as f64 / seconds / 1e12,
+            utilization: if span > 0.0 { mean / span } else { 0.0 },
+            tail_imbalance: if busy_max > 0.0 {
+                1.0 - mean / busy_max
+            } else {
+                0.0
+            },
+            plans_reused,
+            plans_tuned,
+            per_sm,
+        }
+    }
+}
+
+fn makespan(plans: &[SmPlan]) -> f64 {
+    plans.iter().map(SmPlan::busy).fold(0.0f64, f64::max)
+}
+
+/// Data-parallel placement: round-robin, `n_i` blocks each. With
+/// `resident` blocks overlapping, `n_i` blocks cost `n_i · steady`
+/// cycles — but never less than one serialized pass.
+fn dp_plans(count: usize, sms: usize, steady: f64, serial: f64, flops: u64) -> Vec<SmPlan> {
+    (0..sms)
+        .map(|sm| {
+            let n = count / sms + usize::from(sm < count % sms);
+            let busy = (n as f64 * steady).max(if n > 0 { serial } else { 0.0 });
+            let per_block = if n > 0 { busy / n as f64 } else { 0.0 };
+            SmPlan {
+                sm,
+                segments: (0..n)
+                    .map(|j| Segment::Block {
+                        block: sm + j * sms,
+                        cycles: per_block,
+                        flops,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Stream-K placement: the `count · g` k-loop iterations are divided
+/// contiguously and near-evenly; each iteration costs `steady / g`.
+/// A block straddling an SM boundary incurs a fixup: every non-owner
+/// chunk spills the partial C tile (`FixupStore` on its SM) and the
+/// owner reloads and reduces each partial (`FixupLoad`).
+fn streamk_plans(
+    count: usize,
+    g: usize,
+    sms: usize,
+    steady: f64,
+    flops: u64,
+    c_tile_bytes: u64,
+    fixup_cycles: f64,
+) -> Vec<SmPlan> {
+    let total = count * g;
+    let base = total / sms;
+    let rem = total % sms;
+    let lo_of = |sm: usize| sm * base + sm.min(rem);
+    let sm_of = |iter: usize| {
+        // Inverse of `lo_of` for the balanced contiguous partition.
+        if base == 0 {
+            iter
+        } else if iter < rem * (base + 1) {
+            iter / (base + 1)
+        } else {
+            rem + (iter - rem * (base + 1)) / base
+        }
+    };
+    let per_iter = steady / g as f64;
+
+    (0..sms)
+        .map(|sm| {
+            let lo = lo_of(sm);
+            let hi = lo_of(sm + 1);
+            let mut segments = Vec::new();
+            let mut block = lo / g;
+            while block * g < hi && lo < hi {
+                let b_lo = block * g;
+                let b_hi = b_lo + g;
+                let start = lo.max(b_lo);
+                let end = hi.min(b_hi);
+                let iters = end - start;
+                let owner = start == b_lo;
+                segments.push(Segment::Chunk {
+                    block,
+                    iters: (start - b_lo, end - b_lo),
+                    owner,
+                    cycles: iters as f64 * per_iter,
+                    flops: (flops as f64 * iters as f64 / g as f64) as u64,
+                });
+                if !owner {
+                    // Non-owner chunk: spill the partial tile.
+                    segments.push(Segment::FixupStore {
+                        block,
+                        bytes: c_tile_bytes,
+                        cycles: fixup_cycles,
+                    });
+                }
+                if owner && b_hi > hi {
+                    // This block spills onto later SMs; the owner
+                    // reloads and reduces one partial per extra chunk.
+                    let partials = sm_of(b_hi - 1) - sm;
+                    segments.push(Segment::FixupLoad {
+                        block,
+                        partials,
+                        bytes: c_tile_bytes * partials as u64,
+                        cycles: fixup_cycles * partials as f64,
+                    });
+                }
+                block += 1;
+            }
+            SmPlan { sm, segments }
+        })
+        .collect()
+}
+
+/// Merge per-SM placements into one device-level trace: one track per
+/// SM (the `warp` field carries the SM index), compute chunks as `mma`
+/// events, fixup traffic as global load/store events.
+fn build_trace(device: &DeviceSpec, report: &ScheduleReport, sm_plans: &[SmPlan]) -> Trace {
+    let per_sm_events: Vec<Vec<TraceEvent>> = sm_plans
+        .par_iter()
+        .map(|plan| {
+            let mut cursor = 0.0f64;
+            let mut events = Vec::with_capacity(plan.segments.len());
+            for seg in &plan.segments {
+                let (kind, amount, detail) = match seg {
+                    Segment::Block { block, flops, .. } => {
+                        (TraceKind::Mma, *flops, format!("blk {block}"))
+                    }
+                    Segment::Chunk {
+                        block,
+                        iters,
+                        owner,
+                        flops,
+                        ..
+                    } => (
+                        TraceKind::Mma,
+                        *flops,
+                        format!(
+                            "blk {block} it {}..{}{}",
+                            iters.0,
+                            iters.1,
+                            if *owner { "" } else { " (partial)" }
+                        ),
+                    ),
+                    Segment::FixupStore { block, bytes, .. } => (
+                        TraceKind::GlobalStore,
+                        *bytes,
+                        format!("fixup spill blk {block}"),
+                    ),
+                    Segment::FixupLoad {
+                        block,
+                        partials,
+                        bytes,
+                        ..
+                    } => (
+                        TraceKind::GlobalLoad,
+                        *bytes,
+                        format!("fixup reduce blk {block} ({partials} partials)"),
+                    ),
+                };
+                events.push(TraceEvent {
+                    warp: plan.sm,
+                    phase: 0,
+                    kind,
+                    amount,
+                    start: cursor,
+                    duration: seg.cycles(),
+                    detail,
+                });
+                cursor += seg.cycles();
+            }
+            events
+        })
+        .collect();
+
+    Trace {
+        device: device.name.clone(),
+        mode: None,
+        events: per_sm_events.into_iter().flatten().collect(),
+        phase_starts: vec![0.0, report.makespan_cycles],
+    }
+}
+
+/// Device-level counterpart of [`kami_core::estimate_batched`]: model a
+/// uniform batch through the scheduler (tuning the shape, choosing a
+/// decomposition) instead of extrapolating one block.
+pub fn estimate_batched_device(
+    device: &DeviceSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+    precision: kami_gpu_sim::Precision,
+    batch: usize,
+) -> Result<ScheduleReport, KamiError> {
+    let plans = PlanCache::new();
+    Scheduler::new(device).run(&BlockWork::uniform(m, n, k, precision, batch), &plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::WorkItem;
+    use kami_gpu_sim::device::gh200;
+    use kami_gpu_sim::Precision;
+
+    #[test]
+    fn uniform_dp_covers_all_blocks() {
+        let dev = gh200();
+        let plans = PlanCache::new();
+        let work = BlockWork::uniform(64, 64, 64, Precision::Fp16, 500);
+        let r = Scheduler::new(&dev)
+            .with_decomposition(Decomposition::DataParallel)
+            .run(&work, &plans)
+            .unwrap();
+        assert_eq!(r.decomposition, Decomposition::DataParallel);
+        assert_eq!(r.total_blocks, 500);
+        assert_eq!(r.per_sm.len(), dev.num_sms as usize);
+        let placed: usize = r.per_sm.iter().map(|s| s.blocks).sum();
+        assert_eq!(placed, 500);
+        assert!(r.makespan_cycles > 0.0);
+        assert!(r.achieved_tflops > 0.0);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn streamk_covers_every_iteration_exactly_once() {
+        let dev = gh200();
+        let plans = PlanCache::new();
+        let work = BlockWork::uniform(64, 64, 256, Precision::Fp64, 397);
+        let r = Scheduler::new(&dev)
+            .with_decomposition(Decomposition::StreamK)
+            .run(&work, &plans)
+            .unwrap();
+        assert_eq!(r.decomposition, Decomposition::StreamK);
+        assert_eq!(r.total_blocks, 397);
+        let iters: usize = r.per_sm.iter().map(|s| s.k_iters).sum();
+        assert_eq!(iters, 397 * r.k_stages);
+        assert!(r.per_sm.iter().any(|s| s.fixups > 0));
+    }
+
+    #[test]
+    fn auto_never_loses_to_either_forced_choice() {
+        let dev = gh200();
+        for count in [dev.num_sms as usize * 4 + 1, 500, 16] {
+            let work = BlockWork::uniform(64, 64, 256, Precision::Fp64, count);
+            let auto = Scheduler::new(&dev).run(&work, &PlanCache::new()).unwrap();
+            for forced in [Decomposition::DataParallel, Decomposition::StreamK] {
+                let r = Scheduler::new(&dev)
+                    .with_decomposition(forced)
+                    .run(&work, &PlanCache::new())
+                    .unwrap();
+                assert!(
+                    auto.makespan_cycles <= r.makespan_cycles * (1.0 + 1e-12),
+                    "auto ({}) lost to {} at count {count}",
+                    auto.decomposition.label(),
+                    forced.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_stream_schedules_lpt() {
+        let dev = gh200();
+        let plans = PlanCache::new();
+        let mut items = Vec::new();
+        for _ in 0..300 {
+            items.push(WorkItem::new(64, 64, 64, Precision::Fp16));
+            items.push(WorkItem::new(32, 32, 32, Precision::Fp16));
+        }
+        let r = Scheduler::new(&dev)
+            .run(&BlockWork::new(items), &plans)
+            .unwrap();
+        assert_eq!(r.decomposition, Decomposition::DataParallel);
+        assert_eq!(r.total_blocks, 600);
+        // Two distinct shapes: two tuning sweeps, the rest reused.
+        assert_eq!(r.plans_tuned, 2);
+        assert_eq!(r.plans_reused, 598);
+        assert!(r.tail_imbalance < 0.5, "LPT should balance a 2-shape mix");
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        let dev = gh200();
+        let plans = PlanCache::new();
+        let err = Scheduler::new(&dev).run(&BlockWork::new(Vec::new()), &plans);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn traced_run_matches_report() {
+        let dev = gh200();
+        let plans = PlanCache::new();
+        let work = BlockWork::uniform(64, 64, 256, Precision::Fp64, 397);
+        let (r, trace) = Scheduler::new(&dev).run_traced(&work, &plans).unwrap();
+        assert_eq!(trace.device, r.device_name);
+        assert_eq!(trace.total_cycles(), r.makespan_cycles);
+        // Every SM's events are ordered and non-overlapping, and sum to
+        // its busy time.
+        for sm in r.per_sm.iter() {
+            let evs: Vec<_> = trace.warp_events(sm.sm).collect();
+            let mut cursor = 0.0f64;
+            let mut sum = 0.0f64;
+            for e in &evs {
+                assert!(e.start >= cursor - 1e-9, "overlap on sm {}", sm.sm);
+                cursor = e.start + e.duration;
+                sum += e.duration;
+            }
+            assert!((sum - sm.busy_cycles).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn estimate_batched_device_runs() {
+        let dev = gh200();
+        let r = estimate_batched_device(&dev, 64, 64, 64, Precision::Fp16, 1024).unwrap();
+        assert_eq!(r.total_blocks, 1024);
+        assert!(r.achieved_tflops > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Work streams: the block-GEMM items a device-level schedule consumes.
+//!
+//! Every producer in the workspace reduces to the same currency — "one
+//! thread block computes one `m×n×k` product at some precision". This
+//! module adapts each producer to that currency: uniform batched
+//! streams (`kami_core::batched`), ragged batches, block-sparse SpMM /
+//! SpGEMM block lists, and the paper's synthetic 16 384-block workload
+//! (§5.2's block-level benchmark setting).
+
+use kami_gpu_sim::{Matrix, Precision};
+use kami_sparse::BlockSparseMatrix;
+
+/// One block-GEMM work item: the shape a single thread block computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkItem {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub precision: Precision,
+}
+
+impl WorkItem {
+    pub fn new(m: usize, n: usize, k: usize, precision: Precision) -> Self {
+        WorkItem { m, n, k, precision }
+    }
+
+    /// Useful flops of this block product (2mnk).
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// A stream of block-GEMM work items destined for one device launch.
+#[derive(Debug, Clone)]
+pub struct BlockWork {
+    pub items: Vec<WorkItem>,
+}
+
+/// Block count of the paper's device-level benchmark workloads
+/// ("launching 16384 thread blocks", §5.2).
+pub const PAPER_BLOCK_COUNT: usize = 16_384;
+
+impl BlockWork {
+    pub fn new(items: Vec<WorkItem>) -> Self {
+        BlockWork { items }
+    }
+
+    /// `count` identical `m×n×k` blocks — the uniform batched regime.
+    pub fn uniform(m: usize, n: usize, k: usize, precision: Precision, count: usize) -> Self {
+        BlockWork {
+            items: vec![WorkItem::new(m, n, k, precision); count],
+        }
+    }
+
+    /// The paper's synthetic workload: 16 384 identical blocks.
+    pub fn synthetic(m: usize, n: usize, k: usize, precision: Precision) -> Self {
+        Self::uniform(m, n, k, precision, PAPER_BLOCK_COUNT)
+    }
+
+    /// One item per entry of a batched-GEMM input (the
+    /// [`kami_core::batched`] interface) — shapes may be ragged.
+    pub fn from_batched(pairs: &[(Matrix, Matrix)], precision: Precision) -> Self {
+        BlockWork {
+            items: pairs
+                .iter()
+                .map(|(a, b)| WorkItem::new(a.rows(), b.cols(), a.cols(), precision))
+                .collect(),
+        }
+    }
+
+    /// SpMM block list: one item per stored block of sparse `a`, each
+    /// multiplying a `block×block` tile into all `n` columns of the
+    /// dense operand.
+    pub fn from_spmm(a: &BlockSparseMatrix, dense_cols: usize, precision: Precision) -> Self {
+        let blk = a.block_size();
+        BlockWork {
+            items: a
+                .iter_blocks()
+                .map(|_| WorkItem::new(blk, dense_cols, blk, precision))
+                .collect(),
+        }
+    }
+
+    /// SpGEMM block list: one item per contributing block pair
+    /// `A[i,p]·B[p,j]` (the numeric phase's multiply stream).
+    pub fn from_spgemm(a: &BlockSparseMatrix, b: &BlockSparseMatrix, precision: Precision) -> Self {
+        let blk = a.block_size();
+        let mut items = Vec::new();
+        for (_, bp, _) in a.iter_blocks() {
+            items.extend(
+                b.row_blocks(bp)
+                    .map(|_| WorkItem::new(blk, blk, blk, precision)),
+            );
+        }
+        BlockWork { items }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether every item shares one shape (enables Stream-K splitting;
+    /// ragged streams schedule data-parallel via LPT).
+    pub fn is_uniform(&self) -> bool {
+        match self.items.split_first() {
+            Some((first, rest)) => rest.iter().all(|i| i == first),
+            None => true,
+        }
+    }
+
+    /// Total useful flops across the stream.
+    pub fn total_flops(&self) -> u64 {
+        self.items.iter().map(WorkItem::flops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_sparse::{gen::random_block_sparse, BlockOrder};
+
+    #[test]
+    fn uniform_and_synthetic_counts() {
+        let w = BlockWork::uniform(64, 64, 64, Precision::Fp16, 7);
+        assert_eq!(w.len(), 7);
+        assert!(w.is_uniform());
+        assert_eq!(w.total_flops(), 7 * 2 * 64 * 64 * 64);
+        let s = BlockWork::synthetic(64, 64, 64, Precision::Fp16);
+        assert_eq!(s.len(), PAPER_BLOCK_COUNT);
+    }
+
+    #[test]
+    fn from_batched_reads_shapes() {
+        let pairs = vec![
+            (Matrix::zeros(16, 32), Matrix::zeros(32, 8)),
+            (Matrix::zeros(64, 64), Matrix::zeros(64, 64)),
+        ];
+        let w = BlockWork::from_batched(&pairs, Precision::Fp64);
+        assert_eq!(w.items[0], WorkItem::new(16, 8, 32, Precision::Fp64));
+        assert_eq!(w.items[1], WorkItem::new(64, 64, 64, Precision::Fp64));
+        assert!(!w.is_uniform());
+    }
+
+    #[test]
+    fn from_spmm_counts_stored_blocks() {
+        let a = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 3);
+        let w = BlockWork::from_spmm(&a, 128, Precision::Fp16);
+        assert_eq!(w.len(), a.nnz_blocks());
+        assert!(w.is_uniform());
+        assert_eq!(w.items[0], WorkItem::new(16, 128, 16, Precision::Fp16));
+    }
+
+    #[test]
+    fn from_spgemm_counts_block_pairs() {
+        let a = random_block_sparse(64, 64, 16, 0.6, BlockOrder::RowMajor, 4);
+        let b = random_block_sparse(64, 64, 16, 0.6, BlockOrder::RowMajor, 5);
+        let w = BlockWork::from_spgemm(&a, &b, Precision::Fp16);
+        // Count independently: Σ over stored A-blocks of |B row bp|.
+        let mut expect = 0usize;
+        for (_, bp, _) in a.iter_blocks() {
+            expect += b.row_blocks(bp).count();
+        }
+        assert_eq!(w.len(), expect);
+        assert!(expect > 0, "0.6 density should produce contributing pairs");
+    }
+
+    #[test]
+    fn empty_stream_is_uniform() {
+        assert!(BlockWork::new(Vec::new()).is_uniform());
+    }
+}

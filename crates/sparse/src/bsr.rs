@@ -55,10 +55,15 @@ impl BlockSparseMatrix {
         order: BlockOrder,
         mut entries: Vec<((usize, usize), Matrix)>,
     ) -> Self {
-        assert!(block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
-            "matrix {rows}x{cols} not divisible by block {block}");
+        assert!(
+            block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
+            "matrix {rows}x{cols} not divisible by block {block}"
+        );
         for ((br, bc), m) in &entries {
-            assert!(*br < rows / block && *bc < cols / block, "block ({br},{bc}) out of range");
+            assert!(
+                *br < rows / block && *bc < cols / block,
+                "block ({br},{bc}) out of range"
+            );
             assert_eq!((m.rows(), m.cols()), (block, block), "block payload shape");
         }
         // Physical sort.
@@ -198,9 +203,10 @@ impl BlockSparseMatrix {
         extent: usize,
     ) -> Vec<(usize, usize, &Matrix)> {
         match self.order {
-            BlockOrder::ZMorton if extent.is_power_of_two()
-                && row0.is_multiple_of(extent)
-                && col0.is_multiple_of(extent) =>
+            BlockOrder::ZMorton
+                if extent.is_power_of_two()
+                    && row0.is_multiple_of(extent)
+                    && col0.is_multiple_of(extent) =>
             {
                 let (lo, hi) = morton::quadrant_range(row0, col0, extent);
                 let start = self
@@ -326,8 +332,16 @@ mod tests {
         let sm = sample(BlockOrder::ZMorton);
         let sr = sample(BlockOrder::RowMajor);
         for (r0, c0) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
-            let mut a: Vec<_> = sm.quadrant(r0, c0, 2).iter().map(|&(r, c, _)| (r, c)).collect();
-            let mut b: Vec<_> = sr.quadrant(r0, c0, 2).iter().map(|&(r, c, _)| (r, c)).collect();
+            let mut a: Vec<_> = sm
+                .quadrant(r0, c0, 2)
+                .iter()
+                .map(|&(r, c, _)| (r, c))
+                .collect();
+            let mut b: Vec<_> = sr
+                .quadrant(r0, c0, 2)
+                .iter()
+                .map(|&(r, c, _)| (r, c))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "quadrant ({r0},{c0})");
@@ -369,7 +383,11 @@ mod tests {
         for order in [BlockOrder::RowMajor, BlockOrder::ZMorton] {
             let s = sample(order);
             for (r0, nr, c0, nc) in [(0, 2, 0, 2), (1, 3, 0, 4), (0, 4, 2, 2), (2, 2, 2, 2)] {
-                let got: Vec<_> = s.window(r0, nr, c0, nc).iter().map(|&(r, c, _)| (r, c)).collect();
+                let got: Vec<_> = s
+                    .window(r0, nr, c0, nc)
+                    .iter()
+                    .map(|&(r, c, _)| (r, c))
+                    .collect();
                 let mut want = Vec::new();
                 for (r, c, _) in s.iter_blocks() {
                     if (r0..r0 + nr).contains(&r) && (c0..c0 + nc).contains(&c) {

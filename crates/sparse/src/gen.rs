@@ -24,9 +24,7 @@ pub fn random_block_sparse(
     let (rb, cb) = (rows / block, cols / block);
     let total = rb * cb;
     let keep = ((total as f64) * density).round() as usize;
-    let mut all: Vec<(usize, usize)> = (0..rb)
-        .flat_map(|r| (0..cb).map(move |c| (r, c)))
-        .collect();
+    let mut all: Vec<(usize, usize)> = (0..rb).flat_map(|r| (0..cb).map(move |c| (r, c))).collect();
     all.shuffle(&mut rng);
     let entries = all
         .into_iter()
@@ -40,7 +38,12 @@ pub fn random_block_sparse(
 }
 
 /// The paper's §5.5 workload: 50% block density at the square orders.
-pub fn paper_sparse_workload(n: usize, block: usize, order: BlockOrder, seed: u64) -> BlockSparseMatrix {
+pub fn paper_sparse_workload(
+    n: usize,
+    block: usize,
+    order: BlockOrder,
+    seed: u64,
+) -> BlockSparseMatrix {
     random_block_sparse(n, n, block, 0.5, order, seed)
 }
 
@@ -74,7 +77,7 @@ impl Pattern {
                 r.abs_diff(c) <= half_width || r == 0 || c == 0
             }
             Pattern::AttentionStrided { half_width, stride } => {
-                r.abs_diff(c) <= half_width || c % stride.max(1) == 0
+                r.abs_diff(c) <= half_width || c.is_multiple_of(stride.max(1))
             }
             Pattern::Arrowhead => r == c || r == nb - 1 || c == nb - 1,
         }
@@ -139,7 +142,10 @@ mod tests {
         assert!(p.keeps(0, 7, nb) && p.keeps(7, 0, nb));
         assert!(!p.keeps(2, 6, nb));
         // Strided: every 4th column.
-        let p = Pattern::AttentionStrided { half_width: 0, stride: 4 };
+        let p = Pattern::AttentionStrided {
+            half_width: 0,
+            stride: 4,
+        };
         assert!(p.keeps(6, 4, nb) && p.keeps(1, 0, nb));
         assert!(!p.keeps(6, 3, nb));
         // Arrowhead.
@@ -162,10 +168,7 @@ mod tests {
             let a = patterned_block_sparse(64, 16, pattern, BlockOrder::ZMorton, 5);
             let res = crate::spmm::spmm(&dev, &cfg, &a, &b).unwrap();
             let want = kami_core::reference::reference_gemm_f64(&a.to_dense(), &b);
-            assert!(
-                res.c.rel_frobenius_error(&want) < 1e-2,
-                "{pattern:?}"
-            );
+            assert!(res.c.rel_frobenius_error(&want) < 1e-2, "{pattern:?}");
         }
     }
 

@@ -19,7 +19,11 @@ pub struct MtxError {
 
 impl std::fmt::Display for MtxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix market parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "matrix market parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -38,16 +42,20 @@ pub fn parse_mtx_dense(text: &str) -> Result<Matrix, MtxError> {
     let mut lines = text.lines().enumerate();
 
     // Header.
-    let (hline, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty input"))?;
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     let header = header.to_ascii_lowercase();
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
-        return Err(err(hline + 1, "expected '%%MatrixMarket matrix ...' header"));
+        return Err(err(
+            hline + 1,
+            "expected '%%MatrixMarket matrix ...' header",
+        ));
     }
     if fields[2] != "coordinate" {
-        return Err(err(hline + 1, format!("unsupported format '{}'", fields[2])));
+        return Err(err(
+            hline + 1,
+            format!("unsupported format '{}'", fields[2]),
+        ));
     }
     let value_kind = fields[3];
     if !matches!(value_kind, "real" | "integer" | "pattern") {
@@ -145,7 +153,10 @@ pub fn write_mtx(m: &BlockSparseMatrix) -> String {
     }
     entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
     let mut out = String::from("%%MatrixMarket matrix coordinate real general\n");
-    out.push_str(&format!("% written by kami-sparse ({} blocks of {bs})\n", m.nnz_blocks()));
+    out.push_str(&format!(
+        "% written by kami-sparse ({} blocks of {bs})\n",
+        m.nnz_blocks()
+    ));
     out.push_str(&format!("{} {} {}\n", m.rows(), m.cols(), entries.len()));
     for (r, c, v) in entries {
         out.push_str(&format!("{r} {c} {v:.17e}\n"));
@@ -248,8 +259,7 @@ mod tests {
         let a = parse_mtx(SAMPLE, 16, BlockOrder::RowMajor).unwrap();
         let b = Matrix::seeded_uniform(16, 16, 33);
         let dev = kami_gpu_sim::device::gh200();
-        let cfg = kami_core::KamiConfig::new(kami_core::Algo::OneD, Precision::Fp16)
-            .with_warps(1);
+        let cfg = kami_core::KamiConfig::new(kami_core::Algo::OneD, Precision::Fp16).with_warps(1);
         use kami_gpu_sim::Precision;
         let res = crate::spmm::spmm(&dev, &cfg, &a, &b).unwrap();
         let want = kami_core::reference::reference_gemm_f64(&a.to_dense(), &b);

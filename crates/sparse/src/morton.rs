@@ -48,7 +48,10 @@ pub fn decode(code: u64) -> (usize, usize) {
 /// two. Such quadrants are contiguous in Z-order.
 pub fn quadrant_range(row0: usize, col0: usize, extent: usize) -> (u64, u64) {
     debug_assert!(extent.is_power_of_two(), "extent must be a power of two");
-    debug_assert!(row0.is_multiple_of(extent) && col0.is_multiple_of(extent), "unaligned quadrant");
+    debug_assert!(
+        row0.is_multiple_of(extent) && col0.is_multiple_of(extent),
+        "unaligned quadrant"
+    );
     let lo = encode(row0, col0);
     (lo, lo + (extent * extent) as u64)
 }

@@ -323,7 +323,10 @@ fn build_2d(
             if send_a {
                 w.meta_store(map.a_addr(r), a_meta);
                 for (bi, &(br, bc, _)) in stage_a.iter().enumerate() {
-                    w.shared_store(a_frags[&(br, bc)], map.a_addr(r) + a_meta + bi * block_bytes);
+                    w.shared_store(
+                        a_frags[&(br, bc)],
+                        map.a_addr(r) + a_meta + bi * block_bytes,
+                    );
                 }
             }
             if send_b {
@@ -336,7 +339,10 @@ fn build_2d(
             let mut sa: HashMap<(usize, usize), usize> = HashMap::new();
             let mut sb: HashMap<(usize, usize), usize> = HashMap::new();
             if send_a {
-                sa = stage_a.iter().map(|&(br, bc, _)| ((br, bc), a_frags[&(br, bc)])).collect();
+                sa = stage_a
+                    .iter()
+                    .map(|&(br, bc, _)| ((br, bc), a_frags[&(br, bc)]))
+                    .collect();
             } else {
                 w.meta_load(map.a_addr(r), a_meta);
                 for (bi, &(br, bc, _)) in stage_a.iter().enumerate() {
@@ -451,7 +457,10 @@ fn build_3d(
             let mut sa: HashMap<(usize, usize), usize> = HashMap::new();
             let mut sb: HashMap<(usize, usize), usize> = HashMap::new();
             if send_a {
-                sa = stage_a.iter().map(|&(br, bc, _)| ((br, bc), a_frags[&(br, bc)])).collect();
+                sa = stage_a
+                    .iter()
+                    .map(|&(br, bc, _)| ((br, bc), a_frags[&(br, bc)]))
+                    .collect();
             } else {
                 w.meta_load(map.a_addr(a_reg_id), a_meta);
                 for (bi, &(br, bc, _)) in stage_a.iter().enumerate() {
@@ -614,7 +623,9 @@ mod tests {
         for (i, (a, b)) in entries.iter().enumerate() {
             let single = spgemm(&dev, &cfg, a, b).unwrap();
             assert_eq!(
-                batch.outputs[i].to_dense().max_abs_diff(&single.c.to_dense()),
+                batch.outputs[i]
+                    .to_dense()
+                    .max_abs_diff(&single.c.to_dense()),
                 0.0,
                 "entry {i}"
             );

@@ -14,8 +14,7 @@ use kami_core::config::{Algo, KamiConfig};
 use kami_core::error::KamiError;
 use kami_core::layout::{cube_pos, grid_pos, tile_bytes, SmemMap};
 use kami_gpu_sim::{
-    BlockKernel, DeviceSpec, Engine, ExecutionReport, GlobalMemory, Matrix, Precision,
-    WarpProgram,
+    BlockKernel, DeviceSpec, Engine, ExecutionReport, GlobalMemory, Matrix, Precision, WarpProgram,
 };
 use rayon::prelude::*;
 
@@ -60,12 +59,16 @@ fn validate(
     match cfg.algo {
         Algo::OneD => {
             if rb % q != 0 || cb % q != 0 {
-                return bad(format!("1D SpMM with p={q} needs p | {rb} block rows and p | {cb} block cols"));
+                return bad(format!(
+                    "1D SpMM with p={q} needs p | {rb} block rows and p | {cb} block cols"
+                ));
             }
         }
         Algo::TwoD => {
             if rb % q != 0 || cb % q != 0 || !n.is_multiple_of(q) {
-                return bad(format!("2D SpMM with √p={q} needs √p | block grid {rb}x{cb} and √p | n={n}"));
+                return bad(format!(
+                    "2D SpMM with √p={q} needs √p | block grid {rb}x{cb} and √p | n={n}"
+                ));
             }
         }
         Algo::ThreeD => {
@@ -78,7 +81,11 @@ fn validate(
     }
     if device.peak_tflops(cfg.precision).is_none() {
         return Err(KamiError::Unsupported {
-            detail: format!("{} has no tensor path for {}", device.name, cfg.precision.label()),
+            detail: format!(
+                "{} has no tensor path for {}",
+                device.name,
+                cfg.precision.label()
+            ),
         });
     }
     let _ = bs;
@@ -346,7 +353,10 @@ fn build_3d(
             if send_a {
                 w.meta_store(map.a_addr(a_reg_id), meta);
                 for (bi, _) in stage_blocks.iter().enumerate() {
-                    w.shared_store(a_frags[bi].2, map.a_addr(a_reg_id) + meta + bi * block_bytes);
+                    w.shared_store(
+                        a_frags[bi].2,
+                        map.a_addr(a_reg_id) + meta + bi * block_bytes,
+                    );
                 }
             }
             if send_b {
@@ -516,7 +526,8 @@ mod tests {
     impl SpmmResult {
         /// Test helper: 2D/3D transfer A values + metadata on top of B.
         fn comm_meta_exceeds(&self, other: &SpmmResult) -> bool {
-            self.report.smem_bytes_written > 0 && other.report.smem_bytes_written > 0
+            self.report.smem_bytes_written > 0
+                && other.report.smem_bytes_written > 0
                 && self.report.comm_volume() != other.report.comm_volume()
         }
     }
@@ -529,7 +540,14 @@ mod tests {
         let entries: Vec<_> = (0..4)
             .map(|i| {
                 (
-                    random_block_sparse(64, 64, 16, 0.25 + 0.15 * i as f64, BlockOrder::RowMajor, 60 + i as u64),
+                    random_block_sparse(
+                        64,
+                        64,
+                        16,
+                        0.25 + 0.15 * i as f64,
+                        BlockOrder::RowMajor,
+                        60 + i as u64,
+                    ),
                     Matrix::seeded_uniform(64, 64, 70 + i as u64),
                 )
             })

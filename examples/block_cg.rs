@@ -114,13 +114,17 @@ fn main() {
 fn solve_small(m: &Matrix, b: &Matrix) -> Matrix {
     let n = m.rows();
     let rhs = b.cols();
-    let mut aug = Matrix::from_fn(n, n + rhs, |r, c| {
-        if c < n {
-            m[(r, c)]
-        } else {
-            b[(r, c - n)]
-        }
-    });
+    let mut aug = Matrix::from_fn(
+        n,
+        n + rhs,
+        |r, c| {
+            if c < n {
+                m[(r, c)]
+            } else {
+                b[(r, c - n)]
+            }
+        },
+    );
     for col in 0..n {
         let piv = (col..n)
             .max_by(|&x, &y| {

@@ -39,7 +39,10 @@ fn main() {
         .collect();
 
     let mut x = Matrix::zeros(n, 1);
-    println!("block-Jacobi on {}x{} ({}x{} blocks of {})", n, n, NB, NB, BS);
+    println!(
+        "block-Jacobi on {}x{} ({}x{} blocks of {})",
+        n, n, NB, NB, BS
+    );
     let mut total_cycles = 0.0;
     for iter in 0..60 {
         // R·x as a batch of off-diagonal block GEMVs, padded to block

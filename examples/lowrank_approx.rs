@@ -34,9 +34,7 @@ fn main() {
     let (u, v) = sketch_factors(&a, RANK);
     let approx = kami::core::reference_gemm_f64(&u, &v);
     let trunc_err = approx.rel_frobenius_error(&a);
-    println!(
-        "rank-{RANK} factorization of a {N}x{N} matrix: truncation error {trunc_err:.2e}"
-    );
+    println!("rank-{RANK} factorization of a {N}x{N} matrix: truncation error {trunc_err:.2e}");
 
     // Reconstruct with the low-rank kernel (column-split 1D).
     let cfg = KamiConfig::new(Algo::OneD, prec).with_warps(4);
@@ -84,7 +82,10 @@ fn sketch_factors(a: &Matrix, k: usize) -> (Matrix, Matrix) {
                     b[(r, j)] -= dot * bi;
                 }
             }
-            let norm: f64 = (0..b.rows()).map(|r| b[(r, j)] * b[(r, j)]).sum::<f64>().sqrt();
+            let norm: f64 = (0..b.rows())
+                .map(|r| b[(r, j)] * b[(r, j)])
+                .sum::<f64>()
+                .sqrt();
             for r in 0..b.rows() {
                 b[(r, j)] /= norm.max(1e-300);
             }

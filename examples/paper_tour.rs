@@ -88,8 +88,13 @@ fn main() {
     let prm16 = ModelParams::from_device(&dev, Precision::Fp16).expect("FP16");
     for algo in [Algo::OneD, Algo::TwoD] {
         let cfg = KamiConfig::new(algo, Precision::Fp16).with_warps(4);
-        let res = gemm(&dev, &cfg, &a.submatrix(0, 0, 64, 64), &b.submatrix(0, 0, 64, 64))
-            .expect("runs");
+        let res = gemm(
+            &dev,
+            &cfg,
+            &a.submatrix(0, 0, 64, 64),
+            &b.submatrix(0, 0, 64, 64),
+        )
+        .expect("runs");
         println!(
             "      {}: comm {:.0} (theory {:.0}), compute {:.0} (theory {:.0})",
             algo.label(),

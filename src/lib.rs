@@ -13,13 +13,17 @@
 //!   interfaces, and the clock-cycle analytic model;
 //! * [`sparse`] — Z-Morton block-sparse storage, SpMM, SpGEMM;
 //! * [`baselines`] — comparator strategies (cuBLASDx-, CUTLASS-,
-//!   cuBLAS-, MAGMA-, SYCL-Bench-style) on the same simulator.
+//!   cuBLAS-, MAGMA-, SYCL-Bench-style) on the same simulator;
+//! * [`sched`] — the device-level work-centric scheduler (data-parallel
+//!   vs Stream-K decomposition, shared plan cache, per-SM accounting).
 //!
-//! See `examples/quickstart.rs` for a first program.
+//! See `examples/quickstart.rs` for a first program and
+//! `examples/device_schedule.rs` for the device-level scheduler.
 
 pub use kami_baselines as baselines;
 pub use kami_core as core;
 pub use kami_gpu_sim as sim;
+pub use kami_sched as sched;
 pub use kami_sparse as sparse;
 
 /// One-stop imports for examples and downstream users.
@@ -28,5 +32,6 @@ pub mod prelude {
         batched_gemm, gemm, gemm_auto, gemm_padded, lowrank_gemm, Algo, KamiConfig, KamiError,
     };
     pub use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
+    pub use kami_sched::{BlockWork, Decomposition, PlanCache, ScheduleReport, Scheduler};
     pub use kami_sparse::{spgemm, spmm::spmm, BlockOrder, BlockSparseMatrix};
 }

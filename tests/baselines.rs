@@ -15,11 +15,28 @@ fn every_baseline_computes_the_right_product() {
     let want = reference_gemm_f64(&a, &b);
 
     let checks: Vec<(&str, Matrix)> = vec![
-        ("cuBLASDx", cublasdx::gemm(&gh, Precision::Fp16, 4, &a, &b).unwrap().c),
-        ("CUTLASS", cutlass::gemm(&gh, Precision::Fp16, &a, &b).unwrap().c),
-        ("cuBLAS", cublas::gemm(&gh, Precision::Fp64, &a, &b).unwrap().c),
-        ("MAGMA", magma::gemm(&gh, Precision::Fp64, &a, &b).unwrap().c),
-        ("SYCL-Bench", syclbench::gemm(&intel, Precision::Fp16, 4, &a, &b).unwrap().c),
+        (
+            "cuBLASDx",
+            cublasdx::gemm(&gh, Precision::Fp16, 4, &a, &b).unwrap().c,
+        ),
+        (
+            "CUTLASS",
+            cutlass::gemm(&gh, Precision::Fp16, &a, &b).unwrap().c,
+        ),
+        (
+            "cuBLAS",
+            cublas::gemm(&gh, Precision::Fp64, &a, &b).unwrap().c,
+        ),
+        (
+            "MAGMA",
+            magma::gemm(&gh, Precision::Fp64, &a, &b).unwrap().c,
+        ),
+        (
+            "SYCL-Bench",
+            syclbench::gemm(&intel, Precision::Fp16, 4, &a, &b)
+                .unwrap()
+                .c,
+        ),
     ];
     for (name, c) in checks {
         let err = c.rel_frobenius_error(&want);
@@ -112,7 +129,11 @@ fn kami_uses_less_shared_memory_than_staged_baselines() {
     let ct = cutlass::gemm(&gh, Precision::Fp16, &a, &b).unwrap();
     assert!(kami.report.smem_extent < dx.report.smem_extent);
     assert!(dx.report.smem_extent < ct.report.smem_extent);
-    assert!(kami.report.smem_extent <= 8 * 1024, "{}", kami.report.smem_extent);
+    assert!(
+        kami.report.smem_extent <= 8 * 1024,
+        "{}",
+        kami.report.smem_extent
+    );
 }
 
 #[test]

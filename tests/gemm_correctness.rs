@@ -14,7 +14,12 @@ fn devices() -> Vec<DeviceSpec> {
 #[test]
 fn all_algorithms_match_oracle_across_precisions() {
     let dev = device::gh200();
-    for prec in [Precision::Fp64, Precision::Fp16, Precision::Tf32, Precision::Fp8E4M3] {
+    for prec in [
+        Precision::Fp64,
+        Precision::Fp16,
+        Precision::Tf32,
+        Precision::Fp8E4M3,
+    ] {
         let n = 32;
         let a = Matrix::seeded_uniform(n, n, 1000);
         let b = Matrix::seeded_uniform(n, n, 1001);
@@ -58,7 +63,12 @@ fn every_device_computes_identical_fp16_results() {
 #[test]
 fn rectangular_and_padded_shapes() {
     let dev = device::gh200();
-    let cases = [(24usize, 56usize, 40usize), (17, 3, 29), (1, 1, 1), (65, 66, 33)];
+    let cases = [
+        (24usize, 56usize, 40usize),
+        (17, 3, 29),
+        (1, 1, 1),
+        (65, 66, 33),
+    ];
     for (m, n, k) in cases {
         let a = Matrix::seeded_uniform(m, k, (m * 1000 + n) as u64);
         let b = Matrix::seeded_uniform(k, n, (k * 1000 + m) as u64);
@@ -82,13 +92,7 @@ fn slicing_ladder_is_numerically_invisible() {
     let dev = device::gh200();
     let a = Matrix::seeded_uniform(64, 64, 3000);
     let b = Matrix::seeded_uniform(64, 64, 3001);
-    let base = gemm(
-        &dev,
-        &KamiConfig::new(Algo::OneD, Precision::Fp16),
-        &a,
-        &b,
-    )
-    .unwrap();
+    let base = gemm(&dev, &KamiConfig::new(Algo::OneD, Precision::Fp16), &a, &b).unwrap();
     for f in [0.25, 0.5, 0.75] {
         for algo in Algo::ALL {
             let cfg = KamiConfig::new(algo, Precision::Fp16).with_smem_fraction(f);
@@ -98,13 +102,7 @@ fn slicing_ladder_is_numerically_invisible() {
             if algo == Algo::OneD {
                 assert_eq!(res.c.max_abs_diff(&base.c), 0.0, "1D f={f}");
             } else {
-                let res0 = gemm(
-                    &dev,
-                    &KamiConfig::new(algo, Precision::Fp16),
-                    &a,
-                    &b,
-                )
-                .unwrap();
+                let res0 = gemm(&dev, &KamiConfig::new(algo, Precision::Fp16), &a, &b).unwrap();
                 assert_eq!(res.c.max_abs_diff(&res0.c), 0.0, "{} f={f}", algo.label());
             }
         }
@@ -140,7 +138,10 @@ fn gemm_reports_are_self_consistent() {
             .iter()
             .map(|p| p.comm + p.compute + p.global + p.reg)
             .sum();
-        assert!((sum - (r.totals.comm + r.totals.compute + r.totals.global + r.totals.reg)).abs() < 1e-6);
+        assert!(
+            (sum - (r.totals.comm + r.totals.compute + r.totals.global + r.totals.reg)).abs()
+                < 1e-6
+        );
         // Serial-mode cycles equal the component sum.
         assert!((r.cycles - sum).abs() < 1e-6, "{}", algo.label());
         // Charged flops cover the useful work.

@@ -1,0 +1,149 @@
+//! Golden conformance tests for the analytic cycle model (Formulas
+//! 1–12, `kami_core::model::cycles`).
+//!
+//! Every `(device, algorithm, n)` case snapshots the per-stage
+//! communication volume `V_cm`, the per-warp per-stage computation
+//! cycles `T_cp`, and the total communication cycles `t_all_comm` into
+//! `tests/data/model_golden.json`. Any change to the model shows up as
+//! an explicit diff of that file. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test model_golden
+//! ```
+
+use kami::core::model::{t_all_comm, t_cp_per_warp_stage, v_cm_per_stage, ModelParams};
+use kami::core::Algo;
+use kami::sim::{device, Precision};
+use serde_json::Value;
+use std::path::PathBuf;
+
+const SIZES: [usize; 3] = [16, 64, 256];
+// One representative warp grid per algorithm: p warps for 1D, a 2×2
+// grid for 2D, a 2×2×2 cube for 3D.
+const GRIDS: [(Algo, usize); 3] = [(Algo::OneD, 4), (Algo::TwoD, 4), (Algo::ThreeD, 8)];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("model_golden.json")
+}
+
+/// Compute the snapshot for every case, in a deterministic order.
+fn compute_cases() -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    // FP16 is the one precision with a tensor path on all four
+    // evaluated devices (FP64 units exist only on GH200).
+    let prec = Precision::Fp16;
+    for dev in device::DeviceSpec::all_evaluated() {
+        let prm = ModelParams::from_device(&dev, prec)
+            .expect("all evaluated devices have an FP16 tensor path");
+        for (algo, p) in GRIDS {
+            for n in SIZES {
+                let key = format!("{}/{}/p{}/n{}", dev.name, algo.label(), p, n);
+                let record = Value::Object(vec![
+                    (
+                        "v_cm".into(),
+                        Value::Number(v_cm_per_stage(algo, n, n, n, p, prm.s_e)),
+                    ),
+                    (
+                        "t_cp".into(),
+                        Value::Number(t_cp_per_warp_stage(algo, n, n, n, p, &prm)),
+                    ),
+                    (
+                        "t_all_comm".into(),
+                        Value::Number(t_all_comm(algo, n, n, n, p, &prm)),
+                    ),
+                ]);
+                out.push((key, record));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn formulas_match_golden_snapshot() {
+    let cases = compute_cases();
+    let path = golden_path();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let doc = Value::Object(cases);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden: Value = serde_json::from_str(&raw).expect("golden file parses");
+    let golden_obj = golden.as_object().expect("golden root is an object");
+    assert_eq!(
+        golden_obj.len(),
+        cases.len(),
+        "case list drifted; regenerate with UPDATE_GOLDEN=1"
+    );
+
+    for (key, record) in &cases {
+        let want = golden.get(key).unwrap_or_else(|| {
+            panic!("case {key} missing from golden file; regenerate with UPDATE_GOLDEN=1")
+        });
+        for field in ["v_cm", "t_cp", "t_all_comm"] {
+            let got = record[field].as_f64().expect("computed value is a number");
+            let exp = want[field]
+                .as_f64()
+                .unwrap_or_else(|| panic!("golden {key}.{field} is not a number"));
+            let rel = (got - exp).abs() / exp.abs().max(1.0);
+            assert!(
+                rel < 1e-12,
+                "{key}.{field}: computed {got}, golden {exp} \
+                 (model changed? regenerate with UPDATE_GOLDEN=1 and review the diff)"
+            );
+        }
+    }
+}
+
+/// Spot-check the snapshot encodes the formulas' scaling laws, so a
+/// regenerated file that silently broke the model cannot pass.
+#[test]
+fn golden_snapshot_obeys_scaling_laws() {
+    let raw = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let golden: Value = serde_json::from_str(&raw).unwrap();
+    for dev in device::DeviceSpec::all_evaluated() {
+        // Formula 1: 1D per-stage volume is k·n·s_e → 16× per 4× n.
+        let v16 = golden[&*format!("{}/KAMI-1D/p4/n16", dev.name)]["v_cm"]
+            .as_f64()
+            .unwrap();
+        let v64 = golden[&*format!("{}/KAMI-1D/p4/n64", dev.name)]["v_cm"]
+            .as_f64()
+            .unwrap();
+        assert_eq!(v64, 16.0 * v16, "{}", dev.name);
+        // Formulas 3/7/11: T_cp grows as n³ for fixed p.
+        for (algo, p) in GRIDS {
+            let t16 = golden[&*format!("{}/{}/p{}/n16", dev.name, algo.label(), p)]["t_cp"]
+                .as_f64()
+                .unwrap();
+            let t64 = golden[&*format!("{}/{}/p{}/n64", dev.name, algo.label(), p)]["t_cp"]
+                .as_f64()
+                .unwrap();
+            assert!(
+                (t64 / t16 - 64.0).abs() < 1e-9,
+                "{} {}",
+                dev.name,
+                algo.label()
+            );
+        }
+        // 2D communicates more per stage than 1D (it moves A and B).
+        let c1 = golden[&*format!("{}/KAMI-1D/p4/n64", dev.name)]["v_cm"]
+            .as_f64()
+            .unwrap();
+        let c2 = golden[&*format!("{}/KAMI-2D/p4/n64", dev.name)]["v_cm"]
+            .as_f64()
+            .unwrap();
+        assert!(c2 > c1, "{}", dev.name);
+    }
+}

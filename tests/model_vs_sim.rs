@@ -168,7 +168,11 @@ fn register_model_ordering() {
                 "{} k={k}: lazy {lazy} <= conservative {conservative} <= theory {theory} violated",
                 algo.label()
             );
-            assert!(lazy < theory, "{} k={k}: no reuse found at all", algo.label());
+            assert!(
+                lazy < theory,
+                "{} k={k}: no reuse found at all",
+                algo.label()
+            );
         }
     }
 }

@@ -1,7 +1,10 @@
 //! Property-based tests (proptest) on the core data structures and
 //! algorithm invariants.
 
-use kami::core::{gemm_padded, reference_gemm_f64, Algo, KamiConfig};
+use kami::core::{
+    gemm_25d, gemm_padded, gemm_scaled, gemm_t, lowrank_gemm_colsplit, reference_gemm,
+    reference_gemm_f64, Algo, Kami25dConfig, KamiConfig, MatOp,
+};
 use kami::prelude::*;
 use kami::sim::memory::shared::theta;
 use kami::sim::precision::fma_acc;
@@ -143,5 +146,149 @@ proptest! {
         let r2 = kami::core::gemm(&dev, &cfg, &a2, &b2).unwrap();
         prop_assert_eq!(r1.report.cycles, r2.report.cycles);
         prop_assert_eq!(r1.report.comm_volume(), r2.report.comm_volume());
+    }
+
+    /// `gemm_t` handles all four orientation combinations. At FP64 the
+    /// 1D/2D kernels accumulate in the reference order, so the result
+    /// is bit-for-bit identical to the reference on the transposed
+    /// operands.
+    #[test]
+    fn gemm_t_orientations_match_reference_exactly(
+        mi in 1usize..4,
+        ni in 1usize..4,
+        ki in 1usize..4,
+        seed in 0u64..100,
+        two_d in any::<bool>(),
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+    ) {
+        let (m, n, k) = (mi * 16, ni * 16, ki * 16);
+        let dev = device::gh200();
+        let algo = if two_d { Algo::TwoD } else { Algo::OneD };
+        let cfg = KamiConfig::new(algo, Precision::Fp64);
+        // Store the operands so the *effective* product is m×k · k×n.
+        let a = if ta {
+            Matrix::seeded_uniform(k, m, seed)
+        } else {
+            Matrix::seeded_uniform(m, k, seed)
+        };
+        let b = if tb {
+            Matrix::seeded_uniform(n, k, seed + 1)
+        } else {
+            Matrix::seeded_uniform(k, n, seed + 1)
+        };
+        let op = |t: bool| if t { MatOp::Transpose } else { MatOp::None };
+        let res = gemm_t(&dev, &cfg, op(ta), &a, op(tb), &b).unwrap();
+        let ea = if ta { a.transposed() } else { a };
+        let eb = if tb { b.transposed() } else { b };
+        prop_assert_eq!(res.c.max_abs_diff(&reference_gemm_f64(&ea, &eb)), 0.0);
+    }
+
+    /// `gemm_t` at FP16 stays within precision-appropriate tolerance of
+    /// the quantized reference.
+    #[test]
+    fn gemm_t_fp16_within_tolerance(seed in 0u64..150, ta in any::<bool>(), tb in any::<bool>()) {
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+        let a = Matrix::seeded_uniform(32, 32, seed);
+        let b = Matrix::seeded_uniform(32, 32, seed + 1);
+        let op = |t: bool| if t { MatOp::Transpose } else { MatOp::None };
+        let res = gemm_t(&dev, &cfg, op(ta), &a, op(tb), &b).unwrap();
+        let ea = if ta { a.transposed() } else { a };
+        let eb = if tb { b.transposed() } else { b };
+        let want = reference_gemm(&ea, &eb, Precision::Fp16);
+        prop_assert!(res.c.rel_frobenius_error(&want) < 1e-2);
+    }
+
+    /// `gemm_scaled`'s α/β epilogue matches `α·(A·B) + β·C₀` computed
+    /// from the reference, bit-for-bit at FP64 (1D/2D).
+    #[test]
+    fn gemm_scaled_epilogue_matches_reference_exactly(
+        s in 1usize..4,
+        seed in 0u64..100,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        two_d in any::<bool>(),
+    ) {
+        let n = s * 16;
+        let dev = device::gh200();
+        let algo = if two_d { Algo::TwoD } else { Algo::OneD };
+        let cfg = KamiConfig::new(algo, Precision::Fp64);
+        let a = Matrix::seeded_uniform(n, n, seed);
+        let b = Matrix::seeded_uniform(n, n, seed + 1);
+        let c0 = Matrix::seeded_uniform(n, n, seed + 2);
+        let res = gemm_scaled(&dev, &cfg, alpha, &a, &b, beta, &c0).unwrap();
+        let base = reference_gemm_f64(&a, &b);
+        let want = Matrix::from_fn(n, n, |r, c| alpha * base[(r, c)] + beta * c0[(r, c)]);
+        prop_assert_eq!(res.c.max_abs_diff(&want), 0.0);
+    }
+
+    /// β = 0 must ignore C₀ entirely (cuBLAS semantics: C₀ may be
+    /// garbage), and α = 1, β = 0 reduces to plain GEMM.
+    #[test]
+    fn gemm_scaled_beta_zero_ignores_c0(seed in 0u64..150) {
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let a = Matrix::seeded_uniform(32, 32, seed);
+        let b = Matrix::seeded_uniform(32, 32, seed + 1);
+        let c0 = Matrix::seeded_uniform(32, 32, seed + 2);
+        let res = gemm_scaled(&dev, &cfg, 1.0, &a, &b, 0.0, &c0).unwrap();
+        prop_assert_eq!(res.c.max_abs_diff(&reference_gemm_f64(&a, &b)), 0.0);
+    }
+
+    /// KAMI-2.5D agrees with the reference for every legal (q, c) — the
+    /// c-layer split-k reduction reorders accumulation, so FP64 is
+    /// tolerance-checked at the reordering scale, not bit-for-bit.
+    #[test]
+    fn gemm_25d_matches_reference(
+        qi in 0usize..2,
+        ci in 0usize..2,
+        seed in 0u64..300,
+    ) {
+        let q = [2usize, 3][qi];
+        let c = [1usize, 2][ci].min(q);
+        // Each warp holds a (n/q)² C panel in registers, so the block
+        // edge scales with the grid: 36·q for multi-layer runs, 36 for
+        // the register-heavier single-layer (pure 2D) case.
+        let n = if c == 1 { 36 } else { 36 * q };
+        let dev = device::gh200();
+        let cfg = Kami25dConfig::new(q, c, Precision::Fp64);
+        let a = Matrix::seeded_uniform(n, n, seed);
+        let b = Matrix::seeded_uniform(n, n, seed + 1);
+        let res = gemm_25d(&dev, &cfg, &a, &b).unwrap();
+        let want = reference_gemm_f64(&a, &b);
+        prop_assert!(res.c.max_abs_diff(&want) < 1e-10);
+    }
+
+    /// Low-rank column-split matches the reference bit-for-bit at FP64
+    /// (each output column is a single ordered dot product over the
+    /// rank dimension).
+    #[test]
+    fn lowrank_colsplit_matches_reference_exactly(
+        mi in 1usize..5,
+        ni in 1usize..5,
+        rank in 1usize..9,
+        seed in 0u64..100,
+    ) {
+        let (m, n) = (mi * 16, ni * 16);
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64).with_warps(4);
+        let u = Matrix::seeded_uniform(m, rank, seed);
+        let v = Matrix::seeded_uniform(rank, n, seed + 1);
+        let res = lowrank_gemm_colsplit(&dev, &cfg, &u, &v).unwrap();
+        prop_assert_eq!(res.c.max_abs_diff(&reference_gemm_f64(&u, &v)), 0.0);
+    }
+
+    /// Low-rank column-split at TF32 stays within the precision's
+    /// tolerance of the quantized reference.
+    #[test]
+    fn lowrank_colsplit_tf32_within_tolerance(rank in 1usize..9, seed in 0u64..150) {
+        let dev = device::gh200();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Tf32).with_warps(4);
+        let u = Matrix::seeded_uniform(48, rank, seed);
+        let v = Matrix::seeded_uniform(rank, 48, seed + 1);
+        let res = lowrank_gemm_colsplit(&dev, &cfg, &u, &v).unwrap();
+        let want = reference_gemm(&u, &v, Precision::Tf32);
+        prop_assert!(res.c.rel_frobenius_error(&want) < 1e-2);
     }
 }

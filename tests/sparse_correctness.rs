@@ -18,8 +18,11 @@ fn spmm_matches_dense_oracle_across_densities() {
     let dev = device::gh200();
     let prec = Precision::Fp16;
     for density in [0.1, 0.3, 0.5, 0.8, 1.0] {
-        for (algo, warps, n) in [(Algo::OneD, 4, 64), (Algo::TwoD, 4, 64), (Algo::ThreeD, 8, 128)]
-        {
+        for (algo, warps, n) in [
+            (Algo::OneD, 4, 64),
+            (Algo::TwoD, 4, 64),
+            (Algo::ThreeD, 8, 128),
+        ] {
             let a = random_block_sparse(n, n, 16, density, order_for(algo), 77);
             let b = Matrix::seeded_uniform(n, n, 78);
             let cfg = KamiConfig::new(algo, prec).with_warps(warps);
@@ -36,12 +39,15 @@ fn spmm_matches_dense_oracle_across_densities() {
 fn spgemm_matches_dense_oracle() {
     let dev = device::gh200();
     let prec = Precision::Fp16;
-    for (algo, warps, n) in [(Algo::OneD, 4, 64), (Algo::TwoD, 4, 64), (Algo::ThreeD, 8, 128)] {
+    for (algo, warps, n) in [
+        (Algo::OneD, 4, 64),
+        (Algo::TwoD, 4, 64),
+        (Algo::ThreeD, 8, 128),
+    ] {
         let a = random_block_sparse(n, n, 16, 0.5, order_for(algo), 81);
         let b = random_block_sparse(n, n, 16, 0.5, order_for(algo), 82);
         let cfg = KamiConfig::new(algo, prec).with_warps(warps);
-        let res = spgemm(&dev, &cfg, &a, &b)
-            .unwrap_or_else(|e| panic!("{}: {e}", algo.label()));
+        let res = spgemm(&dev, &cfg, &a, &b).unwrap_or_else(|e| panic!("{}: {e}", algo.label()));
         let want = reference_gemm_f64(&a.to_dense(), &b.to_dense());
         let err = res.c.to_dense().rel_frobenius_error(&want);
         assert!(err < 1e-2, "{}: err {err}", algo.label());

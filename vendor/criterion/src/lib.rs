@@ -1,0 +1,188 @@
+//! Vendored stand-in for `criterion` 0.5: the macro/builder surface the
+//! bench targets use (`criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `bench_with_input`, `bench_function`,
+//! `BenchmarkId`, `Bencher::iter`). Each benchmark runs a short warmup
+//! plus `sample_size` timed samples and prints the mean time per
+//! iteration — no statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine` and accumulate the elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Warmup + calibration: aim for ~1ms per sample, bounded so cheap
+    // and expensive benchmarks both finish promptly.
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    f(&mut bench);
+    let per_iter = bench.elapsed_ns.max(1);
+    let iters_per_sample = (1_000_000 / per_iter).clamp(1, 1000) as u64;
+
+    let mut total_ns: u128 = 0;
+    let mut total_iters: u64 = 0;
+    for _ in 0..samples {
+        let mut bench = Bencher {
+            iters: iters_per_sample,
+            elapsed_ns: 0,
+        };
+        f(&mut bench);
+        total_ns += bench.elapsed_ns;
+        total_iters += iters_per_sample;
+    }
+    let mean = total_ns as f64 / total_iters.max(1) as f64;
+    println!("bench {label:<50} {mean:>12.1} ns/iter ({total_iters} iters)");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 8), &8usize, |b, n| {
+            ran += 1;
+            b.iter(|| n * 2)
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 40 + 2));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("algo", 64).label, "algo/64");
+        assert_eq!(BenchmarkId::from_parameter(0.5).label, "0.5");
+    }
+}

@@ -1,0 +1,181 @@
+//! Vendored stand-in for the `half` crate (the build environment has no
+//! registry access), covering exactly the surface this workspace uses:
+//! [`f16`]/[`bf16`] construction from `f64`/`f32`, lossless widening back
+//! to `f64`/`f32`, and the `MAX` constants.
+//!
+//! Values are stored as the already-quantized `f64` rather than packed
+//! bits — the workspace only ever round-trips through `f64`, so the
+//! representable set (IEEE round-to-nearest-even onto the 10-bit /
+//! 7-bit mantissa grids, with subnormals and saturation-to-infinity)
+//! is what matters, not the encoding.
+
+#![allow(non_camel_case_types)]
+
+/// Round `x` to a binary floating format with `mant_bits` explicit
+/// mantissa bits, minimum normal exponent `min_exp`, and largest finite
+/// value `max_finite`, using round-to-nearest-even. Values that round
+/// above `max_finite` become infinity (IEEE semantics with the usual
+/// "round as if unbounded, then overflow" rule).
+fn quantize(x: f64, mant_bits: i32, min_exp: i32, max_finite: f64) -> f64 {
+    if x == 0.0 || x.is_nan() || x.is_infinite() {
+        return x;
+    }
+    // Exponent of |x| as a power of two (f64 inputs are normal here —
+    // anything below the f16/bf16 subnormal range underflows to zero
+    // through the same scaling arithmetic).
+    let bits = x.abs().to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    // Quantum: one ULP at this magnitude, floored at the subnormal ULP.
+    let ulp_exp = (e - mant_bits).max(min_exp - mant_bits);
+    let step = (ulp_exp as f64).exp2();
+    let y = (x / step).round_ties_even() * step;
+    if y.abs() > max_finite {
+        return if y > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    y
+}
+
+/// IEEE 754 binary16 (half precision): 10 mantissa bits, exponent in
+/// `[-14, 15]`, max finite 65504.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct f16(f64);
+
+impl f16 {
+    pub const MAX: f16 = f16(65504.0);
+    pub const MIN_POSITIVE: f16 = f16(6.103515625e-5); // 2^-14
+
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        f16(quantize(x, 10, -14, 65504.0))
+    }
+
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(f64::from(x))
+    }
+
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32
+    }
+}
+
+impl From<f16> for f64 {
+    #[inline]
+    fn from(v: f16) -> f64 {
+        v.0
+    }
+}
+
+impl From<f16> for f32 {
+    #[inline]
+    fn from(v: f16) -> f32 {
+        v.0 as f32
+    }
+}
+
+/// bfloat16: 7 mantissa bits, f32 exponent range, max finite
+/// `(2 − 2⁻⁷)·2¹²⁷`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct bf16(f64);
+
+/// `(2 − 2⁻⁷)·2¹²⁷` — the largest finite bf16.
+pub const BF16_MAX: f64 = 3.3895313892515355e38;
+
+impl bf16 {
+    pub const MAX: bf16 = bf16(BF16_MAX);
+
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        bf16(quantize(x, 7, -126, BF16_MAX))
+    }
+
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(f64::from(x))
+    }
+
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<bf16> for f64 {
+    #[inline]
+    fn from(v: bf16) -> f64 {
+        v.0
+    }
+}
+
+impl From<bf16> for f32 {
+    #[inline]
+    fn from(v: bf16) -> f32 {
+        v.0 as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_exact_values_pass_through() {
+        for v in [0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 6.103515625e-5] {
+            assert_eq!(f64::from(f16::from_f64(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even_at_tie() {
+        // 1 + 2^-11 is half-way between 1.0 and 1 + 2^-10: ties to even.
+        assert_eq!(f64::from(f16::from_f64(1.0 + (2.0f64).powi(-11))), 1.0);
+        // 1 + 3·2^-11 ties to the *odd* neighbour's even side: 1 + 2^-9.
+        let x = 1.0 + 3.0 * (2.0f64).powi(-11);
+        assert_eq!(f64::from(f16::from_f64(x)), 1.0 + (2.0f64).powi(-9));
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert!(f64::from(f16::from_f64(1e20)).is_infinite());
+        assert!(f64::from(f16::from_f64(65520.0)).is_infinite());
+        // 65519 rounds down to 65504 (max finite).
+        assert_eq!(f64::from(f16::from_f64(65519.0)), 65504.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let min_sub = (2.0f64).powi(-24);
+        assert_eq!(f64::from(f16::from_f64(min_sub)), min_sub);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(f64::from(f16::from_f64(min_sub / 4.0)), 0.0);
+    }
+
+    #[test]
+    fn bf16_coarse_mantissa() {
+        assert_eq!(f64::from(bf16::from_f64(1.0 + (2.0f64).powi(-9))), 1.0);
+        assert_eq!(
+            f64::from(bf16::from_f64(1.0 + (2.0f64).powi(-7))),
+            1.0 + (2.0f64).powi(-7)
+        );
+        assert!(f64::from(bf16::from_f64(1e20)).is_finite());
+        assert!(f64::from(bf16::from_f64(1e39)).is_infinite());
+        assert_eq!(f64::from(bf16::MAX), BF16_MAX);
+    }
+
+    #[test]
+    fn specials_pass_through() {
+        assert!(f64::from(f16::from_f64(f64::NAN)).is_nan());
+        assert!(f64::from(f16::from_f64(f64::INFINITY)).is_infinite());
+        assert_eq!(f64::from(f16::from_f64(-0.0)), 0.0);
+    }
+}

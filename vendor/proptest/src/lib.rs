@@ -1,0 +1,325 @@
+//! Vendored stand-in for `proptest`, implementing the subset this
+//! workspace's property tests use: the `proptest!` macro with optional
+//! `#![proptest_config(...)]`, range strategies over ints/floats,
+//! `prop::sample::select`, `any::<bool>()`, and
+//! `prop_assert!`/`prop_assert_eq!`. Sampling is deterministic (seeded
+//! from the test name) and there is no shrinking — a failing case
+//! reports its case number and arguments instead.
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    // Real proptest's prelude aliases the crate as `prop` so tests can
+    // write `prop::sample::select(...)`.
+    pub use crate as prop;
+}
+
+pub mod test_runner {
+    /// Run-count configuration; everything else proptest configures is
+    /// irrelevant to this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 stream seeded from the test name, so
+    /// every run of a test explores the same cases (reproducible
+    /// failures without persistence files).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value source: `pick` draws one sample. No shrinking.
+    pub trait Strategy {
+        type Value;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f32, f64);
+
+    /// Always yields the same value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn pick(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly choose one of the given options per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: no options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<T>()` — the full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(expr)]` header followed by `fn name(arg in
+/// strategy, ...) { body }` items (each carrying its own outer
+/// attributes, e.g. `#[test]` and doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut __rng);)*
+                let __case_desc = || {
+                    let mut __d = ::std::format!("case {}/{}:", __case + 1, __config.cases);
+                    $(
+                        __d.push_str(&::std::format!(
+                            " {} = {:?}", stringify!($arg), &$arg
+                        ));
+                    )*
+                    __d
+                };
+                let __guard = $crate::CaseGuard::new(&__case_desc);
+                { $body }
+                ::std::mem::forget(__guard);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Prints the failing case's arguments if the body panics (stand-in for
+/// proptest's failure reporting; no shrinking).
+pub struct CaseGuard<'a> {
+    describe: &'a dyn Fn() -> String,
+}
+
+impl<'a> CaseGuard<'a> {
+    pub fn new(describe: &'a dyn Fn() -> String) -> Self {
+        CaseGuard { describe }
+    }
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        // Only reached when the case body panicked (success path
+        // `mem::forget`s the guard).
+        eprintln!("proptest stand-in: failing {}", (self.describe)());
+    }
+}
+
+/// In this stand-in, prop_assert* panic like their std counterparts;
+/// the surrounding `CaseGuard` reports the failing arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in -5.0f64..5.0, n in 1usize..10, b in any::<bool>()) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((b as u8) < 2);
+        }
+
+        #[test]
+        fn select_picks_members(v in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
+        }
+
+        #[test]
+        fn trailing_comma_accepted(
+            a in 0u32..7,
+            b in 0u64..9,
+        ) {
+            prop_assert!(a < 7 && b < 9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        let mut r1 = crate::test_runner::TestRng::from_name("x");
+        let mut r2 = crate::test_runner::TestRng::from_name("x");
+        let s = 0usize..100;
+        let a: Vec<usize> = (0..32).map(|_| s.pick(&mut r1)).collect();
+        let b: Vec<usize> = (0..32).map(|_| s.pick(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+}

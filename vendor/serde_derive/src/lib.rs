@@ -1,0 +1,229 @@
+//! Derive macros for the vendored `serde` stand-in, written directly
+//! against `proc_macro` (no `syn`/`quote` — the build environment has no
+//! registry access). Supports exactly the shapes this workspace
+//! serializes: structs with named fields and enums whose variants are
+//! all units. Anything else is a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum of unit variants: variant identifiers.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(v) => v,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&shape, serialize) {
+        (Shape::Struct(fields), true) => struct_ser(&name, fields),
+        (Shape::Struct(fields), false) => struct_de(&name, fields),
+        (Shape::Enum(variants), true) => enum_ser(&name, variants),
+        (Shape::Enum(variants), false) => enum_de(&name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Walk the item tokens: skip attributes and visibility, find
+/// `struct`/`enum`, the type name, and the brace-delimited body.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        i += 1;
+                        // `pub(crate)` etc.: skip the parenthesis group.
+                        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(if s == "struct" { "struct" } else { "enum" });
+                        match tokens.get(i + 1) {
+                            Some(TokenTree::Ident(n)) => name = n.to_string(),
+                            _ => return Err("expected type name".into()),
+                        }
+                        i += 2;
+                        break;
+                    }
+                    _ => return Err(format!("unexpected token `{s}` before struct/enum")),
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    let kind = kind.ok_or("no struct/enum found")?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("generic types are not supported by the vendored serde derive".into());
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "{kind} {name} must have a braced body (tuple/unit forms unsupported)"
+            ))
+        }
+    };
+    let names = parse_body(body, kind == "struct")?;
+    Ok((
+        name,
+        if kind == "struct" {
+            Shape::Struct(names)
+        } else {
+            Shape::Enum(names)
+        },
+    ))
+}
+
+/// Extract field names (struct) or unit-variant names (enum) from the
+/// body stream. Comma-separated segments; each segment is attributes,
+/// optional visibility, then the identifier.
+fn parse_body(body: TokenStream, is_struct: bool) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut at_segment_start = true;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                at_segment_start = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if at_segment_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                    continue;
+                }
+                if is_struct {
+                    match tokens.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                        _ => return Err(format!("field `{s}`: expected `:` (named fields only)")),
+                    }
+                } else {
+                    match tokens.peek() {
+                        None => {}
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                        _ => {
+                            return Err(format!(
+                                "variant `{s}` carries data — the vendored serde derive supports unit variants only"
+                            ))
+                        }
+                    }
+                }
+                names.push(s);
+                at_segment_start = false;
+            }
+            _ => {
+                at_segment_start = false;
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn struct_ser(name: &str, fields: &[String]) -> String {
+    let pairs: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{pairs}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: <_ as ::serde::Deserialize>::from_value(\
+                     v.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::std::format!(\"{name}.{f}: {{}}\", e))?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => {v:?},"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::String(::std::string::String::from(match self {{ {arms} }}))\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_de(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {arms}\n\
+                         other => ::std::result::Result::Err(::std::format!(\"unknown {name} variant {{}}\", other)),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::std::format!(\"expected string for {name}, got {{:?}}\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
