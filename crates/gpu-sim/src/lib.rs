@@ -72,7 +72,8 @@ pub use matrix::Matrix;
 pub use memory::global::{BufferId, GlobalMemory};
 pub use memory::regfile::RegisterUsage;
 pub use occupancy::{
-    analyze as analyze_occupancy, analyze_on_chip as analyze_occupancy_on_chip, Limiter, Occupancy,
+    analyze as analyze_occupancy, analyze_on_chip as analyze_occupancy_on_chip,
+    analyze_stream as analyze_occupancy_stream, Limiter, Occupancy, StreamSteady,
 };
 pub use precision::Precision;
 pub use program::{BlockKernel, Op, WarpProgram};

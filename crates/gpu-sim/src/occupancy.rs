@@ -143,6 +143,63 @@ fn analyze_with(
     }
 }
 
+/// Steady-state view of a *stream* of variable-length work items — the
+/// sparse extension of [`Occupancy`]. A sparse schedule (SpMM block
+/// rows, SpGEMM output blocks) is a stream where item `i` carries
+/// `iters[i]` unit block products; the device retires
+/// `rate_per_cycle · num_sms` units per cycle at steady state, so the
+/// stream cannot finish faster than `ideal_cycles` no matter how the
+/// scheduler places it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamSteady {
+    /// Unit block products retired per cycle per SM (the unit kernel's
+    /// [`Occupancy::rate_per_cycle`]).
+    pub iter_rate_per_cycle: f64,
+    /// Lower-bound cycles for the whole stream across all SMs.
+    pub ideal_cycles: f64,
+    /// Device TFLOPS at the steady unit rate.
+    pub steady_tflops: f64,
+    /// Mean units per (nonempty) item.
+    pub mean_iters_per_item: f64,
+    /// `max/mean` units per item: 1 for uniform streams, large under
+    /// power-law nnz skew — the quantity weighted decompositions react
+    /// to.
+    pub skew: f64,
+}
+
+/// Analyze the steady state of a variable-length stream whose unit
+/// block produced `unit` (via [`analyze`]) and computes `unit_flops`
+/// useful flops; `iters[i]` is the number of unit products item `i`
+/// carries (per-row-block nnz for SpMM, contributing pairs for SpGEMM).
+pub fn analyze_stream(
+    device: &DeviceSpec,
+    unit: &Occupancy,
+    unit_flops: u64,
+    iters: &[usize],
+) -> StreamSteady {
+    let total: u64 = iters.iter().map(|&w| w as u64).sum();
+    let nonempty = iters.iter().filter(|&&w| w > 0).count();
+    let max = iters.iter().copied().max().unwrap_or(0);
+    let mean = if nonempty > 0 {
+        total as f64 / nonempty as f64
+    } else {
+        0.0
+    };
+    let rate = unit.rate_per_cycle;
+    let device_rate = rate * f64::from(device.num_sms);
+    StreamSteady {
+        iter_rate_per_cycle: rate,
+        ideal_cycles: if device_rate > 0.0 {
+            total as f64 / device_rate
+        } else {
+            f64::INFINITY
+        },
+        steady_tflops: unit_flops as f64 * device_rate * device.clock_hz() / 1e12,
+        mean_iters_per_item: mean,
+        skew: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +291,31 @@ mod tests {
         assert_eq!(full.rate_limiter, Limiter::GlobalBandwidth);
         assert_ne!(on_chip.rate_limiter, Limiter::GlobalBandwidth);
         assert!(on_chip.steady_tflops > full.steady_tflops);
+    }
+
+    #[test]
+    fn stream_steady_uniform_and_skewed() {
+        let dev = crate::device::gh200();
+        let r = report(4, 64, 4096, 1000.0, 1024, 100.0);
+        let unit = analyze(&dev, &r, 1_000);
+        // Uniform stream: skew 1, ideal cycles = total / device rate.
+        let uniform = vec![4usize; 100];
+        let s = analyze_stream(&dev, &unit, 1_000, &uniform);
+        assert_eq!(s.skew, 1.0);
+        assert_eq!(s.mean_iters_per_item, 4.0);
+        let want = 400.0 / (unit.rate_per_cycle * f64::from(dev.num_sms));
+        assert!((s.ideal_cycles - want).abs() < 1e-9);
+        assert!((s.steady_tflops - unit.steady_tflops).abs() < 1e-9);
+        // Power-law-ish stream: same total, one dominant item.
+        let skewed = [vec![301usize], vec![1usize; 99]].concat();
+        let t = analyze_stream(&dev, &unit, 1_000, &skewed);
+        assert!((t.ideal_cycles - s.ideal_cycles).abs() < 1e-9);
+        assert!(t.skew > 50.0, "skew {}", t.skew);
+        // Empty items don't dilute the mean.
+        let holes = [vec![8usize, 0, 8, 0], vec![0usize; 10]].concat();
+        let h = analyze_stream(&dev, &unit, 1_000, &holes);
+        assert_eq!(h.mean_iters_per_item, 8.0);
+        assert_eq!(h.skew, 1.0);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   a [`ScheduleReport`] (makespan, utilization, tail imbalance,
 //!   achieved TFLOPS) plus an optional device-level Perfetto trace.
 //!
+//! Sparse streams get their own nnz-weighted path ([`sparse`]): a
+//! [`SparseWork`] stream derives per-output-block nonzero iteration
+//! counts from the BSR structure (or the SpGEMM symbolic phase) and is
+//! split by *nonzero* k-iterations — Stream-K over the ragged iteration
+//! space, with a weighted-LPT fallback for pathological skew.
+//!
 //! ```
 //! use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler};
 //! use kami_gpu_sim::{device, Precision};
@@ -36,8 +42,13 @@
 
 pub mod plan;
 pub mod schedule;
+pub mod sparse;
 pub mod work;
 
 pub use plan::{BlockCost, PlanCache, PlanEntry};
 pub use schedule::{estimate_batched_device, Decomposition, ScheduleReport, Scheduler, SmStats};
+pub use sparse::{
+    spgemm_scheduled, spmm_scheduled, ScheduledSpgemm, ScheduledSpmm, SparseCost, SparseKind,
+    SparseScheduleReport, SparseWork, SparseWorkItem,
+};
 pub use work::{BlockWork, WorkItem, PAPER_BLOCK_COUNT};

@@ -34,7 +34,13 @@ pub enum Decomposition {
     DataParallel,
     /// Work-centric k-loop splitting with a fixup/reduction pass.
     StreamK,
-    /// Model both and keep the smaller makespan (ties go data-parallel).
+    /// Whole items placed heaviest-first onto the least-loaded SM — the
+    /// no-fixup fallback for nnz-weighted sparse streams
+    /// ([`crate::sparse`]). Uniform dense streams treat it as
+    /// data-parallel (equal weights make the two placements identical).
+    WeightedLpt,
+    /// Model every applicable decomposition and keep the smallest
+    /// makespan (ties go data-parallel).
     Auto,
 }
 
@@ -43,6 +49,7 @@ impl Decomposition {
         match self {
             Decomposition::DataParallel => "data-parallel",
             Decomposition::StreamK => "stream-k",
+            Decomposition::WeightedLpt => "weighted-lpt",
             Decomposition::Auto => "auto",
         }
     }
@@ -100,10 +107,10 @@ impl ScheduleReport {
     }
 }
 
-/// One scheduled span of SM time (internal currency shared by the
-/// stats and trace builders).
+/// One scheduled span of SM time (crate-internal currency shared by
+/// the dense and sparse schedulers' stats and trace builders).
 #[derive(Debug, Clone)]
-enum Segment {
+pub(crate) enum Segment {
     /// A whole block (data-parallel / ragged).
     Block {
         block: usize,
@@ -134,7 +141,7 @@ enum Segment {
 }
 
 impl Segment {
-    fn cycles(&self) -> f64 {
+    pub(crate) fn cycles(&self) -> f64 {
         match *self {
             Segment::Block { cycles, .. }
             | Segment::Chunk { cycles, .. }
@@ -145,21 +152,21 @@ impl Segment {
 }
 
 #[derive(Debug, Clone)]
-struct SmPlan {
-    sm: usize,
-    segments: Vec<Segment>,
+pub(crate) struct SmPlan {
+    pub(crate) sm: usize,
+    pub(crate) segments: Vec<Segment>,
 }
 
 impl SmPlan {
-    fn busy(&self) -> f64 {
+    pub(crate) fn busy(&self) -> f64 {
         self.segments.iter().map(Segment::cycles).sum()
     }
 }
 
 /// Device-level scheduler for one [`DeviceSpec`].
 pub struct Scheduler<'a> {
-    device: &'a DeviceSpec,
-    decomposition: Decomposition,
+    pub(crate) device: &'a DeviceSpec,
+    pub(crate) decomposition: Decomposition,
 }
 
 impl<'a> Scheduler<'a> {
@@ -174,6 +181,11 @@ impl<'a> Scheduler<'a> {
     pub fn with_decomposition(mut self, decomposition: Decomposition) -> Self {
         self.decomposition = decomposition;
         self
+    }
+
+    /// The device this scheduler places work on.
+    pub fn device(&self) -> &DeviceSpec {
+        self.device
     }
 
     /// Schedule `work` across all SMs and report.
@@ -363,66 +375,91 @@ impl<'a> Scheduler<'a> {
         useful_flops: u64,
         span: f64,
         sm_plans: &[SmPlan],
-        (plans_reused, plans_tuned): (usize, usize),
+        counts: (usize, usize),
     ) -> ScheduleReport {
-        // Per-SM accounting fans out across worker threads (rayon).
-        let per_sm: Vec<SmStats> = sm_plans
-            .par_iter()
-            .map(|plan| {
-                let mut stats = SmStats {
-                    sm: plan.sm,
-                    blocks: 0,
-                    k_iters: 0,
-                    fixups: 0,
-                    busy_cycles: plan.busy(),
-                };
-                for seg in &plan.segments {
-                    match *seg {
-                        Segment::Block { .. } => {
-                            stats.blocks += 1;
-                            stats.k_iters += k_stages;
-                        }
-                        Segment::Chunk { iters, owner, .. } => {
-                            if owner {
-                                stats.blocks += 1;
-                            }
-                            stats.k_iters += iters.1 - iters.0;
-                        }
-                        Segment::FixupStore { .. } => stats.fixups += 1,
-                        Segment::FixupLoad { partials, .. } => stats.fixups += partials,
-                    }
-                }
-                stats
-            })
-            .collect();
-
-        let busy_sum: f64 = per_sm.iter().map(|s| s.busy_cycles).sum();
-        let busy_max = per_sm.iter().map(|s| s.busy_cycles).fold(0.0f64, f64::max);
-        let mean = busy_sum / per_sm.len().max(1) as f64;
-        let seconds = span / self.device.clock_hz();
-        ScheduleReport {
-            device_name: self.device.name.clone(),
-            requested: self.decomposition,
-            decomposition: chosen,
-            total_blocks: per_sm.iter().map(|s| s.blocks).sum(),
+        build_report(
+            self.device,
+            self.decomposition,
+            chosen,
             k_stages,
-            makespan_cycles: span,
             useful_flops,
-            achieved_tflops: useful_flops as f64 / seconds / 1e12,
-            utilization: if span > 0.0 { mean / span } else { 0.0 },
-            tail_imbalance: if busy_max > 0.0 {
-                1.0 - mean / busy_max
-            } else {
-                0.0
-            },
-            plans_reused,
-            plans_tuned,
-            per_sm,
-        }
+            span,
+            sm_plans,
+            counts,
+        )
     }
 }
 
-fn makespan(plans: &[SmPlan]) -> f64 {
+/// Fold per-SM plans into a [`ScheduleReport`] — shared by the dense
+/// scheduler and the sparse path ([`crate::sparse`]). Per-SM accounting
+/// fans out across worker threads (rayon).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_report(
+    device: &DeviceSpec,
+    requested: Decomposition,
+    chosen: Decomposition,
+    k_stages: usize,
+    useful_flops: u64,
+    span: f64,
+    sm_plans: &[SmPlan],
+    (plans_reused, plans_tuned): (usize, usize),
+) -> ScheduleReport {
+    let per_sm: Vec<SmStats> = sm_plans
+        .par_iter()
+        .map(|plan| {
+            let mut stats = SmStats {
+                sm: plan.sm,
+                blocks: 0,
+                k_iters: 0,
+                fixups: 0,
+                busy_cycles: plan.busy(),
+            };
+            for seg in &plan.segments {
+                match *seg {
+                    Segment::Block { .. } => {
+                        stats.blocks += 1;
+                        stats.k_iters += k_stages;
+                    }
+                    Segment::Chunk { iters, owner, .. } => {
+                        if owner {
+                            stats.blocks += 1;
+                        }
+                        stats.k_iters += iters.1 - iters.0;
+                    }
+                    Segment::FixupStore { .. } => stats.fixups += 1,
+                    Segment::FixupLoad { partials, .. } => stats.fixups += partials,
+                }
+            }
+            stats
+        })
+        .collect();
+
+    let busy_sum: f64 = per_sm.iter().map(|s| s.busy_cycles).sum();
+    let busy_max = per_sm.iter().map(|s| s.busy_cycles).fold(0.0f64, f64::max);
+    let mean = busy_sum / per_sm.len().max(1) as f64;
+    let seconds = span / device.clock_hz();
+    ScheduleReport {
+        device_name: device.name.clone(),
+        requested,
+        decomposition: chosen,
+        total_blocks: per_sm.iter().map(|s| s.blocks).sum(),
+        k_stages,
+        makespan_cycles: span,
+        useful_flops,
+        achieved_tflops: useful_flops as f64 / seconds / 1e12,
+        utilization: if span > 0.0 { mean / span } else { 0.0 },
+        tail_imbalance: if busy_max > 0.0 {
+            1.0 - mean / busy_max
+        } else {
+            0.0
+        },
+        plans_reused,
+        plans_tuned,
+        per_sm,
+    }
+}
+
+pub(crate) fn makespan(plans: &[SmPlan]) -> f64 {
     plans.iter().map(SmPlan::busy).fold(0.0f64, f64::max)
 }
 
@@ -528,7 +565,11 @@ fn streamk_plans(
 /// Merge per-SM placements into one device-level trace: one track per
 /// SM (the `warp` field carries the SM index), compute chunks as `mma`
 /// events, fixup traffic as global load/store events.
-fn build_trace(device: &DeviceSpec, report: &ScheduleReport, sm_plans: &[SmPlan]) -> Trace {
+pub(crate) fn build_trace(
+    device: &DeviceSpec,
+    report: &ScheduleReport,
+    sm_plans: &[SmPlan],
+) -> Trace {
     let per_sm_events: Vec<Vec<TraceEvent>> = sm_plans
         .par_iter()
         .map(|plan| {

@@ -47,6 +47,36 @@ pub fn paper_sparse_workload(
     random_block_sparse(n, n, block, 0.5, order, seed)
 }
 
+/// Power-law row-block skew: block row `i` of the `nb×nb` grid keeps
+/// `max(1, round(nb · (i+1)^-alpha))` blocks at random columns — the
+/// scale-free degree distribution of graph adjacency and recommender
+/// matrices, and the adversarial case for quantized tile-per-CTA
+/// scheduling (a few block rows carry most of the nonzero k-iterations).
+/// Deterministic in `seed`.
+pub fn power_law_block_sparse(
+    n: usize,
+    block: usize,
+    alpha: f64,
+    order: BlockOrder,
+    seed: u64,
+) -> BlockSparseMatrix {
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nb = n / block;
+    let mut entries = Vec::new();
+    for r in 0..nb {
+        let target = ((nb as f64) * ((r + 1) as f64).powf(-alpha)).round() as usize;
+        let keep = target.clamp(1, nb);
+        let mut cols: Vec<usize> = (0..nb).collect();
+        cols.shuffle(&mut rng);
+        for &c in cols.iter().take(keep) {
+            let tile = Matrix::from_fn(block, block, |_, _| rng.gen_range(-1.0..1.0));
+            entries.push(((r, c), tile));
+        }
+    }
+    BlockSparseMatrix::from_blocks(n, n, block, order, entries)
+}
+
 /// Structured sparsity patterns of the workloads §3.1 motivates —
 /// block-sparse attention masks, banded solvers, arrowhead systems.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +158,28 @@ mod tests {
         let c = random_block_sparse(64, 64, 16, 0.5, BlockOrder::ZMorton, 8);
         assert_eq!(a.to_dense().max_abs_diff(&b.to_dense()), 0.0);
         assert!(c.to_dense().max_abs_diff(&a.to_dense()) > 0.0);
+    }
+
+    #[test]
+    fn power_law_rows_decay_and_are_deterministic() {
+        let a = power_law_block_sparse(1024, 16, 1.2, BlockOrder::RowMajor, 42);
+        let nb = 1024 / 16;
+        assert_eq!(a.rows_blk(), nb);
+        // Row 0 is (near-)dense, the tail thins to the 1-block floor.
+        assert_eq!(a.row_blocks(0).count(), nb);
+        assert_eq!(a.row_blocks(nb - 1).count(), 1);
+        let counts: Vec<usize> = (0..nb).map(|r| a.row_blocks(r).count()).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "non-monotone decay"
+        );
+        let total: usize = counts.iter().sum();
+        assert!(total < nb * nb / 4, "alpha=1.2 should be sparse overall");
+        let b = power_law_block_sparse(1024, 16, 1.2, BlockOrder::RowMajor, 42);
+        assert_eq!(a.to_dense().max_abs_diff(&b.to_dense()), 0.0);
+        // alpha = 0 degenerates to fully dense.
+        let dense = power_law_block_sparse(64, 16, 0.0, BlockOrder::ZMorton, 1);
+        assert_eq!(dense.nnz_blocks(), 16);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod spgemm;
 pub mod spmm;
 
 pub use bsr::{BlockOrder, BlockSparseMatrix, DEFAULT_BLOCK};
-pub use gen::{patterned_block_sparse, random_block_sparse, Pattern};
+pub use gen::{patterned_block_sparse, power_law_block_sparse, random_block_sparse, Pattern};
 pub use io::{parse_mtx, parse_mtx_dense, write_mtx, MtxError};
 pub use spgemm::numeric::{spgemm_batched, SpgemmBatchedResult};
 pub use spgemm::{spgemm, symbolic, SpgemmResult, SymbolicResult};

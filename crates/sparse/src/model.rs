@@ -15,17 +15,14 @@
 
 use kami_core::config::Algo;
 use kami_core::model::cycles::ModelParams;
-use kami_sparse_reexport::metadata_bytes_est;
 
-/// Tiny indirection so the formulas read like the dense module without a
-/// circular dev-dependency.
-mod kami_sparse_reexport {
-    /// RowPtr + ColBlkIdx bytes for `rows` block rows and `nblocks`
-    /// stored blocks (4-byte entries, matching
-    /// `BlockSparseMatrix::metadata_bytes`).
-    pub fn metadata_bytes_est(rows: f64, nblocks: f64) -> f64 {
-        4.0 * (rows + 1.0) + 4.0 * nblocks
-    }
+/// RowPtr + ColBlkIdx bytes for `rows` block rows and `nblocks` stored
+/// blocks (4-byte entries, the real-valued counterpart of
+/// `BlockSparseMatrix::metadata_bytes`). Public so the device-level
+/// scheduler's nnz-weighted cost hook charges index traffic with the
+/// same accounting as these formulas.
+pub fn metadata_bytes(rows: f64, nblocks: f64) -> f64 {
+    4.0 * (rows + 1.0) + 4.0 * nblocks
 }
 
 /// Expected useful flops of SpMM on an `m×k` sparse A (density `d`,
@@ -64,7 +61,7 @@ pub fn spmm_expected_volume(
         Algo::TwoD | Algo::ThreeD => {
             let a_blocks = (m / bs) as f64 * (k / bs) as f64 * d;
             let a_vals = a_blocks * (bs * bs) as f64 * s_e;
-            let a_meta = metadata_bytes_est((m / bs) as f64, a_blocks);
+            let a_meta = metadata_bytes((m / bs) as f64, a_blocks);
             b_vol + (a_vals + a_meta) * g
         }
     }
@@ -88,6 +85,48 @@ pub fn spgemm_expected_flops(n: usize, bs: usize, d: f64) -> f64 {
 pub fn spgemm_expected_output_blocks(n: usize, bs: usize, d: f64) -> f64 {
     let nb = (n / bs) as f64;
     nb * nb * (1.0 - (1.0 - d * d).powf(nb))
+}
+
+/// Expected total communication volume (bytes) of the block-level
+/// SpGEMM on two `n×n` operands with density `d` under `algo` with `p`
+/// warps. Each sparse operand costs its nonzero values plus the
+/// RowPtr/ColBlkIdx metadata; 1D keeps A resident and circulates only
+/// the sparse B slabs, 2D/3D move both operands' quadrants.
+pub fn spgemm_expected_volume(algo: Algo, n: usize, bs: usize, d: f64, p: usize, s_e: f64) -> f64 {
+    let g = match algo {
+        Algo::OneD => p as f64,
+        Algo::TwoD => (p as f64).sqrt(),
+        Algo::ThreeD => (p as f64).cbrt(),
+    };
+    let nb = (n / bs) as f64;
+    let blocks = nb * nb * d;
+    let operand = blocks * (bs * bs) as f64 * s_e + metadata_bytes(nb, blocks);
+    match algo {
+        Algo::OneD => operand * g,
+        Algo::TwoD | Algo::ThreeD => 2.0 * operand * g,
+    }
+}
+
+/// Rough total cycles of block-level SpGEMM — the [`spmm_expected_cycles`]
+/// analogue over the two-sparse-operand volume and the collision-expected
+/// compressed flop count.
+pub fn spgemm_expected_cycles(
+    algo: Algo,
+    n: usize,
+    bs: usize,
+    d: f64,
+    p: usize,
+    prm: &ModelParams,
+) -> f64 {
+    let stages = match algo {
+        Algo::OneD => p as f64,
+        Algo::TwoD => (p as f64).sqrt(),
+        Algo::ThreeD => (p as f64).cbrt(),
+    };
+    let vol = spgemm_expected_volume(algo, n, bs, d, p, prm.s_e);
+    let comm = vol / (prm.theta_r.min(prm.theta_w) * prm.b_sm);
+    let compute = spgemm_expected_flops(n, bs, d) / (prm.n_tc * prm.o_tc);
+    prm.l_sm * stages + comm + compute
 }
 
 /// Rough total cycles of block-level SpMM: latency per stage plus the
@@ -191,6 +230,52 @@ mod tests {
         assert!(
             (got - want).abs() / want < 0.35,
             "got {got} expected {want}"
+        );
+    }
+
+    #[test]
+    fn spgemm_volume_and_cycles_scale_sensibly() {
+        let dev = gh200();
+        let prm =
+            kami_core::model::cycles::ModelParams::from_device(&dev, Precision::Fp16).unwrap();
+        let (n, bs, p) = (128usize, 16usize, 4usize);
+        // 2D moves both operands: exactly twice the per-operand volume
+        // at matched group counts; 1D moves one.
+        let v1 = spgemm_expected_volume(Algo::OneD, n, bs, 0.5, p, prm.s_e);
+        let v2 = spgemm_expected_volume(Algo::TwoD, n, bs, 0.5, p, prm.s_e);
+        assert!(v1 > 0.0 && v2 > 0.0);
+        // Denser operands cost more, everywhere.
+        for algo in [Algo::OneD, Algo::TwoD, Algo::ThreeD] {
+            let lo = spgemm_expected_volume(algo, n, bs, 0.2, p, prm.s_e);
+            let hi = spgemm_expected_volume(algo, n, bs, 0.8, p, prm.s_e);
+            assert!(hi > lo, "{}", algo.label());
+            let c_lo = spgemm_expected_cycles(algo, n, bs, 0.2, p, &prm);
+            let c_hi = spgemm_expected_cycles(algo, n, bs, 0.8, p, &prm);
+            assert!(c_hi > c_lo, "{}", algo.label());
+        }
+        // d = 0: only metadata remains of the volume.
+        let empty = spgemm_expected_volume(Algo::OneD, n, bs, 0.0, p, prm.s_e);
+        assert_eq!(empty, metadata_bytes((n / bs) as f64, 0.0) * p as f64);
+        // At d = 1 SpGEMM compute equals the dense n³ GEMM's.
+        assert_eq!(spgemm_expected_flops(n, bs, 1.0), 2.0 * (n * n * n) as f64);
+    }
+
+    #[test]
+    fn spgemm_cycle_estimate_tracks_simulator() {
+        let dev = gh200();
+        let prec = Precision::Fp16;
+        let prm = kami_core::model::cycles::ModelParams::from_device(&dev, prec).unwrap();
+        let (n, bs, d, p) = (128usize, 16usize, 0.5, 4usize);
+        let a = crate::gen::random_block_sparse(n, n, bs, d, crate::BlockOrder::RowMajor, 21);
+        let b = crate::gen::random_block_sparse(n, n, bs, d, crate::BlockOrder::RowMajor, 22);
+        let cfg = KamiConfig::new(Algo::OneD, prec).with_warps(p);
+        let res = crate::spgemm::spgemm(&dev, &cfg, &a, &b).unwrap();
+        let est = spgemm_expected_cycles(Algo::OneD, n, bs, d, p, &prm);
+        let measured = res.report.on_chip_cycles();
+        let ratio = measured / est;
+        assert!(
+            (0.2..=5.0).contains(&ratio),
+            "measured {measured} vs estimate {est}"
         );
     }
 

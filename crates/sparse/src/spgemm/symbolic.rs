@@ -59,10 +59,15 @@ pub fn symbolic(a: &BlockSparseMatrix, b: &BlockSparseMatrix) -> SymbolicResult 
     let mut colidx = Vec::new();
     let mut block_pairs = 0usize;
 
-    // SPA: a dense marker array reused across rows (ages avoid clearing).
+    // SPA: a dense marker array reused across rows (ages avoid
+    // clearing), and one scratch column list reused across rows — a
+    // fresh Vec per row re-grows from zero capacity every iteration,
+    // which on a dense-collision row (every column hit) reallocates
+    // O(log cols) times per row for no reason.
     let mut mark = vec![usize::MAX; cols];
+    let mut row_cols: Vec<usize> = Vec::new();
     for i in 0..rows {
-        let mut row_cols: Vec<usize> = Vec::new();
+        row_cols.clear();
         for (l, _) in a.row_blocks(i) {
             for (j, _) in b.row_blocks(l) {
                 block_pairs += 1;
@@ -150,6 +155,47 @@ mod tests {
         for i in 0..s.rows_blk {
             let r = s.row(i);
             assert!(r.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+        }
+    }
+
+    #[test]
+    fn empty_output_rows_are_well_formed() {
+        // A has an empty block row (row 1 stores nothing): C's row 1
+        // must be empty with consistent rowptr, not skipped or aliased.
+        let bs = 16;
+        let entries = vec![
+            ((0usize, 0usize), Matrix::identity(bs)),
+            ((2, 1), Matrix::identity(bs)),
+            ((3, 3), Matrix::identity(bs)),
+        ];
+        let a = BlockSparseMatrix::from_blocks(64, 64, bs, BlockOrder::RowMajor, entries);
+        let b = random_block_sparse(64, 64, bs, 0.5, BlockOrder::RowMajor, 11);
+        let s = symbolic(&a, &b);
+        assert_eq!(s.rowptr.len(), 5);
+        assert!(s.rowptr.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*s.rowptr.last().unwrap(), s.colidx.len());
+        assert!(s.row(1).is_empty(), "empty A row must give empty C row");
+        // Rows that do store blocks may still be empty if B's matching
+        // rows are — but never malformed.
+        for i in 0..4 {
+            assert!(s.row(i).iter().all(|&j| j < s.cols_blk));
+        }
+    }
+
+    #[test]
+    fn dense_collision_rows_dedup_to_full_width() {
+        // Fully dense operands: every SPA insertion after the first per
+        // column is a collision; each output row must dedup to exactly
+        // nb sorted columns and block_pairs must count all nb³ pairs.
+        let a = random_block_sparse(64, 64, 16, 1.0, BlockOrder::RowMajor, 1);
+        let b = random_block_sparse(64, 64, 16, 1.0, BlockOrder::ZMorton, 2);
+        let s = symbolic(&a, &b);
+        let nb = 4;
+        assert_eq!(s.nnz_blocks(), nb * nb);
+        assert_eq!(s.block_pairs, nb * nb * nb);
+        for i in 0..nb {
+            let want: Vec<usize> = (0..nb).collect();
+            assert_eq!(s.row(i), &want[..], "row {i} must be dense and sorted");
         }
     }
 

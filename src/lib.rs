@@ -15,7 +15,9 @@
 //! * [`baselines`] — comparator strategies (cuBLASDx-, CUTLASS-,
 //!   cuBLAS-, MAGMA-, SYCL-Bench-style) on the same simulator;
 //! * [`sched`] — the device-level work-centric scheduler (data-parallel
-//!   vs Stream-K decomposition, shared plan cache, per-SM accounting).
+//!   vs Stream-K decomposition, shared plan cache, per-SM accounting),
+//!   including the nnz-weighted sparse path (`sched::sparse`) that
+//!   splits SpMM/SpGEMM streams by nonzero k-iterations.
 //!
 //! See `examples/quickstart.rs` for a first program and
 //! `examples/device_schedule.rs` for the device-level scheduler.
@@ -32,6 +34,9 @@ pub mod prelude {
         batched_gemm, gemm, gemm_auto, gemm_padded, lowrank_gemm, Algo, KamiConfig, KamiError,
     };
     pub use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
-    pub use kami_sched::{BlockWork, Decomposition, PlanCache, ScheduleReport, Scheduler};
+    pub use kami_sched::{
+        spgemm_scheduled, spmm_scheduled, BlockWork, Decomposition, PlanCache, ScheduleReport,
+        Scheduler, SparseWork,
+    };
     pub use kami_sparse::{spgemm, spmm::spmm, BlockOrder, BlockSparseMatrix};
 }

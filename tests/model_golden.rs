@@ -1,11 +1,16 @@
-//! Golden conformance tests for the analytic cycle model (Formulas
-//! 1–12, `kami_core::model::cycles`).
+//! Golden conformance tests for the analytic cycle models: the dense
+//! Formulas 1–12 (`kami_core::model::cycles`) and the §4.6 sparse
+//! extension (`kami_sparse::model`).
 //!
-//! Every `(device, algorithm, n)` case snapshots the per-stage
+//! Every dense `(device, algorithm, n)` case snapshots the per-stage
 //! communication volume `V_cm`, the per-warp per-stage computation
 //! cycles `T_cp`, and the total communication cycles `t_all_comm` into
-//! `tests/data/model_golden.json`. Any change to the model shows up as
-//! an explicit diff of that file. Regenerate with:
+//! `tests/data/model_golden.json`. The sparse cases snapshot expected
+//! flops, volume, and cycles for SpMM and SpGEMM at the paper's sparse
+//! evaluation setting (Fig 13: GH200, FP16, 50% block sparsity, the
+//! five square orders) into `tests/data/sparse_model_golden.json`. Any
+//! change to either model shows up as an explicit diff of its file.
+//! Regenerate with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test model_golden
@@ -14,22 +19,72 @@
 use kami::core::model::{t_all_comm, t_cp_per_warp_stage, v_cm_per_stage, ModelParams};
 use kami::core::Algo;
 use kami::sim::{device, Precision};
+use kami::sparse::model as sparse_model;
 use serde_json::Value;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const SIZES: [usize; 3] = [16, 64, 256];
+// Fig 13's sparse evaluation orders.
+const SPARSE_SIZES: [usize; 5] = [32, 64, 96, 128, 192];
 // One representative warp grid per algorithm: p warps for 1D, a 2×2
 // grid for 2D, a 2×2×2 cube for 3D.
 const GRIDS: [(Algo, usize); 3] = [(Algo::OneD, 4), (Algo::TwoD, 4), (Algo::ThreeD, 8)];
+// The sparse evaluation setting: 50% block sparsity, 16×16 blocks.
+const SPARSE_DENSITY: f64 = 0.5;
+const SPARSE_BLOCK: usize = 16;
 
-fn golden_path() -> PathBuf {
+fn data_path(file: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("data")
-        .join("model_golden.json")
+        .join(file)
 }
 
-/// Compute the snapshot for every case, in a deterministic order.
+/// Compare computed cases against the golden file, or rewrite it when
+/// `UPDATE_GOLDEN` is set. Each record is an object of numeric fields;
+/// every field must match to relative 1e-12.
+fn assert_matches_golden(path: &Path, cases: &[(String, Value)]) {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let doc = Value::Object(cases.to_vec());
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+        return;
+    }
+
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden: Value = serde_json::from_str(&raw).expect("golden file parses");
+    let golden_obj = golden.as_object().expect("golden root is an object");
+    assert_eq!(
+        golden_obj.len(),
+        cases.len(),
+        "case list drifted; regenerate with UPDATE_GOLDEN=1"
+    );
+
+    for (key, record) in cases {
+        let want = golden.get(key).unwrap_or_else(|| {
+            panic!("case {key} missing from golden file; regenerate with UPDATE_GOLDEN=1")
+        });
+        for (field, got_v) in record.as_object().expect("record is an object") {
+            let got = got_v.as_f64().expect("computed value is a number");
+            let exp = want[field.as_str()]
+                .as_f64()
+                .unwrap_or_else(|| panic!("golden {key}.{field} is not a number"));
+            let rel = (got - exp).abs() / exp.abs().max(1.0);
+            assert!(
+                rel < 1e-12,
+                "{key}.{field}: computed {got}, golden {exp} \
+                 (model changed? regenerate with UPDATE_GOLDEN=1 and review the diff)"
+            );
+        }
+    }
+}
+
+/// Compute the dense snapshot for every case, in a deterministic order.
 fn compute_cases() -> Vec<(String, Value)> {
     let mut out = Vec::new();
     // FP16 is the one precision with a tensor path on all four
@@ -62,56 +117,85 @@ fn compute_cases() -> Vec<(String, Value)> {
     out
 }
 
-#[test]
-fn formulas_match_golden_snapshot() {
-    let cases = compute_cases();
-    let path = golden_path();
-
-    if std::env::var("UPDATE_GOLDEN").is_ok() {
-        let doc = Value::Object(cases);
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
-        return;
-    }
-
-    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    let golden: Value = serde_json::from_str(&raw).expect("golden file parses");
-    let golden_obj = golden.as_object().expect("golden root is an object");
-    assert_eq!(
-        golden_obj.len(),
-        cases.len(),
-        "case list drifted; regenerate with UPDATE_GOLDEN=1"
-    );
-
-    for (key, record) in &cases {
-        let want = golden.get(key).unwrap_or_else(|| {
-            panic!("case {key} missing from golden file; regenerate with UPDATE_GOLDEN=1")
-        });
-        for field in ["v_cm", "t_cp", "t_all_comm"] {
-            let got = record[field].as_f64().expect("computed value is a number");
-            let exp = want[field]
-                .as_f64()
-                .unwrap_or_else(|| panic!("golden {key}.{field} is not a number"));
-            let rel = (got - exp).abs() / exp.abs().max(1.0);
-            assert!(
-                rel < 1e-12,
-                "{key}.{field}: computed {got}, golden {exp} \
-                 (model changed? regenerate with UPDATE_GOLDEN=1 and review the diff)"
-            );
+/// Compute the sparse snapshot: Fig 13's configurations (GH200 FP16,
+/// 50% block sparsity) × {SpMM, SpGEMM} × the three warp grids.
+fn compute_sparse_cases() -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    let dev = device::gh200();
+    let prm = ModelParams::from_device(&dev, Precision::Fp16).expect("GH200 has FP16 tensor cores");
+    let (bs, d) = (SPARSE_BLOCK, SPARSE_DENSITY);
+    for (algo, p) in GRIDS {
+        for n in SPARSE_SIZES {
+            let base = format!("{}/{}/p{}/n{}", dev.name, algo.label(), p, n);
+            let spmm = Value::Object(vec![
+                (
+                    "flops".into(),
+                    Value::Number(sparse_model::spmm_expected_flops(n, n, n, bs, d)),
+                ),
+                (
+                    "v_cm".into(),
+                    Value::Number(sparse_model::spmm_expected_volume(
+                        algo, n, n, n, bs, d, p, prm.s_e,
+                    )),
+                ),
+                (
+                    "cycles".into(),
+                    Value::Number(sparse_model::spmm_expected_cycles(
+                        algo, n, n, n, bs, d, p, &prm,
+                    )),
+                ),
+            ]);
+            out.push((format!("{base}/spmm"), spmm));
+            let spgemm = Value::Object(vec![
+                (
+                    "flops".into(),
+                    Value::Number(sparse_model::spgemm_expected_flops(n, bs, d)),
+                ),
+                (
+                    "v_cm".into(),
+                    Value::Number(sparse_model::spgemm_expected_volume(
+                        algo, n, bs, d, p, prm.s_e,
+                    )),
+                ),
+                (
+                    "cycles".into(),
+                    Value::Number(sparse_model::spgemm_expected_cycles(
+                        algo, n, bs, d, p, &prm,
+                    )),
+                ),
+                (
+                    "pairs".into(),
+                    Value::Number(sparse_model::spgemm_expected_pairs(n, bs, d)),
+                ),
+                (
+                    "out_blocks".into(),
+                    Value::Number(sparse_model::spgemm_expected_output_blocks(n, bs, d)),
+                ),
+            ]);
+            out.push((format!("{base}/spgemm"), spgemm));
         }
     }
+    out
+}
+
+#[test]
+fn formulas_match_golden_snapshot() {
+    assert_matches_golden(&data_path("model_golden.json"), &compute_cases());
+}
+
+#[test]
+fn sparse_model_matches_golden_snapshot() {
+    assert_matches_golden(
+        &data_path("sparse_model_golden.json"),
+        &compute_sparse_cases(),
+    );
 }
 
 /// Spot-check the snapshot encodes the formulas' scaling laws, so a
 /// regenerated file that silently broke the model cannot pass.
 #[test]
 fn golden_snapshot_obeys_scaling_laws() {
-    let raw = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let raw = std::fs::read_to_string(data_path("model_golden.json")).expect("golden file present");
     let golden: Value = serde_json::from_str(&raw).unwrap();
     for dev in device::DeviceSpec::all_evaluated() {
         // Formula 1: 1D per-stage volume is k·n·s_e → 16× per 4× n.
@@ -145,5 +229,62 @@ fn golden_snapshot_obeys_scaling_laws() {
             .as_f64()
             .unwrap();
         assert!(c2 > c1, "{}", dev.name);
+    }
+}
+
+/// Same guard for the sparse snapshot: the regenerated file must encode
+/// the sparse model's own scaling laws.
+#[test]
+fn sparse_golden_snapshot_obeys_scaling_laws() {
+    let raw = std::fs::read_to_string(data_path("sparse_model_golden.json"))
+        .expect("sparse golden file present");
+    let golden: Value = serde_json::from_str(&raw).unwrap();
+    let dev = device::gh200();
+    for (algo, p) in GRIDS {
+        for n in SPARSE_SIZES {
+            let base = format!("{}/{}/p{}/n{}", dev.name, algo.label(), p, n);
+            let spmm = &golden[&*format!("{base}/spmm")];
+            let spgemm = &golden[&*format!("{base}/spgemm")];
+            // At d = 0.5 with m=n=k, SpGEMM's expected flops are d× the
+            // SpMM flops (2n³d² vs 2n³d) — the collision-probability
+            // scaling law of the Bernoulli sparsity model.
+            let f_spmm = spmm["flops"].as_f64().unwrap();
+            let f_spgemm = spgemm["flops"].as_f64().unwrap();
+            assert!(
+                (f_spgemm - SPARSE_DENSITY * f_spmm).abs() < 1e-6 * f_spmm,
+                "{base}: spgemm flops must be d x spmm flops"
+            );
+            // Both kernels' cycle predictions are positive and monotone
+            // checks below need finite values.
+            assert!(spmm["cycles"].as_f64().unwrap() > 0.0, "{base}");
+            assert!(spgemm["cycles"].as_f64().unwrap() > 0.0, "{base}");
+        }
+        // 1D SpMM volume is the dense-B traffic k·n·s_e·p: 4× per 2× n.
+        if algo == Algo::OneD {
+            let v32 = golden[&*format!("{}/KAMI-1D/p4/n32/spmm", dev.name)]["v_cm"]
+                .as_f64()
+                .unwrap();
+            let v64 = golden[&*format!("{}/KAMI-1D/p4/n64/spmm", dev.name)]["v_cm"]
+                .as_f64()
+                .unwrap();
+            assert_eq!(v64, 4.0 * v32);
+        }
+        // Cycles are strictly monotone in the order, for both kernels.
+        for kernel in ["spmm", "spgemm"] {
+            let cycles: Vec<f64> = SPARSE_SIZES
+                .iter()
+                .map(|n| {
+                    golden[&*format!("{}/{}/p{}/n{}/{}", dev.name, algo.label(), p, n, kernel)]
+                        ["cycles"]
+                        .as_f64()
+                        .unwrap()
+                })
+                .collect();
+            assert!(
+                cycles.windows(2).all(|w| w[0] < w[1]),
+                "{} {kernel}: cycles not monotone in n",
+                algo.label()
+            );
+        }
     }
 }

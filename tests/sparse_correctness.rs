@@ -57,24 +57,59 @@ fn spgemm_matches_dense_oracle() {
 #[test]
 fn spgemm_structure_is_superset_of_values() {
     // Every nonzero of the value product appears within the symbolic
-    // structure — and the structure never misses a block.
+    // structure — and the structure never misses a block. Checked
+    // across the density range: sparse (0.05, likely empty output
+    // rows), the original 0.4 case, and fully dense (1.0, every SPA
+    // insertion is a collision).
     let dev = device::gh200();
-    let a = random_block_sparse(64, 64, 16, 0.4, BlockOrder::RowMajor, 91);
-    let b = random_block_sparse(64, 64, 16, 0.4, BlockOrder::RowMajor, 92);
     let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
-    let res = spgemm(&dev, &cfg, &a, &b).unwrap();
-    let dense = reference_gemm_f64(&a.to_dense(), &b.to_dense());
-    for br in 0..4 {
-        for bc in 0..4 {
-            let block = dense.submatrix(br * 16, bc * 16, 16, 16);
-            let has_values = block.frobenius_norm() > 1e-9;
-            let in_structure = res.c.block_at(br, bc).is_some();
-            assert!(
-                !has_values || in_structure,
-                "block ({br},{bc}) has values but no structure"
-            );
+    for density in [0.05, 0.4, 1.0] {
+        let a = random_block_sparse(64, 64, 16, density, BlockOrder::RowMajor, 91);
+        let b = random_block_sparse(64, 64, 16, density, BlockOrder::RowMajor, 92);
+        let res = spgemm(&dev, &cfg, &a, &b).unwrap_or_else(|e| panic!("d={density}: {e}"));
+        let dense = reference_gemm_f64(&a.to_dense(), &b.to_dense());
+        for br in 0..4 {
+            for bc in 0..4 {
+                let block = dense.submatrix(br * 16, bc * 16, 16, 16);
+                let has_values = block.frobenius_norm() > 1e-9;
+                let in_structure = res.c.block_at(br, bc).is_some();
+                assert!(
+                    !has_values || in_structure,
+                    "d={density}: block ({br},{bc}) has values but no structure"
+                );
+            }
+        }
+        if density == 1.0 {
+            // Dense collisions: the structure must be exactly full,
+            // not over-allocated with duplicate column entries.
+            assert_eq!(res.c.nnz_blocks(), 16, "dense product over-allocated");
         }
     }
+}
+
+#[test]
+fn spgemm_with_empty_output_rows_stays_consistent() {
+    // A stores nothing in block rows 1 and 3: those C rows must come
+    // back empty (no structure, no values) and the populated rows must
+    // still match the dense oracle.
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+    let mut entries = Vec::new();
+    let src = random_block_sparse(64, 64, 16, 1.0, BlockOrder::RowMajor, 93);
+    for (r, c, m) in src.iter_blocks() {
+        if r != 1 && r != 3 {
+            entries.push(((r, c), m.clone()));
+        }
+    }
+    let a = BlockSparseMatrix::from_blocks(64, 64, 16, BlockOrder::RowMajor, entries);
+    let b = random_block_sparse(64, 64, 16, 0.5, BlockOrder::RowMajor, 94);
+    let res = spgemm(&dev, &cfg, &a, &b).unwrap();
+    for bc in 0..4 {
+        assert!(res.c.block_at(1, bc).is_none(), "row 1 must be empty");
+        assert!(res.c.block_at(3, bc).is_none(), "row 3 must be empty");
+    }
+    let want = reference_gemm_f64(&a.to_dense(), &b.to_dense());
+    assert!(res.c.to_dense().rel_frobenius_error(&want) < 1e-2);
 }
 
 #[test]
