@@ -1,0 +1,59 @@
+//! Differential cross-check sweep over the verify-harness grid
+//! (device × algorithm × precision × seeded cases).
+//!
+//! ```text
+//! verify_sweep --quick              # the CI leg: 216 cases, fixed seed
+//! verify_sweep --seed 7 --cases 12  # a deeper custom sweep
+//! ```
+//!
+//! Exits 0 when every case passes its four cross-checks (numerics vs
+//! reference, engine vs Formulas 1–12, scheduler vs its trace, sparse
+//! vs densified dense); on any mismatch it prints the shrunk minimal
+//! case plus a paste-ready regression test and exits 1.
+
+use kami_verify::sweep;
+use kami_verify::Harness;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: verify_sweep [--quick] [--seed N] [--cases N] [--max-failures N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = sweep::quick();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => cfg.seed = num("--seed"),
+            "--cases" => cfg.cases_per_cell = num("--cases") as usize,
+            "--max-failures" => cfg.max_failures = (num("--max-failures") as usize).max(1),
+            _ => usage(),
+        }
+    }
+    if quick {
+        // --quick pins the CI profile's case count, keeping whatever
+        // --seed override came alongside it.
+        cfg.cases_per_cell = sweep::quick().cases_per_cell;
+    }
+
+    println!(
+        "verify_sweep: seed {:#x}, {} cases per cell",
+        cfg.seed, cfg.cases_per_cell
+    );
+    let outcome = sweep::sweep(&cfg, &Harness::default());
+    print!("{}", outcome.summary());
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -202,7 +202,15 @@ pub fn gemm_25d(
 /// Analytic total cycles of the 2.5D scheme, in the style of
 /// Formulas 4/8/12: `q` stages, per-stage volume `(mk + kn)/c` written
 /// once and read `(q−1)` times across the layers.
-pub fn t_all_25d(m: usize, n: usize, k: usize, q: usize, _c: usize, prm: &ModelParams) -> f64 {
+pub fn t_all_25d(m: usize, n: usize, k: usize, q: usize, c: usize, prm: &ModelParams) -> f64 {
+    let compute = 2.0 * (m * n * k) as f64 / (prm.n_tc * prm.o_tc);
+    t_comm_25d(m, n, k, q, c, prm) + compute
+}
+
+/// Communication-only part of [`t_all_25d`] — the 2.5D analogue of
+/// Formulas 4/8/12, directly comparable to the engine's measured
+/// `totals.comm` (the kami-verify harness holds the two to each other).
+pub fn t_comm_25d(m: usize, n: usize, k: usize, q: usize, _c: usize, prm: &ModelParams) -> f64 {
     let stages = q as f64;
     let vol = (m * k + k * n) as f64 * prm.s_e;
     // A and B each transit shared memory once in total (written by their
@@ -211,8 +219,7 @@ pub fn t_all_25d(m: usize, n: usize, k: usize, q: usize, _c: usize, prm: &ModelP
     // latency term scaled by the 2.5D stage count q = √(p/c).
     let write = vol / (prm.theta_w * prm.b_sm);
     let read = (stages - 1.0) * vol / (prm.theta_r * prm.b_sm);
-    let compute = 2.0 * (m * n * k) as f64 / (prm.n_tc * prm.o_tc);
-    prm.l_sm * stages + write + read + compute
+    prm.l_sm * stages + write + read
 }
 
 #[cfg(test)]

@@ -96,6 +96,10 @@ pub fn gemm(
 /// charged); the 3D cross-layer reduction accumulates `alpha`-scaled
 /// partials onto a `beta`-prescaled buffer (the `beta` pass is applied at
 /// upload, the way split-k reduction kernels handle it).
+///
+/// Per BLAS, `alpha == 0` must not read `A` or `B` (NaN/Inf in them must
+/// not poison `C`): that case short-circuits to the `beta·C0` epilogue
+/// without building the product kernel.
 pub fn gemm_scaled(
     device: &DeviceSpec,
     cfg: &KamiConfig,
@@ -117,6 +121,9 @@ pub fn gemm_scaled(
         });
     }
     cfg.validate(device, m, n, k)?;
+    if alpha == 0.0 {
+        return gemm_beta_only(device, cfg, beta, c0);
+    }
 
     let prec = cfg.precision;
     let c_prec = c_precision(prec);
@@ -148,6 +155,58 @@ pub fn gemm_scaled(
         report,
         smem_fraction: cfg.smem_fraction,
         useful_flops: 2 * (m as u64) * (n as u64) * (k as u64),
+    })
+}
+
+/// The `alpha == 0` epilogue: `C = beta·C0` without touching `A`/`B`.
+/// Values follow the device rounding chain (`C0` quantized at upload,
+/// scaled, quantized at store); `beta == 0` does not read `C0` either
+/// (cuBLAS semantics: `C0` may be garbage). The report charges only the
+/// epilogue's global traffic — no shared memory, no tensor-core flops.
+fn gemm_beta_only(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    beta: f64,
+    c0: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    use kami_gpu_sim::cost::{phase_cost, PhaseTally};
+    let (m, n) = (c0.rows(), c0.cols());
+    let c_prec = c_precision(cfg.precision);
+    let c = if beta == 0.0 {
+        Matrix::zeros(m, n)
+    } else {
+        let q0 = c0.quantized(c_prec);
+        Matrix::from_fn(m, n, |r, col| c_prec.round(beta * q0[(r, col)]))
+    };
+    let c_bytes = (m * n * c_prec.size_bytes()) as u64;
+    let read = if beta == 0.0 { 0 } else { c_bytes };
+    let tally = PhaseTally {
+        gmem_bytes: read + c_bytes,
+        has_gmem_load: beta != 0.0,
+        ..Default::default()
+    };
+    let pc = phase_cost(device, &cfg.cost, &tally)?;
+    let report = ExecutionReport {
+        device_name: device.name.clone(),
+        warps: cfg.warps,
+        mode: cfg.cost.mode,
+        phase_costs: vec![pc],
+        totals: pc,
+        cycles: pc.cycles(cfg.cost.mode),
+        flops_charged: 0,
+        smem_bytes_written: 0,
+        smem_bytes_read: 0,
+        smem_extent: 0,
+        gmem_bytes_read: read,
+        gmem_bytes_written: c_bytes,
+        registers_per_warp: vec![],
+    };
+    Ok(GemmResult {
+        c,
+        report,
+        smem_fraction: cfg.smem_fraction,
+        // No multiplications are performed (or charged) when alpha = 0.
+        useful_flops: 0,
     })
 }
 
@@ -481,6 +540,49 @@ mod tests {
         let blend = gemm_scaled(&dev, &cfg, 1.0, &a, &b, 1.0, &c0).unwrap();
         let plain = gemm(&dev, &cfg, &a, &b).unwrap();
         assert!(blend.report.gmem_bytes_read > plain.report.gmem_bytes_read);
+    }
+
+    #[test]
+    fn scaled_gemm_alpha_zero_ignores_nan_in_a_and_b() {
+        let dev = gh200();
+        let (m, n, k) = (16usize, 16usize, 16usize);
+        // BLAS: alpha = 0 means A and B are not read, so NaN/Inf in
+        // them must not poison C. Pre-fix, the kernel still computed
+        // A·B and the NaN survived multiplication by alpha = 0.
+        let a = Matrix::from_fn(m, k, |_, _| f64::NAN);
+        let b = Matrix::from_fn(k, n, |r, c| if r == c { f64::INFINITY } else { 1.0 });
+        let c0 = Matrix::seeded_uniform(m, n, 30);
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, Precision::Fp64);
+            let res = gemm_scaled(&dev, &cfg, 0.0, &a, &b, -0.75, &c0).unwrap();
+            let want = Matrix::from_fn(m, n, |r, c| -0.75 * c0[(r, c)]);
+            assert!(
+                res.c.max_abs_diff(&want) < 1e-12,
+                "{} poisoned by unread operands",
+                algo.label()
+            );
+            // The product was never formed: no flops, no smem traffic.
+            assert_eq!(res.report.flops_charged, 0);
+            assert_eq!(res.report.comm_volume(), 0);
+        }
+    }
+
+    #[test]
+    fn scaled_gemm_alpha_zero_beta_one_is_noop() {
+        let dev = gh200();
+        let c0 = Matrix::seeded_uniform(16, 16, 31);
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp16);
+        let a = Matrix::from_fn(16, 16, |_, _| f64::NAN);
+        let b = Matrix::seeded_uniform(16, 16, 32);
+        let res = gemm_scaled(&dev, &cfg, 0.0, &a, &b, 1.0, &c0).unwrap();
+        // C passes through the device rounding chain but beta = 1 adds
+        // nothing: bit-exact against the quantized original.
+        assert_eq!(
+            res.c
+                .max_abs_diff(&c0.quantized(c_precision(Precision::Fp16))),
+            0.0
+        );
+        assert_eq!(res.report.flops_charged, 0);
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //!
 //! Values live at byte addresses with an element size recorded per write,
 //! so a mismatched read (wrong precision or misaligned overlay) is caught
-//! as a simulation error instead of silently reinterpreting bits.
+//! as a simulation error instead of silently reinterpreting bits. A store
+//! that partially overlaps previously written data of a different extent
+//! invalidates the stale cells, so the clobbered element reads back as
+//! uninitialized instead of returning its old value.
 //!
 //! The module also provides the bank-conflict analysis behind the paper's
 //! `θ_r` / `θ_w` factors: for a warp-wide access with a given element size
@@ -18,11 +21,24 @@ pub enum AccessKind {
     Write,
 }
 
+/// Layout summary of the live cells, used to skip overlap scans in the
+/// common case where a block only ever stores one element size at
+/// aligned addresses (every KAMI kernel today).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    Empty,
+    Uniform(usize),
+    Mixed,
+}
+
 /// Shared-memory space of one thread block.
 pub struct SharedMemory {
     capacity: usize,
     /// byte address -> (value, element size that wrote it)
     cells: HashMap<usize, (f64, usize)>,
+    layout: Layout,
+    /// Largest element size ever stored — bounds the overlap scan window.
+    max_elem: usize,
     bytes_read: u64,
     bytes_written: u64,
     peak_extent: usize,
@@ -33,6 +49,8 @@ impl SharedMemory {
         SharedMemory {
             capacity,
             cells: HashMap::new(),
+            layout: Layout::Empty,
+            max_elem: 0,
             bytes_read: 0,
             bytes_written: 0,
             peak_extent: 0,
@@ -51,6 +69,12 @@ impl SharedMemory {
 
     /// Store `values` contiguously at byte `addr` with elements of
     /// `elem_size` bytes. Returns `Err` description on capacity overflow.
+    ///
+    /// A store that partially overlaps an existing cell of a different
+    /// start or extent invalidates that cell: cells are keyed by start
+    /// address, so without invalidation an 8-byte store at byte 0
+    /// followed by a 4-byte store at byte 4 would leave the stale wide
+    /// value readable at byte 0.
     pub fn store(&mut self, addr: usize, elem_size: usize, values: &[f64]) -> Result<(), String> {
         let extent = addr + values.len() * elem_size;
         if extent > self.capacity {
@@ -59,9 +83,41 @@ impl SharedMemory {
                 self.capacity
             ));
         }
+        // Partial overlaps can only exist once element sizes mix or an
+        // address breaks the uniform alignment grid; skip the per-byte
+        // scan on the fast path.
+        let aligned = elem_size > 0 && addr.is_multiple_of(elem_size);
+        let uniform = aligned
+            && match self.layout {
+                Layout::Empty => true,
+                Layout::Uniform(sz) => sz == elem_size,
+                Layout::Mixed => false,
+            };
+        if !uniform {
+            for i in 0..values.len() {
+                let a = addr + i * elem_size;
+                let lo = a.saturating_sub(self.max_elem.saturating_sub(1));
+                for s in lo..a + elem_size {
+                    if s == a {
+                        continue; // exact-start cell is replaced below
+                    }
+                    if let Some(&(_, esz)) = self.cells.get(&s) {
+                        if s + esz > a {
+                            self.cells.remove(&s);
+                        }
+                    }
+                }
+            }
+        }
         for (i, &v) in values.iter().enumerate() {
             self.cells.insert(addr + i * elem_size, (v, elem_size));
         }
+        self.layout = if uniform {
+            Layout::Uniform(elem_size)
+        } else {
+            Layout::Mixed
+        };
+        self.max_elem = self.max_elem.max(elem_size);
         self.bytes_written += (values.len() * elem_size) as u64;
         self.peak_extent = self.peak_extent.max(extent);
         Ok(())
@@ -104,6 +160,8 @@ impl SharedMemory {
     /// Clear contents and counters (new kernel on the same block).
     pub fn reset(&mut self) {
         self.cells.clear();
+        self.layout = Layout::Empty;
+        self.max_elem = 0;
         self.bytes_read = 0;
         self.bytes_written = 0;
         self.peak_extent = 0;
@@ -135,8 +193,16 @@ pub fn theta(
     let mut words_per_bank: Vec<std::collections::BTreeSet<usize>> =
         vec![std::collections::BTreeSet::new(); banks as usize];
     for lane in 0..warp_size as usize {
-        let word = lane * stride_bytes / bw;
-        words_per_bank[word % banks as usize].insert(word);
+        // An element wider than a bank word touches every word it spans,
+        // not just the one holding its first byte — an 8 B element at a
+        // 4 B bank width occupies two consecutive words, and each one
+        // can replay against other lanes.
+        let start = lane * stride_bytes;
+        let first = start / bw;
+        let last = (start + elem_size.max(1) - 1) / bw;
+        for word in first..=last {
+            words_per_bank[word % banks as usize].insert(word);
+        }
     }
     let worst = words_per_bank
         .iter()
@@ -211,6 +277,42 @@ mod tests {
     }
 
     #[test]
+    fn wide_then_narrow_overlap_invalidates() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(0, 8, &[1.0]).unwrap();
+        // Narrow store into the tail of the wide element: the stale
+        // 8-byte cell at byte 0 must no longer be readable.
+        sm.store(4, 4, &[2.0]).unwrap();
+        let err = sm.load(0, 8, 1).unwrap_err();
+        assert!(err.contains("uninitialized"), "{err}");
+        assert_eq!(sm.load(4, 4, 1).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn narrow_then_wide_overlap_invalidates() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(0, 4, &[1.0]).unwrap();
+        sm.store(4, 4, &[2.0]).unwrap();
+        // Wide store covering both narrow cells: the one at byte 4 is
+        // not at the new start address and must be invalidated, not
+        // left readable beside the new 8-byte value.
+        sm.store(0, 8, &[3.0]).unwrap();
+        let err = sm.load(4, 4, 1).unwrap_err();
+        assert!(err.contains("uninitialized"), "{err}");
+        assert_eq!(sm.load(0, 8, 1).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn misaligned_same_size_overlap_invalidates() {
+        let mut sm = SharedMemory::new(1024);
+        sm.store(0, 4, &[1.0]).unwrap();
+        sm.store(2, 4, &[2.0]).unwrap();
+        let err = sm.load(0, 4, 1).unwrap_err();
+        assert!(err.contains("uninitialized"), "{err}");
+        assert_eq!(sm.load(2, 4, 1).unwrap(), vec![2.0]);
+    }
+
+    #[test]
     fn large_pow2_stride_conflicts() {
         // Stride of 128 B maps every lane to bank 0: worst case.
         let t = theta(32, 32, 4, 4, 128);
@@ -218,5 +320,22 @@ mod tests {
         // Stride 8 B with 4 B elements: 2-way conflict.
         let t = theta(32, 32, 4, 4, 8);
         assert!((t - 0.5).abs() < 1e-9, "theta = {t}");
+    }
+
+    #[test]
+    fn fp64_strided_theta_counts_every_word_touched() {
+        // FP64 elements (8 B) at a 12 B stride on 32 banks × 4 B words:
+        // lane l starts at byte 12l, so it touches words {3l, 3l+1}.
+        // Over 32 lanes that is 64 distinct words, exactly 2 per bank,
+        // so the replay count is 2 and θ = 1/2. Counting only each
+        // element's starting word would see 32 words on 32 distinct
+        // banks (gcd(3, 32) = 1) and wrongly report θ = 1.
+        let t = theta(32, 32, 4, 8, 12);
+        assert!((t - 0.5).abs() < 1e-9, "theta = {t}");
+        // FP64 at 16 B stride: words {4l, 4l+1}, 4 words per touched
+        // bank -> θ = 1/4 (the start-word model agrees here; the 12 B
+        // pin above is the discriminating case).
+        let t = theta(32, 32, 4, 8, 16);
+        assert!((t - 0.25).abs() < 1e-9, "theta = {t}");
     }
 }

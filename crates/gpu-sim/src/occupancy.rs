@@ -78,12 +78,15 @@ fn analyze_with(
     let warps = report.warps.max(1) as u32;
 
     // --- residency ---
-    let regs_per_block = report.max_registers().measured_regs.max(1) * device.warp_size * warps;
-    let by_regs = device.regs_per_sm / regs_per_block.max(1);
-    let by_smem = device
-        .smem_capacity
-        .checked_div(report.smem_extent)
-        .map_or(u32::MAX, |v| v as u32);
+    // Residency limits are floor(capacity / per-block demand), computed
+    // in u64 with saturation: the register product can exceed u32 for
+    // synthetic reports (wrapping would over-report residents), and a
+    // bare `as u32` on the quotient truncates instead of flooring.
+    let regs_per_block = u64::from(report.max_registers().measured_regs.max(1))
+        * u64::from(device.warp_size)
+        * u64::from(warps);
+    let by_regs = floor_limit(u64::from(device.regs_per_sm), regs_per_block);
+    let by_smem = floor_limit(device.smem_capacity as u64, report.smem_extent as u64);
     let by_warps = device.max_warps_per_sm / warps;
     let by_blocks = device.max_blocks_per_sm;
     let (resident, residency_limiter) = [
@@ -95,6 +98,10 @@ fn analyze_with(
     .into_iter()
     .min_by_key(|&(v, _)| v)
     .expect("non-empty");
+    // A block whose footprint exceeds a per-SM resource still runs
+    // alone (the engine has already validated the real footprint), so
+    // residency is promoted from 0 to 1 rather than reported as
+    // unschedulable.
     let resident = resident.max(1);
 
     // --- steady-state rate ---
@@ -141,6 +148,15 @@ fn analyze_with(
         steady_tflops: useful_flops as f64 * rate * f64::from(device.num_sms) * device.clock_hz()
             / 1e12,
     }
+}
+
+/// Exact floor of `capacity / per_block`, saturating to `u32::MAX` when
+/// the block consumes none of the resource (which then never binds).
+fn floor_limit(capacity: u64, per_block: u64) -> u32 {
+    if per_block == 0 {
+        return u32::MAX;
+    }
+    u32::try_from(capacity / per_block).unwrap_or(u32::MAX)
 }
 
 /// Steady-state view of a *stream* of variable-length work items — the
@@ -258,6 +274,52 @@ mod tests {
         let occ = analyze(&dev, &r, 1000);
         assert_eq!(occ.resident_blocks, 3);
         assert_eq!(occ.residency_limiter, Limiter::SharedMemoryCapacity);
+    }
+
+    #[test]
+    fn smem_residency_boundaries() {
+        let dev = crate::device::gh200();
+        let cap = dev.smem_capacity; // 228 KB on GH200
+        assert_eq!(cap % 4, 0, "test assumes capacity divisible by 4");
+        // Exactly at the limit: 4 blocks of cap/4 fill the SM.
+        let r = report(4, 16, cap / 4, 1000.0, 1024, 10.0);
+        let occ = analyze(&dev, &r, 1000);
+        assert_eq!(occ.resident_blocks, 4);
+        assert_eq!(occ.residency_limiter, Limiter::SharedMemoryCapacity);
+        // One byte over: the 4th block no longer fits.
+        let r = report(4, 16, cap / 4 + 1, 1000.0, 1024, 10.0);
+        assert_eq!(analyze(&dev, &r, 1000).resident_blocks, 3);
+        // One byte under: still 4 (floor, not round).
+        let r = report(4, 16, cap / 4 - 1, 1000.0, 1024, 10.0);
+        assert_eq!(analyze(&dev, &r, 1000).resident_blocks, 4);
+    }
+
+    #[test]
+    fn register_residency_boundaries() {
+        let dev = crate::device::gh200();
+        // 4 warps × 32 threads = 128 threads; 65536 regs per SM.
+        assert_eq!(dev.regs_per_sm, 65536);
+        // regs = 128 -> 16384 per block: exactly 4 resident.
+        let occ = analyze(&dev, &report(4, 128, 1024, 1000.0, 1024, 10.0), 1000);
+        assert_eq!(occ.resident_blocks, 4);
+        assert_eq!(occ.residency_limiter, Limiter::Registers);
+        // One register more per thread: 16512 per block, floor -> 3.
+        let occ = analyze(&dev, &report(4, 129, 1024, 1000.0, 1024, 10.0), 1000);
+        assert_eq!(occ.resident_blocks, 3);
+        // One register less: 16256 per block, still floor -> 4.
+        let occ = analyze(&dev, &report(4, 127, 1024, 1000.0, 1024, 10.0), 1000);
+        assert_eq!(occ.resident_blocks, 4);
+    }
+
+    #[test]
+    fn huge_synthetic_block_does_not_overflow() {
+        let dev = crate::device::gh200();
+        // 255 regs × 32 threads × 2^20 warps overflows a u32 product;
+        // pre-fix this paniced in debug (or wrapped and over-reported
+        // residents in release). It must floor to 0 and promote to 1.
+        let r = report(1 << 20, 255, 1024, 1000.0, 1024, 10.0);
+        let occ = analyze(&dev, &r, 1000);
+        assert_eq!(occ.resident_blocks, 1);
     }
 
     #[test]

@@ -54,6 +54,41 @@ impl ExecutionReport {
             })
     }
 
+    /// Communication cycles grouped by *algorithm stage*, the granularity
+    /// Formulas 2, 6, and 10 are stated at. A KAMI stage is a run of
+    /// barrier-delimited phases (store phase, then load phase) closed by
+    /// the phase that performs the stage's MMAs, so each returned entry
+    /// is directly comparable to the closed-form `T_cm` per stage.
+    /// Communication issued *inside* an MMA phase is the next stage's
+    /// broadcast store (the kernels issue it right after the `mma`, with
+    /// no barrier in between), so it is credited to the stage it feeds —
+    /// the same attribution the closed forms use. Head/tail phases with
+    /// no communication contribute nothing.
+    pub fn comm_stage_cycles(&self) -> Vec<f64> {
+        let mut stages = Vec::new();
+        let mut acc = 0.0;
+        for p in &self.phase_costs {
+            if p.compute > 0.0 {
+                if acc > 0.0 {
+                    stages.push(acc);
+                }
+                acc = p.comm;
+            } else {
+                acc += p.comm;
+            }
+        }
+        if acc > 0.0 {
+            stages.push(acc);
+        }
+        stages
+    }
+
+    /// Number of communication stages observed (length of
+    /// [`Self::comm_stage_cycles`]).
+    pub fn comm_stages(&self) -> usize {
+        self.comm_stage_cycles().len()
+    }
+
     /// Cycles spent on-chip (communication + compute + register moves),
     /// excluding global-memory I/O — the metric the paper's block-level
     /// benchmarks report ("each looping 1000 times inside the CUDA kernel

@@ -107,7 +107,7 @@ impl Trace {
                 e.warp,
                 e.phase,
                 e.amount,
-                e.detail.replace('"', "'"),
+                json_escape(&e.detail),
             );
         }
         out.push_str("\n]\n");
@@ -140,6 +140,27 @@ impl Trace {
         }
         out
     }
+}
+
+/// Escape `s` for embedding in a JSON string literal: quotes and
+/// backslashes get a backslash, control characters become `\n`-style
+/// short escapes or `\u00XX`.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -190,6 +211,18 @@ mod tests {
         assert_eq!(parsed.as_array().unwrap().len(), 2);
         assert_eq!(parsed[0]["tid"], 0);
         assert_eq!(parsed[1]["args"]["amount"], 4096);
+    }
+
+    #[test]
+    fn chrome_json_escapes_hostile_details() {
+        let mut t = sample();
+        let hostile = "quote \" backslash \\ newline \n tab \t bell \u{7} done";
+        t.events[0].detail = hostile.into();
+        let json = t.to_chrome_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        // Parse-back must reproduce the exact original string, not a
+        // sanitized lookalike.
+        assert_eq!(parsed[0]["args"]["detail"].as_str().unwrap(), hostile);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Case vocabulary and seeded generation.
+//!
+//! A [`Case`] is plain data: everything needed to re-run one
+//! cross-check deterministically, including the seed the input matrices
+//! are drawn from. [`Case::generate`] maps (grid cell, seed) → case, so
+//! a sweep is reproducible from its top-level seed alone, and
+//! [`Case::reproducer`] renders any case as a paste-ready regression
+//! test.
+
+use kami_core::Algo;
+use kami_gpu_sim::{device, DeviceSpec, Precision};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four Table-3 devices, as a copyable identifier (a [`DeviceSpec`]
+/// itself is not `Copy` and not comparable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceId {
+    Gh200,
+    Rtx5090,
+    Amd7900Xtx,
+    IntelMax1100,
+}
+
+impl DeviceId {
+    pub const ALL: [DeviceId; 4] = [
+        DeviceId::Gh200,
+        DeviceId::Rtx5090,
+        DeviceId::Amd7900Xtx,
+        DeviceId::IntelMax1100,
+    ];
+
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            DeviceId::Gh200 => device::gh200(),
+            DeviceId::Rtx5090 => device::rtx5090(),
+            DeviceId::Amd7900Xtx => device::amd_7900xtx(),
+            DeviceId::IntelMax1100 => device::intel_max1100(),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceId::Gh200 => "gh200",
+            DeviceId::Rtx5090 => "rtx5090",
+            DeviceId::Amd7900Xtx => "amd7900xtx",
+            DeviceId::IntelMax1100 => "intelmax1100",
+        }
+    }
+
+    /// Rust expression reconstructing this value (for reproducers).
+    fn render(self) -> &'static str {
+        match self {
+            DeviceId::Gh200 => "DeviceId::Gh200",
+            DeviceId::Rtx5090 => "DeviceId::Rtx5090",
+            DeviceId::Amd7900Xtx => "DeviceId::Amd7900Xtx",
+            DeviceId::IntelMax1100 => "DeviceId::IntelMax1100",
+        }
+    }
+}
+
+/// Sweep axis: which algorithm family a grid cell draws cases from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    OneD,
+    TwoD,
+    ThreeD,
+    TwoHalfD,
+}
+
+impl AlgoKind {
+    pub const ALL: [AlgoKind; 4] = [
+        AlgoKind::OneD,
+        AlgoKind::TwoD,
+        AlgoKind::ThreeD,
+        AlgoKind::TwoHalfD,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgoKind::OneD => "1d",
+            AlgoKind::TwoD => "2d",
+            AlgoKind::ThreeD => "3d",
+            AlgoKind::TwoHalfD => "2.5d",
+        }
+    }
+}
+
+/// The concrete algorithm a case runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseAlgo {
+    Dense(Algo),
+    TwoHalfD { q: usize, c: usize },
+}
+
+impl CaseAlgo {
+    pub fn label(self) -> String {
+        match self {
+            CaseAlgo::Dense(a) => a.label().to_string(),
+            CaseAlgo::TwoHalfD { q, c } => format!("KAMI-2.5D(q={q},c={c})"),
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            CaseAlgo::Dense(Algo::OneD) => "CaseAlgo::Dense(Algo::OneD)".into(),
+            CaseAlgo::Dense(Algo::TwoD) => "CaseAlgo::Dense(Algo::TwoD)".into(),
+            CaseAlgo::Dense(Algo::ThreeD) => "CaseAlgo::Dense(Algo::ThreeD)".into(),
+            CaseAlgo::TwoHalfD { q, c } => format!("CaseAlgo::TwoHalfD {{ q: {q}, c: {c} }}"),
+        }
+    }
+}
+
+fn render_precision(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp64 => "Precision::Fp64",
+        Precision::Fp32 => "Precision::Fp32",
+        Precision::Tf32 => "Precision::Tf32",
+        Precision::Fp16 => "Precision::Fp16",
+        Precision::Bf16 => "Precision::Bf16",
+        Precision::Fp8E4M3 => "Precision::Fp8E4M3",
+    }
+}
+
+/// Block edge the sparse generator uses; sparse shapes are multiples of
+/// this times the worst divisibility requirement below.
+pub const SPARSE_BLOCK: usize = 16;
+
+/// One fully-specified cross-check case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Seed this case was generated from (identification only).
+    pub id: u64,
+    pub device: DeviceId,
+    pub algo: CaseAlgo,
+    pub precision: Precision,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    /// Warps `p` (for 2.5D this must equal `c·q²`).
+    pub warps: usize,
+    pub alpha: f64,
+    pub beta: f64,
+    /// `Some(density)` adds the SpMM/SpGEMM-vs-dense check (dense
+    /// algorithms only).
+    pub sparsity: Option<f64>,
+    /// Block count handed to the device scheduler check.
+    pub batch: usize,
+    /// Seed the input matrices are drawn from.
+    pub data_seed: u64,
+}
+
+impl Case {
+    /// Deterministically draw one case for a sweep-grid cell.
+    ///
+    /// Shapes are multiples of the cell's divisibility quantum
+    /// ([`Case::quantum`]) so every generated case passes `validate`;
+    /// rejection sampling is never needed.
+    pub fn generate(device: DeviceId, kind: AlgoKind, precision: Precision, seed: u64) -> Case {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (algo, warps) = match kind {
+            AlgoKind::OneD => {
+                let p = [2usize, 4][rng.gen_range(0..2usize)];
+                (CaseAlgo::Dense(Algo::OneD), p)
+            }
+            AlgoKind::TwoD => (CaseAlgo::Dense(Algo::TwoD), 4),
+            AlgoKind::ThreeD => (CaseAlgo::Dense(Algo::ThreeD), 8),
+            AlgoKind::TwoHalfD => {
+                let c = [1usize, 2][rng.gen_range(0..2usize)];
+                (CaseAlgo::TwoHalfD { q: 2, c }, c * 4)
+            }
+        };
+        // 2.5D has no scaled epilogue or sparse kernel: pin α/β there.
+        let (alpha, beta) = if matches!(algo, CaseAlgo::TwoHalfD { .. }) {
+            (1.0, 0.0)
+        } else {
+            let alphas = [1.0, -1.0, 0.5, 2.0, 0.0, -0.75];
+            let betas = [0.0, 1.0, -1.0, 0.25, 3.0];
+            (
+                alphas[rng.gen_range(0..alphas.len())],
+                betas[rng.gen_range(0..betas.len())],
+            )
+        };
+        // Roughly a quarter of dense cases also exercise the sparse
+        // kernels; sparse shapes are larger so block-grid divisibility
+        // holds for every dense algorithm at once.
+        let sparse = matches!(algo, CaseAlgo::Dense(_)) && rng.gen_range(0..4usize) == 0;
+        let (m, n, k, sparsity) = if sparse {
+            let densities = [0.125, 0.25, 0.5];
+            (
+                [64usize, 128][rng.gen_range(0..2usize)],
+                [32usize, 64][rng.gen_range(0..2usize)],
+                [64usize, 128][rng.gen_range(0..2usize)],
+                Some(densities[rng.gen_range(0..densities.len())]),
+            )
+        } else {
+            // Multiples of 16 divide every dense grid in the menu
+            // (p ∈ {2,4}, √p = 2, ∛p = 2 with ∛p² = 4, cq ∈ {2,4}).
+            let dim = |rng: &mut StdRng| 16 * rng.gen_range(1..=4usize);
+            (dim(&mut rng), dim(&mut rng), dim(&mut rng), None)
+        };
+        Case {
+            id: seed,
+            device,
+            algo,
+            precision,
+            m,
+            n,
+            k,
+            warps,
+            alpha,
+            beta,
+            sparsity,
+            batch: rng.gen_range(1..=8usize),
+            data_seed: rng.gen_range(0..u64::MAX),
+        }
+    }
+
+    /// Divisibility quanta `(m, n, k)` shrink candidates must respect.
+    pub fn quantum(&self) -> (usize, usize, usize) {
+        if self.sparsity.is_some() {
+            // Worst case over the dense algos in block units: 1D needs
+            // p | m/16 and p | k/16 with p ≤ 4; 3D needs 4 | k/16.
+            (64, 32, 64)
+        } else {
+            (16, 16, 16)
+        }
+    }
+
+    /// One-line human identification.
+    pub fn describe(&self) -> String {
+        format!(
+            "[{} {} {} {}x{}x{} p={} alpha={} beta={} sparsity={:?} batch={} seed={}]",
+            self.device.label(),
+            self.algo.label(),
+            self.precision.label(),
+            self.m,
+            self.n,
+            self.k,
+            self.warps,
+            self.alpha,
+            self.beta,
+            self.sparsity,
+            self.batch,
+            self.id,
+        )
+    }
+
+    /// Render this case as a ready-to-paste regression test for the
+    /// repo's `tests/` directory. `note` is embedded as a comment (the
+    /// mismatch the case reproduced when it was shrunk).
+    pub fn reproducer(&self, note: &str) -> String {
+        let sparsity = match self.sparsity {
+            Some(d) => format!("Some({d:?})"),
+            None => "None".to_string(),
+        };
+        format!(
+            "#[test]\n\
+             fn kami_verify_repro_{device}_{id}() {{\n    \
+                 // {note}\n    \
+                 use kami::core::Algo;\n    \
+                 use kami::sim::Precision;\n    \
+                 use kami::verify::{{assert_case, Case, CaseAlgo, DeviceId, Harness}};\n    \
+                 let case = Case {{\n        \
+                     id: {id},\n        \
+                     device: {device_expr},\n        \
+                     algo: {algo},\n        \
+                     precision: {prec},\n        \
+                     m: {m},\n        \
+                     n: {n},\n        \
+                     k: {k},\n        \
+                     warps: {warps},\n        \
+                     alpha: {alpha:?},\n        \
+                     beta: {beta:?},\n        \
+                     sparsity: {sparsity},\n        \
+                     batch: {batch},\n        \
+                     data_seed: {data_seed},\n    \
+                 }};\n    \
+                 assert_case(&case, &Harness::default());\n\
+             }}\n",
+            device = self.device.label(),
+            id = self.id,
+            device_expr = self.device.render(),
+            algo = self.algo.render(),
+            prec = render_precision(self.precision),
+            m = self.m,
+            n = self.n,
+            k = self.k,
+            warps = self.warps,
+            alpha = self.alpha,
+            beta = self.beta,
+            sparsity = sparsity,
+            batch = self.batch,
+            data_seed = self.data_seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 42);
+        let b = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 42);
+        assert_eq!(a, b);
+        let c = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 43);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn generated_shapes_respect_divisibility() {
+        for kind in AlgoKind::ALL {
+            for seed in 0..200 {
+                let c = Case::generate(DeviceId::Gh200, kind, Precision::Fp16, seed);
+                let (qm, qn, qk) = c.quantum();
+                assert_eq!(c.m % qm, 0, "{}", c.describe());
+                assert_eq!(c.n % qn, 0, "{}", c.describe());
+                assert_eq!(c.k % qk, 0, "{}", c.describe());
+                match c.algo {
+                    CaseAlgo::Dense(Algo::OneD) => {
+                        assert_eq!(c.m % c.warps, 0);
+                        assert_eq!(c.k % c.warps, 0);
+                    }
+                    CaseAlgo::Dense(Algo::TwoD) => assert_eq!(c.warps, 4),
+                    CaseAlgo::Dense(Algo::ThreeD) => assert_eq!(c.warps, 8),
+                    CaseAlgo::TwoHalfD { q, c: layers } => {
+                        assert_eq!(c.warps, layers * q * q);
+                        assert!(layers <= q);
+                    }
+                }
+                if c.sparsity.is_some() {
+                    assert!(matches!(c.algo, CaseAlgo::Dense(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reproducer_mentions_every_field() {
+        let c = Case::generate(DeviceId::Rtx5090, AlgoKind::ThreeD, Precision::Tf32, 7);
+        let r = c.reproducer("EngineVsModel: demo");
+        assert!(r.contains("DeviceId::Rtx5090"));
+        assert!(r.contains("Algo::ThreeD"));
+        assert!(r.contains("Precision::Tf32"));
+        assert!(r.contains("assert_case"));
+        assert!(r.contains("EngineVsModel: demo"));
+        assert!(r.contains(&format!("data_seed: {}", c.data_seed)));
+    }
+}

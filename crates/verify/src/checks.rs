@@ -1,0 +1,520 @@
+//! The four cross-checks, run per [`Case`].
+//!
+//! Each check compares two *independent* implementations of the same
+//! quantity, so a mismatch localizes a bug to the seam it crossed:
+//!
+//! | check            | left side (measured)            | right side (oracle)            |
+//! |------------------|---------------------------------|--------------------------------|
+//! | `Numerics`       | engine GEMM / 2.5D output       | exact-order CPU reference      |
+//! | `EngineVsModel`  | engine per-phase cycle tallies  | Formulas 1–12 closed forms     |
+//! | `SchedulerTrace` | scheduler report fields         | the per-SM trace it emitted    |
+//! | `SparseVsDense`  | SpMM / SpGEMM kernels           | densified dense reference      |
+//!
+//! Tolerances: communication cycles must match the closed forms
+//! *exactly* (within float noise, `1e-6·(1+theory)`) because the engine
+//! and the model read the same `DeviceSpec` constants — any looser band
+//! would have masked real bugs. Compute cycles get a bracket
+//! `[theory, 8·theory + 128]` (padding to MMA granularity and
+//! busiest-warp rounding only ever add cycles). Numerics use a
+//! precision-derived relative Frobenius tolerance.
+
+use crate::case::{Case, CaseAlgo, SPARSE_BLOCK};
+use kami_core::model::cycles::{self, ModelParams};
+use kami_core::{algo25d, gemm, gemm_scaled, reference_gemm, Algo, KamiConfig, KamiError};
+use kami_gpu_sim::{CostConfig, Matrix, Precision};
+use kami_sched::{BlockWork, PlanCache, Scheduler};
+use kami_sparse::{random_block_sparse, reference_spmm, spgemm, spmm, BlockOrder};
+
+/// Which seam a mismatch crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    Numerics,
+    EngineVsModel,
+    SchedulerTrace,
+    SparseVsDense,
+}
+
+impl CheckKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckKind::Numerics => "Numerics",
+            CheckKind::EngineVsModel => "EngineVsModel",
+            CheckKind::SchedulerTrace => "SchedulerTrace",
+            CheckKind::SparseVsDense => "SparseVsDense",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A failed cross-check: which seam, and the measured-vs-expected story.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    pub kind: CheckKind,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// A case that ran clean, or could not run on this cell at all
+/// (register-infeasible or unsupported precision — not a bug).
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    Pass,
+    Skip(String),
+}
+
+/// Knobs the harness threads through every engine invocation. The
+/// `cost` override is the fault-injection hook: a perturbed
+/// [`CostConfig`] (e.g. `theta_r: 0.5`) makes the engine disagree with
+/// the clean closed forms, which the `EngineVsModel` check must catch —
+/// that end-to-end property is itself under test in
+/// `tests/verify_harness.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct Harness {
+    pub cost: Option<CostConfig>,
+}
+
+impl Harness {
+    fn dense_config(&self, case: &Case, algo: Algo) -> KamiConfig {
+        let mut cfg = KamiConfig::new(algo, case.precision).with_warps(case.warps);
+        if let Some(cost) = &self.cost {
+            cfg = cfg.with_cost(cost.clone());
+        }
+        cfg
+    }
+}
+
+/// Relative Frobenius tolerance for a `k`-deep product at `prec`:
+/// store rounding at the input precision plus accumulated roundoff at
+/// the accumulator precision.
+fn numeric_tol(prec: Precision, k: usize) -> f64 {
+    let u = prec.unit_roundoff();
+    let u_acc = prec.accumulator().unit_roundoff();
+    (32.0 * u + 8.0 * k as f64 * u_acc).max(1e-13)
+}
+
+/// ‖a − b‖_F (the matrices must be the same shape).
+fn frob_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let mut sum = 0.0;
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let d = a[(r, c)] - b[(r, c)];
+            sum += d * d;
+        }
+    }
+    sum.sqrt()
+}
+
+fn fail(kind: CheckKind, detail: String) -> Mismatch {
+    Mismatch { kind, detail }
+}
+
+/// Classify an engine/scheduler error: infeasible-on-this-cell errors
+/// become skips; anything else means the generator and the validator
+/// disagree about what is runnable, which is itself a bug.
+fn classify(kind: CheckKind, stage: &str, e: KamiError) -> Result<CaseOutcome, Mismatch> {
+    match e {
+        KamiError::Sim(sim) => Ok(CaseOutcome::Skip(format!("{stage}: {sim}"))),
+        KamiError::Unsupported { detail } => Ok(CaseOutcome::Skip(format!("{stage}: {detail}"))),
+        other => Err(fail(
+            kind,
+            format!("{stage} rejected a generated case: {other}"),
+        )),
+    }
+}
+
+/// Run every applicable cross-check on one case. `Err` is a genuine
+/// mismatch; `Ok(Skip)` means the case is infeasible on this cell.
+pub fn run_case(
+    case: &Case,
+    harness: &Harness,
+    plans: &PlanCache,
+) -> Result<CaseOutcome, Mismatch> {
+    let device = case.device.spec();
+    let a = Matrix::seeded_uniform(case.m, case.k, case.data_seed);
+    let b = Matrix::seeded_uniform(case.k, case.n, case.data_seed.wrapping_add(1));
+    let c0 = Matrix::seeded_uniform(case.m, case.n, case.data_seed.wrapping_add(2));
+
+    match case.algo {
+        CaseAlgo::Dense(algo) => {
+            let cfg = harness.dense_config(case, algo);
+
+            // Check 1: numerics of the full α·A·B + β·C epilogue.
+            let res = match gemm_scaled(&device, &cfg, case.alpha, &a, &b, case.beta, &c0) {
+                Ok(res) => res,
+                Err(e) => return classify(CheckKind::Numerics, "gemm_scaled", e),
+            };
+            let reference = reference_gemm(&a, &b, case.precision);
+            let c0q = c0.quantized(case.precision);
+            let want = Matrix::from_fn(case.m, case.n, |r, c| {
+                case.alpha * reference[(r, c)] + case.beta * c0q[(r, c)]
+            });
+            let scale = (case.alpha.abs() * reference.frobenius_norm()
+                + case.beta.abs() * c0q.frobenius_norm())
+            .max(1e-9);
+            let err = frob_diff(&res.c, &want) / scale;
+            let tol = numeric_tol(case.precision, case.k);
+            if err > tol {
+                return Err(fail(
+                    CheckKind::Numerics,
+                    format!(
+                        "{} rel Frobenius error {err:.3e} > tol {tol:.3e} vs reference \
+                         (alpha={}, beta={})",
+                        algo.label(),
+                        case.alpha,
+                        case.beta
+                    ),
+                ));
+            }
+
+            // Check 2: engine cycle tallies vs Formulas 1–12, on the
+            // plain product (no epilogue traffic in the closed forms).
+            if let Some(prm) = ModelParams::from_device(&device, case.precision) {
+                let res = match gemm(&device, &cfg, &a, &b) {
+                    Ok(res) => res,
+                    Err(e) => return classify(CheckKind::EngineVsModel, "gemm", e),
+                };
+                check_dense_model(case, algo, &prm, &res.report)?;
+            }
+        }
+        CaseAlgo::TwoHalfD { q, c } => {
+            let mut cfg = algo25d::Kami25dConfig::new(q, c, case.precision);
+            if let Some(cost) = &harness.cost {
+                cfg.cost = cost.clone();
+            }
+            let res = match algo25d::gemm_25d(&device, &cfg, &a, &b) {
+                Ok(res) => res,
+                Err(e) => return classify(CheckKind::Numerics, "gemm_25d", e),
+            };
+            let reference = reference_gemm(&a, &b, case.precision);
+            let err = frob_diff(&res.c, &reference) / reference.frobenius_norm().max(1e-9);
+            let tol = numeric_tol(case.precision, case.k);
+            if err > tol {
+                return Err(fail(
+                    CheckKind::Numerics,
+                    format!("2.5D rel Frobenius error {err:.3e} > tol {tol:.3e} vs reference"),
+                ));
+            }
+            // Communication matches the 2.5D closed form exactly (the
+            // comm analogue of Formulas 4/8/12); compute gets the same
+            // padding bracket as the dense algorithms.
+            if let Some(prm) = ModelParams::from_device(&device, case.precision) {
+                let theory = algo25d::t_comm_25d(case.m, case.n, case.k, q, c, &prm);
+                let measured = res.report.totals.comm;
+                if (measured - theory).abs() > 1e-6 * (1.0 + theory) {
+                    return Err(fail(
+                        CheckKind::EngineVsModel,
+                        format!(
+                            "2.5D(q={q},c={c}) total comm cycles {measured:.3} != closed \
+                             form {theory:.3}"
+                        ),
+                    ));
+                }
+                let t_cp = cycles::t_all_compute(case.m, case.n, case.k, &prm);
+                let measured = res.report.totals.compute;
+                if measured < t_cp - 1e-6 || measured > t_cp * 8.0 + 128.0 {
+                    return Err(fail(
+                        CheckKind::EngineVsModel,
+                        format!(
+                            "2.5D(q={q},c={c}) compute cycles {measured:.3} outside \
+                             [{t_cp:.3}, {:.3}]",
+                            t_cp * 8.0 + 128.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Check 3: scheduler report vs its own trace.
+    check_scheduler(case, &device, plans)?;
+
+    // Check 4: sparse kernels vs the densified dense path.
+    if let (Some(density), CaseAlgo::Dense(algo)) = (case.sparsity, case.algo) {
+        if let CaseOutcome::Skip(reason) = check_sparse(case, harness, algo, density, &b)? {
+            return Ok(CaseOutcome::Skip(reason));
+        }
+    }
+
+    Ok(CaseOutcome::Pass)
+}
+
+/// Engine totals and per-stage tallies vs the closed forms.
+fn check_dense_model(
+    case: &Case,
+    algo: Algo,
+    prm: &ModelParams,
+    report: &kami_gpu_sim::ExecutionReport,
+) -> Result<(), Mismatch> {
+    let (m, n, k, p) = (case.m, case.n, case.k, case.warps);
+
+    // Total communication: exact (Formulas 4/8/12).
+    let theory = cycles::t_all_comm(algo, m, n, k, p, prm);
+    let measured = report.totals.comm;
+    if (measured - theory).abs() > 1e-6 * (1.0 + theory) {
+        return Err(fail(
+            CheckKind::EngineVsModel,
+            format!(
+                "{} total comm cycles {measured:.3} != closed form {theory:.3} \
+                 (Formulas 4/8/12)",
+                algo.label()
+            ),
+        ));
+    }
+
+    // Per-stage communication: exact (Formulas 2/6/10).
+    let stages = algo
+        .stages(p)
+        .map_err(|e| fail(CheckKind::EngineVsModel, format!("stages({p}): {e}")))?;
+    let per_stage = report.comm_stage_cycles();
+    if per_stage.len() != stages {
+        return Err(fail(
+            CheckKind::EngineVsModel,
+            format!(
+                "{} emitted {} comm stages, model says {stages}",
+                algo.label(),
+                per_stage.len()
+            ),
+        ));
+    }
+    let t_cm = cycles::t_cm_per_stage(algo, m, n, k, p, prm);
+    for (i, &s) in per_stage.iter().enumerate() {
+        if (s - t_cm).abs() > 1e-6 * (1.0 + t_cm) {
+            return Err(fail(
+                CheckKind::EngineVsModel,
+                format!(
+                    "{} stage {i} comm cycles {s:.3} != per-stage closed form {t_cm:.3} \
+                     (Formulas 2/6/10)",
+                    algo.label()
+                ),
+            ));
+        }
+    }
+
+    // Compute: bracketed (padding and busiest-warp effects only add).
+    let t_cp = cycles::t_all_compute(m, n, k, prm);
+    let measured = report.totals.compute;
+    if measured < t_cp - 1e-6 || measured > t_cp * 8.0 + 128.0 {
+        return Err(fail(
+            CheckKind::EngineVsModel,
+            format!(
+                "{} compute cycles {measured:.3} outside [{t_cp:.3}, {:.3}]",
+                algo.label(),
+                t_cp * 8.0 + 128.0
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Scheduler self-consistency: the report's aggregate claims must be
+/// re-derivable from the per-SM trace it hands back.
+fn check_scheduler(
+    case: &Case,
+    device: &kami_gpu_sim::DeviceSpec,
+    plans: &PlanCache,
+) -> Result<(), Mismatch> {
+    let work = BlockWork::uniform(case.m, case.n, case.k, case.precision, case.batch);
+    let (report, trace) = match Scheduler::new(device).run_traced(&work, plans) {
+        Ok(out) => out,
+        Err(KamiError::Sim(_)) | Err(KamiError::Unsupported { .. }) => return Ok(()),
+        Err(e) => {
+            return Err(fail(
+                CheckKind::SchedulerTrace,
+                format!("scheduler rejected a generated case: {e}"),
+            ))
+        }
+    };
+
+    if report.total_blocks != case.batch {
+        return Err(fail(
+            CheckKind::SchedulerTrace,
+            format!(
+                "scheduled {} blocks for a batch of {}",
+                report.total_blocks, case.batch
+            ),
+        ));
+    }
+    let makespan = report.makespan_cycles;
+    let traced = trace.total_cycles();
+    if (traced - makespan).abs() > 1e-6 * (1.0 + makespan) {
+        return Err(fail(
+            CheckKind::SchedulerTrace,
+            format!("trace spans {traced:.3} cycles, report claims makespan {makespan:.3}"),
+        ));
+    }
+    if report.utilization > 1.0 + 1e-9 {
+        return Err(fail(
+            CheckKind::SchedulerTrace,
+            format!("utilization {} > 1", report.utilization),
+        ));
+    }
+    let iters: usize = report.per_sm.iter().map(|s| s.k_iters).sum();
+    let expect = report.total_blocks * report.k_stages;
+    if iters != expect {
+        return Err(fail(
+            CheckKind::SchedulerTrace,
+            format!(
+                "k-iteration conservation broken: per-SM sum {iters} != blocks x k_stages {expect}"
+            ),
+        ));
+    }
+    for sm in &report.per_sm {
+        let mut events: Vec<_> = trace.warp_events(sm.sm).collect();
+        events.sort_by(|x, y| x.start.total_cmp(&y.start));
+        let mut cursor = 0.0f64;
+        let mut busy = 0.0f64;
+        for e in &events {
+            if e.start < cursor - 1e-6 {
+                return Err(fail(
+                    CheckKind::SchedulerTrace,
+                    format!(
+                        "SM {} events overlap: start {:.3} before previous end {cursor:.3}",
+                        sm.sm, e.start
+                    ),
+                ));
+            }
+            cursor = e.start + e.duration;
+            busy += e.duration;
+        }
+        if (busy - sm.busy_cycles).abs() > 1e-6 * (1.0 + sm.busy_cycles) {
+            return Err(fail(
+                CheckKind::SchedulerTrace,
+                format!(
+                    "SM {} trace durations sum to {busy:.3}, report claims busy {:.3}",
+                    sm.sm, sm.busy_cycles
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// SpMM and SpGEMM against the densified dense reference.
+fn check_sparse(
+    case: &Case,
+    harness: &Harness,
+    algo: Algo,
+    density: f64,
+    b_dense: &Matrix,
+) -> Result<CaseOutcome, Mismatch> {
+    let device = case.device.spec();
+    let cfg = harness.dense_config(case, algo);
+    let order = if case.data_seed & 1 == 0 {
+        BlockOrder::RowMajor
+    } else {
+        BlockOrder::ZMorton
+    };
+    let tol = 2.0 * numeric_tol(case.precision, case.k);
+
+    let a_sp = random_block_sparse(
+        case.m,
+        case.k,
+        SPARSE_BLOCK,
+        density,
+        order,
+        case.data_seed.wrapping_add(7),
+    );
+    let res = match spmm(&device, &cfg, &a_sp, b_dense) {
+        Ok(res) => res,
+        Err(e) => return classify(CheckKind::SparseVsDense, "spmm", e),
+    };
+    let want = reference_spmm(&a_sp, b_dense, case.precision);
+    let err = frob_diff(&res.c, &want) / want.frobenius_norm().max(1e-9);
+    if err > tol {
+        return Err(fail(
+            CheckKind::SparseVsDense,
+            format!(
+                "{} SpMM rel Frobenius error {err:.3e} > tol {tol:.3e} vs densified dense \
+                 (density {density})",
+                algo.label()
+            ),
+        ));
+    }
+
+    let b_sp = random_block_sparse(
+        case.k,
+        case.n,
+        SPARSE_BLOCK,
+        density,
+        order,
+        case.data_seed.wrapping_add(11),
+    );
+    let res = match spgemm(&device, &cfg, &a_sp, &b_sp) {
+        Ok(res) => res,
+        Err(e) => return classify(CheckKind::SparseVsDense, "spgemm", e),
+    };
+    let want = reference_gemm(&a_sp.to_dense(), &b_sp.to_dense(), case.precision);
+    let err = frob_diff(&res.c.to_dense(), &want) / want.frobenius_norm().max(1e-9);
+    if err > tol {
+        return Err(fail(
+            CheckKind::SparseVsDense,
+            format!(
+                "{} SpGEMM rel Frobenius error {err:.3e} > tol {tol:.3e} vs densified dense \
+                 (density {density})",
+                algo.label()
+            ),
+        ));
+    }
+    Ok(CaseOutcome::Pass)
+}
+
+/// Regression-test entry point the shrinker's reproducers call: panics
+/// with the mismatch (or the skip reason — a reproducer that cannot run
+/// proves nothing, so that is loud too).
+pub fn assert_case(case: &Case, harness: &Harness) {
+    let plans = PlanCache::new();
+    match run_case(case, harness, &plans) {
+        Ok(CaseOutcome::Pass) => {}
+        Ok(CaseOutcome::Skip(reason)) => {
+            panic!("reproducer case {} skipped: {reason}", case.describe())
+        }
+        Err(m) => panic!("case {} failed {m}", case.describe()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{AlgoKind, DeviceId};
+
+    #[test]
+    fn clean_engine_passes_one_case_per_algo() {
+        let plans = PlanCache::new();
+        let harness = Harness::default();
+        for kind in AlgoKind::ALL {
+            let case = Case::generate(DeviceId::Gh200, kind, Precision::Fp16, 5);
+            let out = run_case(&case, &harness, &plans);
+            assert!(
+                matches!(out, Ok(CaseOutcome::Pass)),
+                "{}: {:?}",
+                case.describe(),
+                out.err()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_theta_breaks_engine_vs_model() {
+        let plans = PlanCache::new();
+        let harness = Harness {
+            cost: Some(CostConfig {
+                theta_r: 0.5,
+                ..CostConfig::default()
+            }),
+        };
+        let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 5);
+        let err = run_case(&case, &harness, &plans).expect_err("perturbed engine must mismatch");
+        assert_eq!(err.kind, CheckKind::EngineVsModel, "{err}");
+    }
+}

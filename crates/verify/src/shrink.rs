@@ -1,0 +1,173 @@
+//! Case shrinking: reduce a failing case to a minimal reproducer.
+//!
+//! Greedy descent over simplification candidates, in simplicity order:
+//! a candidate is adopted only when it *still fails the same check*, so
+//! the minimal case reproduces the original bug rather than some other
+//! one it wandered into. Each pass restarts from the simplest candidate
+//! (shrinking one axis often unlocks another); the loop terminates
+//! because every adopted candidate strictly reduces a finite measure
+//! (dims, batch, warps, α/β menu position, sparsity presence).
+
+use crate::case::{Case, CaseAlgo};
+use crate::checks::{run_case, Harness, Mismatch};
+use kami_sched::PlanCache;
+
+/// Candidate simplifications of `case`, simplest-first. Every candidate
+/// is a valid case (divisibility quanta are respected).
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    let mut push = |cand: Case| {
+        if cand != *case {
+            out.push(cand);
+        }
+    };
+
+    if case.batch > 1 {
+        let mut c = case.clone();
+        c.batch = 1;
+        push(c);
+        let mut c = case.clone();
+        c.batch = case.batch / 2;
+        push(c);
+    }
+    if case.sparsity.is_some() {
+        let mut c = case.clone();
+        c.sparsity = None;
+        // Dropping sparsity also relaxes the shape quanta; re-snap so
+        // later dim shrinks can go all the way down.
+        push(c);
+    }
+    if case.alpha != 1.0 {
+        let mut c = case.clone();
+        c.alpha = 1.0;
+        push(c);
+    }
+    if case.beta != 0.0 {
+        let mut c = case.clone();
+        c.beta = 0.0;
+        push(c);
+    }
+    let (qm, qn, qk) = case.quantum();
+    for (dim, quantum) in [(2usize, qk), (0, qm), (1, qn)] {
+        let cur = [case.m, case.n, case.k][dim];
+        if cur > quantum {
+            let halved = ((cur / 2) / quantum).max(1) * quantum;
+            let mut c = case.clone();
+            match dim {
+                0 => c.m = halved,
+                1 => c.n = halved,
+                _ => c.k = halved,
+            }
+            push(c);
+        }
+    }
+    if let CaseAlgo::Dense(kami_core::Algo::OneD) = case.algo {
+        if case.warps > 2 {
+            let mut c = case.clone();
+            c.warps = case.warps / 2;
+            // 1D needs p | m and p | k: the generator's quanta (16)
+            // already cover any p ≤ 4, so no re-snap needed.
+            push(c);
+        }
+    }
+    out
+}
+
+/// Shrink `case` (which fails `original`'s check under `harness`) to a
+/// minimal case failing the same check. Returns the minimal case and
+/// its mismatch. If `case` does not actually fail, it is returned
+/// unchanged with the original mismatch.
+pub fn shrink(
+    case: &Case,
+    harness: &Harness,
+    plans: &PlanCache,
+    original: &Mismatch,
+) -> (Case, Mismatch) {
+    let mut cur = case.clone();
+    let mut mismatch = original.clone();
+    // Each adoption strictly shrinks the case, so passes are bounded;
+    // the cap is a safety net against a non-deterministic check.
+    for _ in 0..64 {
+        let mut progressed = false;
+        for cand in candidates(&cur) {
+            if let Err(m) = run_case(&cand, harness, plans) {
+                if m.kind == original.kind {
+                    cur = cand;
+                    mismatch = m;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (cur, mismatch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{AlgoKind, DeviceId};
+    use crate::checks::CheckKind;
+    use kami_gpu_sim::{CostConfig, Precision};
+
+    #[test]
+    fn candidates_respect_quanta_and_strictly_simplify() {
+        for seed in 0..50 {
+            let case = Case::generate(DeviceId::Gh200, AlgoKind::OneD, Precision::Fp16, seed);
+            for cand in candidates(&case) {
+                let (qm, qn, qk) = cand.quantum();
+                assert_eq!(cand.m % qm, 0);
+                assert_eq!(cand.n % qn, 0);
+                assert_eq!(cand.k % qk, 0);
+                assert_ne!(cand, case);
+                assert!(cand.m <= case.m && cand.n <= case.n && cand.k <= case.k);
+                assert!(cand.batch <= case.batch && cand.warps <= case.warps);
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_injected_model_mismatch_to_minimum() {
+        let plans = PlanCache::new();
+        let harness = Harness {
+            cost: Some(CostConfig {
+                theta_w: 0.25,
+                ..CostConfig::default()
+            }),
+        };
+        // Hand-built worst case: big dims, busy epilogue, sparse rider.
+        let case = Case {
+            id: 99,
+            device: DeviceId::Gh200,
+            algo: CaseAlgo::Dense(kami_core::Algo::TwoD),
+            precision: Precision::Fp16,
+            m: 128,
+            n: 64,
+            k: 128,
+            warps: 4,
+            alpha: -0.75,
+            beta: 3.0,
+            sparsity: Some(0.25),
+            batch: 8,
+            data_seed: 1234,
+        };
+        let original = run_case(&case, &harness, &plans).expect_err("must fail");
+        assert_eq!(original.kind, CheckKind::EngineVsModel);
+        let (min, m) = shrink(&case, &harness, &plans, &original);
+        assert_eq!(m.kind, CheckKind::EngineVsModel);
+        // A θ_w perturbation reproduces at the smallest shape the
+        // quantum allows, with every rider stripped.
+        assert_eq!((min.m, min.n, min.k), (16, 16, 16), "{}", min.describe());
+        assert_eq!(min.alpha, 1.0);
+        assert_eq!(min.beta, 0.0);
+        assert_eq!(min.batch, 1);
+        assert_eq!(min.sparsity, None);
+        // And the reproducer it renders still names the failing seam.
+        let repro = min.reproducer(&format!("{m}"));
+        assert!(repro.contains("EngineVsModel"));
+        assert!(repro.contains("assert_case"));
+    }
+}

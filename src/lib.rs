@@ -17,7 +17,10 @@
 //! * [`sched`] — the device-level work-centric scheduler (data-parallel
 //!   vs Stream-K decomposition, shared plan cache, per-SM accounting),
 //!   including the nnz-weighted sparse path (`sched::sparse`) that
-//!   splits SpMM/SpGEMM streams by nonzero k-iterations.
+//!   splits SpMM/SpGEMM streams by nonzero k-iterations;
+//! * [`verify`] — the seeded differential cross-check harness tying
+//!   engine, closed-form model, scheduler, and sparse kernels against
+//!   each other, with case shrinking to minimal reproducers.
 //!
 //! See `examples/quickstart.rs` for a first program and
 //! `examples/device_schedule.rs` for the device-level scheduler.
@@ -27,6 +30,7 @@ pub use kami_core as core;
 pub use kami_gpu_sim as sim;
 pub use kami_sched as sched;
 pub use kami_sparse as sparse;
+pub use kami_verify as verify;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -65,6 +65,36 @@ fn check_trace(trace: &Trace, total_cycles: f64) {
     }
 }
 
+/// Hostile characters in event details (quotes, backslashes, control
+/// bytes — fragment names are arbitrary strings) must survive the
+/// Chrome-JSON encoding: the parsed-back detail equals the original,
+/// not a sanitized lookalike, and the document stays valid JSON.
+#[test]
+fn hostile_event_details_round_trip_exactly() {
+    let dev = device::gh200();
+    let prec = Precision::Fp16;
+    let cfg = KamiConfig::new(Algo::OneD, prec);
+    let n = 16;
+    let a = Matrix::seeded_uniform(n, n, 1);
+    let b = Matrix::seeded_uniform(n, n, 2);
+    let mut gmem = GlobalMemory::new();
+    let ab = gmem.upload("A", &a, prec);
+    let bb = gmem.upload("B", &b, prec);
+    let cb = gmem.alloc_zeroed("C", n, n, prec);
+    let kernel = kami::core::algo1d::build_kernel(&cfg, n, n, n, ab, bb, cb, prec);
+    let (_, mut trace) = Engine::new(&dev).run_traced(&kernel, &mut gmem).unwrap();
+
+    let hostile = "Bi[\"0\"] \\ path\nnext\tcol \u{1b}[31mred\u{1b}[0m";
+    trace.events[0].detail = hostile.to_string();
+    let json = trace.to_chrome_json();
+    let parsed: Value = serde_json::from_str(&json).expect("hostile details still parse");
+    assert_eq!(
+        parsed[0]["args"]["detail"].as_str().unwrap(),
+        hostile,
+        "detail must round-trip byte-for-byte"
+    );
+}
+
 #[test]
 fn block_trace_round_trips_and_is_valid() {
     let dev = device::gh200();

@@ -1,0 +1,136 @@
+//! End-to-end tests of the kami-verify differential harness: a clean
+//! build passes a seeded sweep slice across every device, algorithm,
+//! and precision cell; an *injected* engine-vs-model discrepancy (a
+//! perturbed `CostConfig`) is caught by the cross-check, shrunk to a
+//! minimal case, and rendered as a paste-ready regression test.
+
+use kami::sched::PlanCache;
+use kami::sim::{CostConfig, Precision};
+use kami::verify::{
+    run_case, shrink, sweep, AlgoKind, Case, CaseAlgo, CaseOutcome, CheckKind, DeviceId, Harness,
+    SweepConfig,
+};
+
+/// One seeded case per grid cell (44 cells) must run clean: engine,
+/// model, scheduler, and sparse kernels all agree with their oracles.
+#[test]
+fn seeded_sweep_slice_is_clean() {
+    let cfg = SweepConfig {
+        seed: 11,
+        cases_per_cell: 1,
+        max_failures: 4,
+    };
+    let out = sweep::sweep(&cfg, &Harness::default());
+    assert!(out.is_clean(), "{}", out.summary());
+    assert!(
+        out.cases_run >= 40,
+        "expected nearly all 44 cells to run, got {} (+{} skipped)",
+        out.cases_run,
+        out.skipped
+    );
+}
+
+/// The CI profile must cover at least the 200 cases the harness
+/// advertises, across all four devices and at least two precisions per
+/// device, without relying on this test actually running them all.
+#[test]
+fn quick_profile_dimensions() {
+    let cfg = sweep::quick();
+    let cells: usize = DeviceId::ALL
+        .iter()
+        .map(|&d| sweep::device_precisions(d).len() * AlgoKind::ALL.len())
+        .sum();
+    assert!(cells * cfg.cases_per_cell >= 200);
+    for d in DeviceId::ALL {
+        assert!(sweep::device_precisions(d).len() >= 2, "{}", d.label());
+    }
+}
+
+/// Fault injection: perturb the engine's cost configuration (θ_r = 0.5
+/// halves effective read bandwidth) and the EngineVsModel cross-check
+/// must notice, the shrinker must reduce the case to the divisibility
+/// minimum with every rider stripped, and the reproducer must name the
+/// failing seam.
+#[test]
+fn injected_cost_discrepancy_is_caught_and_shrunk() {
+    let plans = PlanCache::new();
+    let perturbed = Harness {
+        cost: Some(CostConfig {
+            theta_r: 0.5,
+            ..CostConfig::default()
+        }),
+    };
+    let case = Case {
+        id: 2024,
+        device: DeviceId::Gh200,
+        algo: CaseAlgo::Dense(kami::core::Algo::TwoD),
+        precision: Precision::Fp16,
+        m: 64,
+        n: 64,
+        k: 64,
+        warps: 4,
+        alpha: -1.5,
+        beta: 0.5,
+        sparsity: None,
+        batch: 4,
+        data_seed: 77,
+    };
+    // Sanity: the same case is clean without the perturbation.
+    assert!(matches!(
+        run_case(&case, &Harness::default(), &plans),
+        Ok(CaseOutcome::Pass)
+    ));
+
+    let mismatch = run_case(&case, &perturbed, &plans)
+        .expect_err("perturbed engine must disagree with the closed forms");
+    assert_eq!(mismatch.kind, CheckKind::EngineVsModel, "{mismatch}");
+
+    let (min, min_mismatch) = shrink(&case, &perturbed, &plans, &mismatch);
+    assert_eq!(min_mismatch.kind, CheckKind::EngineVsModel);
+    assert!(
+        min.m <= case.m && min.n <= case.n && min.k <= case.k,
+        "shrinking must not grow the case: {}",
+        min.describe()
+    );
+    assert_eq!((min.m, min.n, min.k), (16, 16, 16), "{}", min.describe());
+    assert_eq!((min.alpha, min.beta, min.batch), (1.0, 0.0, 1));
+
+    let repro = min.reproducer(&format!("{min_mismatch}"));
+    assert!(repro.contains("#[test]"));
+    assert!(repro.contains("assert_case"));
+    assert!(repro.contains("EngineVsModel"));
+    assert!(repro.contains("DeviceId::Gh200"));
+}
+
+/// A 2.5D case is equally protected: the injected discrepancy is caught
+/// through the 2.5D comm closed form (`t_comm_25d`).
+#[test]
+fn injection_reaches_the_25d_path() {
+    let plans = PlanCache::new();
+    let perturbed = Harness {
+        cost: Some(CostConfig {
+            theta_w: 0.25,
+            ..CostConfig::default()
+        }),
+    };
+    let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoHalfD, Precision::Fp16, 9);
+    let mismatch = run_case(&case, &perturbed, &plans).expect_err("2.5D must also be checked");
+    assert_eq!(mismatch.kind, CheckKind::EngineVsModel, "{mismatch}");
+}
+
+/// `assert_case` (the entry point shrunk reproducers call) passes clean
+/// cases silently and panics with the mismatch otherwise.
+#[test]
+fn assert_case_matches_run_case_verdicts() {
+    let clean = Case::generate(DeviceId::Rtx5090, AlgoKind::OneD, Precision::Fp16, 3);
+    kami::verify::assert_case(&clean, &Harness::default());
+
+    let perturbed = Harness {
+        cost: Some(CostConfig {
+            theta_r: 0.5,
+            ..CostConfig::default()
+        }),
+    };
+    let result = std::panic::catch_unwind(|| kami::verify::assert_case(&clean, &perturbed));
+    assert!(result.is_err(), "perturbed assert_case must panic");
+}
