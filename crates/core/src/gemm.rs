@@ -52,7 +52,27 @@ pub fn c_precision(input: Precision) -> Precision {
 }
 
 /// Run one KAMI block GEMM: `C = A·B` with `A: m×k`, `B: k×n`.
+///
+/// Thin wrapper over the unified request API: builds a
+/// [`crate::request::GemmRequest`] pinned to `cfg` and executes it.
 pub fn gemm(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    crate::request::GemmRequest::from_config(
+        crate::request::Op::Gemm {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        cfg,
+    )
+    .execute_single(device)
+}
+
+/// Engine body of [`gemm`] (shared by the request executor).
+pub(crate) fn exec_gemm(
     device: &DeviceSpec,
     cfg: &KamiConfig,
     a: &Matrix,
@@ -101,6 +121,27 @@ pub fn gemm(
 /// not poison `C`): that case short-circuits to the `beta·C0` epilogue
 /// without building the product kernel.
 pub fn gemm_scaled(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c0: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    crate::request::GemmRequest::from_config(
+        crate::request::Op::Gemm {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        cfg,
+    )
+    .scaled(alpha, beta, c0.clone())
+    .execute_single(device)
+}
+
+/// Engine body of [`gemm_scaled`] (shared by the request executor).
+pub(crate) fn exec_gemm_scaled(
     device: &DeviceSpec,
     cfg: &KamiConfig,
     alpha: f64,
@@ -316,7 +357,7 @@ pub fn gemm_t(
 ) -> Result<GemmResult, KamiError> {
     let at = op_a.apply(a);
     let bt = op_b.apply(b);
-    gemm_auto(device, cfg, &at, &bt)
+    exec_gemm_auto(device, cfg, &at, &bt)
 }
 
 /// The §4.7 fallback ladder: fractions tried, in order, after the
@@ -332,7 +373,47 @@ pub fn gemm_auto(
     a: &Matrix,
     b: &Matrix,
 ) -> Result<GemmResult, KamiError> {
-    let mut last = gemm(device, cfg, a, b);
+    crate::request::GemmRequest::from_config(
+        crate::request::Op::GemmAuto {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        cfg,
+    )
+    .execute_single(device)
+}
+
+/// Engine body of [`gemm_auto`] (shared by the request executor).
+pub(crate) fn exec_gemm_auto(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    run_fallback_ladder(cfg, |c| exec_gemm(device, c, a, b))
+}
+
+/// Engine body of the scaled auto path: the same §4.7 ladder wrapped
+/// around the alpha/beta epilogue kernel.
+pub(crate) fn exec_gemm_scaled_auto(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c0: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    run_fallback_ladder(cfg, |c| exec_gemm_scaled(device, c, alpha, a, b, beta, c0))
+}
+
+/// Run `attempt` at the requested `smem_fraction`, escalating through
+/// [`FALLBACK_FRACTIONS`] on register overflow.
+fn run_fallback_ladder(
+    cfg: &KamiConfig,
+    mut attempt: impl FnMut(&KamiConfig) -> Result<GemmResult, KamiError>,
+) -> Result<GemmResult, KamiError> {
+    let mut last = attempt(cfg);
     if !matches!(last, Err(KamiError::Sim(SimError::RegisterOverflow { .. }))) {
         return last;
     }
@@ -342,7 +423,7 @@ pub fn gemm_auto(
     {
         let mut c2 = cfg.clone();
         c2.smem_fraction = f;
-        last = gemm(device, &c2, a, b);
+        last = attempt(&c2);
         if !matches!(last, Err(KamiError::Sim(SimError::RegisterOverflow { .. }))) {
             return last;
         }
@@ -381,6 +462,23 @@ pub fn gemm_padded(
     a: &Matrix,
     b: &Matrix,
 ) -> Result<GemmResult, KamiError> {
+    crate::request::GemmRequest::from_config(
+        crate::request::Op::GemmPadded {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        cfg,
+    )
+    .execute_single(device)
+}
+
+/// Engine body of [`gemm_padded`] (shared by the request executor).
+pub(crate) fn exec_gemm_padded(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
     if k != kb {
@@ -390,13 +488,13 @@ pub fn gemm_padded(
     }
     let (mp, np, kp) = padded_dims(cfg, m, n, k);
     if (mp, np, kp) == (m, n, k) {
-        return gemm_auto(device, cfg, a, b);
+        return exec_gemm_auto(device, cfg, a, b);
     }
     let mut ap = Matrix::zeros(mp, kp);
     ap.set_submatrix(0, 0, a);
     let mut bp = Matrix::zeros(kp, np);
     bp.set_submatrix(0, 0, b);
-    let mut res = gemm_auto(device, cfg, &ap, &bp)?;
+    let mut res = exec_gemm_auto(device, cfg, &ap, &bp)?;
     res.c = res.c.submatrix(0, 0, m, n);
     res.useful_flops = 2 * (m as u64) * (n as u64) * (k as u64);
     Ok(res)

@@ -41,6 +41,7 @@ pub mod layout;
 pub mod lowrank;
 pub mod model;
 pub mod reference;
+pub mod request;
 pub mod tune;
 
 pub use algo25d::{gemm_25d, Kami25dConfig};
@@ -56,4 +57,5 @@ pub use gemm::{
 };
 pub use lowrank::{auto_warps, lowrank_gemm, lowrank_gemm_colsplit, MAX_LOW_RANK};
 pub use reference::{reference_gemm, reference_gemm_f64};
+pub use request::{GemmRequest, GemmResponse, Op};
 pub use tune::{tune, SharedTuner, TunedConfig, Tuner};

@@ -27,7 +27,7 @@
 
 use crate::config::{Algo, KamiConfig};
 use crate::error::KamiError;
-use crate::gemm::{c_precision, gemm_auto, GemmResult};
+use crate::gemm::{c_precision, exec_gemm_auto, GemmResult};
 use crate::layout::{tile_bytes, SmemMap};
 use kami_gpu_sim::{BlockKernel, BufferId, DeviceSpec, Engine, GlobalMemory, Matrix, Precision};
 
@@ -144,6 +144,23 @@ pub fn lowrank_gemm(
     u: &Matrix,
     v: &Matrix,
 ) -> Result<GemmResult, KamiError> {
+    crate::request::GemmRequest::from_config(
+        crate::request::Op::Lowrank {
+            u: u.clone(),
+            v: v.clone(),
+        },
+        cfg,
+    )
+    .execute_single(device)
+}
+
+/// Engine body of [`lowrank_gemm`] (shared by the request executor).
+pub(crate) fn exec_lowrank_gemm(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    u: &Matrix,
+    v: &Matrix,
+) -> Result<GemmResult, KamiError> {
     let k = u.cols();
     if k > MAX_LOW_RANK {
         return Err(KamiError::Unsupported {
@@ -152,7 +169,7 @@ pub fn lowrank_gemm(
     }
     match cfg.algo {
         Algo::OneD => lowrank_gemm_colsplit(device, cfg, u, v),
-        _ => gemm_auto(device, cfg, u, v),
+        _ => exec_gemm_auto(device, cfg, u, v),
     }
 }
 

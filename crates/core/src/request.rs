@@ -1,0 +1,528 @@
+//! The unified work-description API (v2): every dense KAMI entry point
+//! expressed as one buildable value.
+//!
+//! A [`GemmRequest`] captures *what* to compute (operands and operation
+//! kind), *how* to compute it (precision, algorithm hint, warps, shared-
+//! memory fraction, cost model), and *under which service constraints*
+//! (target device, deadline in simulated cycles). The classic free
+//! functions — [`crate::gemm()`], [`crate::gemm_auto`],
+//! [`crate::gemm_padded`], [`crate::batched_gemm`],
+//! [`crate::lowrank_gemm`] — are thin wrappers that construct a
+//! `GemmRequest` and execute it, so every call site in the workspace
+//! goes through this single path. Service layers (kami-serve) queue
+//! `GemmRequest`s directly and coalesce compatible ones into one
+//! device-wide work pool.
+//!
+//! ```
+//! use kami_core::request::GemmRequest;
+//! use kami_gpu_sim::{device, Matrix, Precision};
+//!
+//! let dev = device::gh200();
+//! let a = Matrix::seeded_uniform(64, 64, 1);
+//! let b = Matrix::seeded_uniform(64, 64, 2);
+//! let res = GemmRequest::gemm(a, b)
+//!     .precision(Precision::Fp16)
+//!     .execute(&dev)
+//!     .unwrap()
+//!     .into_single()
+//!     .unwrap();
+//! println!("{:.0} cycles", res.report.cycles);
+//! ```
+
+use crate::algo25d::{gemm_25d, Kami25dConfig};
+use crate::batched::{exec_batched_gemm, exec_batched_gemm_varied, BatchedResult};
+use crate::config::{Algo, KamiConfig};
+use crate::error::KamiError;
+use crate::gemm::{
+    exec_gemm, exec_gemm_auto, exec_gemm_padded, exec_gemm_scaled, exec_gemm_scaled_auto,
+    GemmResult,
+};
+use crate::lowrank::exec_lowrank_gemm;
+use crate::tune::tune;
+use kami_gpu_sim::{CostConfig, DeviceSpec, Matrix, Precision};
+
+/// The operation a [`GemmRequest`] describes.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Strict block GEMM: dimensions must divide the partition grid.
+    Gemm { a: Matrix, b: Matrix },
+    /// Block GEMM with the §4.7 preset-ratio fallback ladder.
+    GemmAuto { a: Matrix, b: Matrix },
+    /// Arbitrary dimensions: zero-pad to the grid, crop the result.
+    GemmPadded { a: Matrix, b: Matrix },
+    /// The 2.5D replicated-layer algorithm on a `q×q×c` warp grid.
+    TwoHalfD {
+        a: Matrix,
+        b: Matrix,
+        q: usize,
+        c: usize,
+    },
+    /// Many independent products launched as one workload. `varied`
+    /// selects the ragged-batch path (per-entry padding + LPT packing).
+    Batched {
+        pairs: Vec<(Matrix, Matrix)>,
+        varied: bool,
+    },
+    /// Low-rank product `U·V` with `k ≤ MAX_LOW_RANK`.
+    Lowrank { u: Matrix, v: Matrix },
+}
+
+impl Op {
+    /// Short label for traces and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Gemm { .. } => "gemm",
+            Op::GemmAuto { .. } => "gemm_auto",
+            Op::GemmPadded { .. } => "gemm_padded",
+            Op::TwoHalfD { .. } => "gemm_25d",
+            Op::Batched { .. } => "batched_gemm",
+            Op::Lowrank { .. } => "lowrank_gemm",
+        }
+    }
+}
+
+/// Result of executing a [`GemmRequest`]: single-block ops return a
+/// [`GemmResult`], batched ops a [`BatchedResult`].
+#[derive(Debug, Clone)]
+pub enum GemmResponse {
+    Single(GemmResult),
+    Batched(BatchedResult),
+}
+
+impl GemmResponse {
+    /// Unwrap the single-block result.
+    pub fn into_single(self) -> Result<GemmResult, KamiError> {
+        match self {
+            GemmResponse::Single(r) => Ok(r),
+            GemmResponse::Batched(_) => Err(KamiError::Unsupported {
+                detail: "batched request produced a BatchedResult, not a GemmResult".into(),
+            }),
+        }
+    }
+
+    /// Unwrap the batched result.
+    pub fn into_batched(self) -> Result<BatchedResult, KamiError> {
+        match self {
+            GemmResponse::Batched(r) => Ok(r),
+            GemmResponse::Single(_) => Err(KamiError::Unsupported {
+                detail: "single request produced a GemmResult, not a BatchedResult".into(),
+            }),
+        }
+    }
+
+    /// Modelled device cycles of the execution (block cycles for single
+    /// ops, scheduled total for batches).
+    pub fn cycles(&self) -> f64 {
+        match self {
+            GemmResponse::Single(r) => r.report.cycles,
+            GemmResponse::Batched(r) => r.total_cycles,
+        }
+    }
+
+    /// Useful flops of the logical problem(s).
+    pub fn useful_flops(&self) -> u64 {
+        match self {
+            GemmResponse::Single(r) => r.useful_flops,
+            GemmResponse::Batched(r) => r.useful_flops,
+        }
+    }
+}
+
+/// A self-contained description of one GEMM work item.
+///
+/// Built with the `GemmRequest::gemm` / `gemm_auto` / `gemm_padded` /
+/// `gemm_25d` / `batched` / `lowrank` constructors plus chainable
+/// setters; executed with [`GemmRequest::execute`] (explicit device) or
+/// [`GemmRequest::run`] (device attached via [`GemmRequest::on_device`]).
+#[derive(Debug, Clone)]
+pub struct GemmRequest {
+    /// What to compute.
+    pub op: Op,
+    /// BLAS `alpha` (product scale). Defaults to 1.
+    pub alpha: f64,
+    /// BLAS `beta` (accumulate scale). Defaults to 0.
+    pub beta: f64,
+    /// The `C0` operand blended in when `beta != 0`.
+    pub c0: Option<Matrix>,
+    /// Input precision of the operands.
+    pub precision: Precision,
+    /// Algorithm hint; `None` autotunes over every valid candidate.
+    pub algo: Option<Algo>,
+    /// Warp-count override (otherwise the algorithm/tuner default).
+    pub warps: Option<usize>,
+    /// `smem_fraction` override.
+    pub smem_fraction: Option<f64>,
+    /// Cost-model override (fault injection, overlap mode, ...).
+    pub cost: Option<CostConfig>,
+    /// Device the request is destined for (used by [`GemmRequest::run`]
+    /// and by service layers for placement).
+    pub device: Option<DeviceSpec>,
+    /// Service deadline in simulated device cycles, measured from the
+    /// moment the request becomes runnable. `None` = best effort.
+    pub deadline_cycles: Option<f64>,
+}
+
+impl GemmRequest {
+    fn new(op: Op, precision: Precision) -> Self {
+        GemmRequest {
+            op,
+            alpha: 1.0,
+            beta: 0.0,
+            c0: None,
+            precision,
+            algo: None,
+            warps: None,
+            smem_fraction: None,
+            cost: None,
+            device: None,
+            deadline_cycles: None,
+        }
+    }
+
+    /// Strict block GEMM `C = A·B` (defaults: FP16, autotuned algo).
+    pub fn gemm(a: Matrix, b: Matrix) -> Self {
+        Self::new(Op::Gemm { a, b }, Precision::Fp16)
+    }
+
+    /// Block GEMM with the register→shared-memory fallback ladder.
+    pub fn gemm_auto(a: Matrix, b: Matrix) -> Self {
+        Self::new(Op::GemmAuto { a, b }, Precision::Fp16)
+    }
+
+    /// Arbitrary-size GEMM (zero-pad + crop).
+    pub fn gemm_padded(a: Matrix, b: Matrix) -> Self {
+        Self::new(Op::GemmPadded { a, b }, Precision::Fp16)
+    }
+
+    /// 2.5D GEMM on a `q×q×c` warp grid.
+    pub fn gemm_25d(a: Matrix, b: Matrix, q: usize, c: usize) -> Self {
+        Self::new(Op::TwoHalfD { a, b, q, c }, Precision::Fp16)
+    }
+
+    /// Uniform batched GEMM.
+    pub fn batched(pairs: Vec<(Matrix, Matrix)>) -> Self {
+        Self::new(
+            Op::Batched {
+                pairs,
+                varied: false,
+            },
+            Precision::Fp16,
+        )
+    }
+
+    /// Ragged batched GEMM (per-entry padding, LPT packing).
+    pub fn batched_varied(pairs: Vec<(Matrix, Matrix)>) -> Self {
+        Self::new(
+            Op::Batched {
+                pairs,
+                varied: true,
+            },
+            Precision::Fp16,
+        )
+    }
+
+    /// Low-rank product `U·V`.
+    pub fn lowrank(u: Matrix, v: Matrix) -> Self {
+        Self::new(Op::Lowrank { u, v }, Precision::Fp16)
+    }
+
+    /// Build a request from a classic [`KamiConfig`] — the bridge used
+    /// by the wrapper functions, pinning algo/warps/fraction/cost so the
+    /// request resolves to exactly that configuration.
+    pub fn from_config(op: Op, cfg: &KamiConfig) -> Self {
+        let mut r = Self::new(op, cfg.precision);
+        r.algo = Some(cfg.algo);
+        r.warps = Some(cfg.warps);
+        r.smem_fraction = Some(cfg.smem_fraction);
+        r.cost = Some(cfg.cost.clone());
+        r
+    }
+
+    /// Set the operand precision.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Pin the algorithm (skips autotuning).
+    pub fn algo(mut self, algo: Algo) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// Override the warp count `p`.
+    pub fn warps(mut self, warps: usize) -> Self {
+        self.warps = Some(warps);
+        self
+    }
+
+    /// Override the shared-memory slicing fraction.
+    pub fn smem_fraction(mut self, f: f64) -> Self {
+        self.smem_fraction = Some(f);
+        self
+    }
+
+    /// Override the cost-model parameters.
+    pub fn cost(mut self, cost: CostConfig) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// BLAS scaling: `C = alpha·A·B + beta·C0`.
+    pub fn scaled(mut self, alpha: f64, beta: f64, c0: Matrix) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self.c0 = Some(c0);
+        self
+    }
+
+    /// Scale the product only (`beta = 0`, no `C0` read).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Attach the destination device.
+    pub fn on_device(mut self, device: DeviceSpec) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Service deadline in simulated cycles from runnable.
+    pub fn deadline(mut self, cycles: f64) -> Self {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Logical `(m, n, k)` of the (first) problem.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        match &self.op {
+            Op::Gemm { a, b }
+            | Op::GemmAuto { a, b }
+            | Op::GemmPadded { a, b }
+            | Op::TwoHalfD { a, b, .. } => (a.rows(), b.cols(), a.cols()),
+            Op::Batched { pairs, .. } => pairs
+                .first()
+                .map(|(a, b)| (a.rows(), b.cols(), a.cols()))
+                .unwrap_or((0, 0, 0)),
+            Op::Lowrank { u, v } => (u.rows(), v.cols(), u.cols()),
+        }
+    }
+
+    /// Independent device blocks this request contributes to a work pool.
+    pub fn block_count(&self) -> usize {
+        match &self.op {
+            Op::Batched { pairs, .. } => pairs.len().max(1),
+            _ => 1,
+        }
+    }
+
+    /// Whether the request is a plain product (no alpha/beta epilogue).
+    fn is_plain(&self) -> bool {
+        self.alpha == 1.0 && self.beta == 0.0 && self.c0.is_none()
+    }
+
+    /// Resolve the effective block configuration on `device`: the hint
+    /// if pinned, otherwise the autotuner's winner, with the explicit
+    /// warp/fraction/cost overrides applied on top.
+    pub fn resolve_config(&self, device: &DeviceSpec) -> Result<KamiConfig, KamiError> {
+        let mut cfg = match self.algo {
+            Some(algo) => KamiConfig::new(algo, self.precision),
+            None => {
+                let (m, n, k) = self.shape();
+                tune(device, m, n, k, self.precision)?.cfg
+            }
+        };
+        cfg.precision = self.precision;
+        if let Some(w) = self.warps {
+            cfg.warps = w;
+        }
+        if let Some(f) = self.smem_fraction {
+            cfg.smem_fraction = f;
+        }
+        if let Some(c) = &self.cost {
+            cfg.cost = c.clone();
+        }
+        Ok(cfg)
+    }
+
+    /// Execute on `device`, returning a [`GemmResponse`].
+    pub fn execute(&self, device: &DeviceSpec) -> Result<GemmResponse, KamiError> {
+        match &self.op {
+            Op::Batched { pairs, varied } => {
+                if !self.is_plain() {
+                    return Err(KamiError::Unsupported {
+                        detail: "alpha/beta scaling is not defined for batched requests".into(),
+                    });
+                }
+                let cfg = self.resolve_config(device)?;
+                let res = if *varied {
+                    exec_batched_gemm_varied(device, &cfg, pairs)?
+                } else {
+                    exec_batched_gemm(device, &cfg, pairs)?
+                };
+                Ok(GemmResponse::Batched(res))
+            }
+            _ => self.execute_single(device).map(GemmResponse::Single),
+        }
+    }
+
+    /// Execute a single-block request (everything except `Op::Batched`).
+    pub fn execute_single(&self, device: &DeviceSpec) -> Result<GemmResult, KamiError> {
+        let plain = self.is_plain();
+        match &self.op {
+            Op::Gemm { a, b } => {
+                let cfg = self.resolve_config(device)?;
+                if plain {
+                    exec_gemm(device, &cfg, a, b)
+                } else {
+                    let c0 = self.effective_c0(a, b);
+                    exec_gemm_scaled(device, &cfg, self.alpha, a, b, self.beta, &c0)
+                }
+            }
+            Op::GemmAuto { a, b } => {
+                let cfg = self.resolve_config(device)?;
+                if plain {
+                    exec_gemm_auto(device, &cfg, a, b)
+                } else {
+                    let c0 = self.effective_c0(a, b);
+                    exec_gemm_scaled_auto(device, &cfg, self.alpha, a, b, self.beta, &c0)
+                }
+            }
+            Op::GemmPadded { a, b } => {
+                if !plain {
+                    return Err(KamiError::Unsupported {
+                        detail: "alpha/beta scaling is not defined for padded requests".into(),
+                    });
+                }
+                let cfg = self.resolve_config(device)?;
+                exec_gemm_padded(device, &cfg, a, b)
+            }
+            Op::TwoHalfD { a, b, q, c } => {
+                if !plain {
+                    return Err(KamiError::Unsupported {
+                        detail: "alpha/beta scaling is not defined for 2.5D requests".into(),
+                    });
+                }
+                let mut cfg25 = Kami25dConfig::new(*q, *c, self.precision);
+                if let Some(cost) = &self.cost {
+                    cfg25.cost = cost.clone();
+                }
+                gemm_25d(device, &cfg25, a, b)
+            }
+            Op::Lowrank { u, v } => {
+                if !plain {
+                    return Err(KamiError::Unsupported {
+                        detail: "alpha/beta scaling is not defined for low-rank requests".into(),
+                    });
+                }
+                let cfg = self.resolve_config(device)?;
+                exec_lowrank_gemm(device, &cfg, u, v)
+            }
+            Op::Batched { .. } => Err(KamiError::Unsupported {
+                detail: "batched request cannot produce a single GemmResult".into(),
+            }),
+        }
+    }
+
+    /// Execute on the attached device ([`GemmRequest::on_device`]).
+    pub fn run(&self) -> Result<GemmResponse, KamiError> {
+        match &self.device {
+            Some(dev) => {
+                let dev = dev.clone();
+                self.execute(&dev)
+            }
+            None => Err(KamiError::MissingDevice),
+        }
+    }
+
+    /// The `C0` operand for the scaled path: the attached one, or zeros
+    /// of the output shape when only `alpha` scaling was requested.
+    fn effective_c0(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        self.c0
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(a.rows(), b.cols()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_gemm;
+    use kami_gpu_sim::device::gh200;
+
+    #[test]
+    fn builder_matches_direct_call() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(32, 32, 7);
+        let b = Matrix::seeded_uniform(32, 32, 8);
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp64);
+        let direct = crate::gemm::gemm(&dev, &cfg, &a, &b).unwrap();
+        let via = GemmRequest::gemm(a.clone(), b.clone())
+            .precision(Precision::Fp64)
+            .algo(Algo::TwoD)
+            .execute(&dev)
+            .unwrap()
+            .into_single()
+            .unwrap();
+        assert_eq!(via.c.max_abs_diff(&direct.c), 0.0);
+        assert_eq!(via.report.cycles, direct.report.cycles);
+    }
+
+    #[test]
+    fn autotuned_request_runs_without_hint() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(32, 32, 9);
+        let b = Matrix::seeded_uniform(32, 32, 10);
+        let res = GemmRequest::gemm_auto(a.clone(), b.clone())
+            .precision(Precision::Fp64)
+            .execute(&dev)
+            .unwrap()
+            .into_single()
+            .unwrap();
+        let want = reference_gemm(&a, &b, Precision::Fp64);
+        assert!(res.c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn scaled_request_applies_epilogue() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(16, 16, 11);
+        let b = Matrix::seeded_uniform(16, 16, 12);
+        let c0 = Matrix::seeded_uniform(16, 16, 13);
+        let via = GemmRequest::gemm(a.clone(), b.clone())
+            .precision(Precision::Fp64)
+            .algo(Algo::OneD)
+            .scaled(2.0, -1.0, c0.clone())
+            .execute(&dev)
+            .unwrap()
+            .into_single()
+            .unwrap();
+        let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
+        let direct = crate::gemm::gemm_scaled(&dev, &cfg, 2.0, &a, &b, -1.0, &c0).unwrap();
+        assert_eq!(via.c.max_abs_diff(&direct.c), 0.0);
+    }
+
+    #[test]
+    fn run_without_device_is_typed_error() {
+        let r = GemmRequest::gemm(Matrix::zeros(16, 16), Matrix::zeros(16, 16));
+        assert!(matches!(r.run(), Err(KamiError::MissingDevice)));
+    }
+
+    #[test]
+    fn response_accessors_guard_variants() {
+        let dev = gh200();
+        let pairs = vec![(
+            Matrix::seeded_uniform(16, 16, 1),
+            Matrix::seeded_uniform(16, 16, 2),
+        )];
+        let resp = GemmRequest::batched(pairs)
+            .precision(Precision::Fp64)
+            .algo(Algo::OneD)
+            .execute(&dev)
+            .unwrap();
+        assert!(resp.cycles() > 0.0);
+        assert!(resp.clone().into_batched().is_ok());
+        assert!(resp.into_single().is_err());
+    }
+}

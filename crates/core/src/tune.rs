@@ -11,7 +11,7 @@
 
 use crate::config::{Algo, KamiConfig};
 use crate::error::KamiError;
-use crate::gemm::{gemm, GemmResult};
+use crate::gemm::{exec_gemm as gemm, GemmResult};
 use kami_gpu_sim::{DeviceSpec, Matrix, Precision};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

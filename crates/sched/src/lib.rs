@@ -40,15 +40,19 @@
 //!          report.achieved_tflops, report.decomposition.label());
 //! ```
 
+pub mod error;
 pub mod plan;
 pub mod schedule;
+pub mod scheduled;
 pub mod sparse;
 pub mod work;
 
+pub use error::SchedError;
 pub use plan::{BlockCost, PlanCache, PlanEntry};
 pub use schedule::{estimate_batched_device, Decomposition, ScheduleReport, Scheduler, SmStats};
+pub use scheduled::{Scheduled, ScheduledSpgemm, ScheduledSpmm};
 pub use sparse::{
-    spgemm_scheduled, spmm_scheduled, ScheduledSpgemm, ScheduledSpmm, SparseCost, SparseKind,
-    SparseScheduleReport, SparseWork, SparseWorkItem,
+    spgemm_scheduled, spmm_scheduled, SparseCost, SparseKind, SparseScheduleReport, SparseWork,
+    SparseWorkItem,
 };
 pub use work::{BlockWork, WorkItem, PAPER_BLOCK_COUNT};

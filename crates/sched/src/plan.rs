@@ -14,10 +14,11 @@ use crate::schedule::Decomposition;
 use crate::work::WorkItem;
 use kami_core::tune::{SharedTuner, TunedConfig};
 use kami_core::{gemm, KamiError};
-use kami_gpu_sim::{occupancy, DeviceSpec, Matrix, Occupancy, Precision};
+use kami_gpu_sim::{occupancy, CostConfig, DeviceSpec, Matrix, Occupancy, Precision};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Per-block cost quantities of one tuned shape on one device, in the
 /// batched regime (global I/O included — §5.4).
@@ -63,7 +64,26 @@ pub struct PlanEntry {
     pub cost: BlockCost,
 }
 
-type PlanKey = (String, usize, usize, usize, Precision);
+/// `(device, m, n, k, precision, cost fingerprint)` — the fingerprint
+/// keeps plans built under a cost-model override (fault injection,
+/// overlap mode) from colliding with default-cost plans in the same
+/// cache.
+type PlanKey = (String, usize, usize, usize, Precision, u64);
+
+/// Stable fingerprint of a cost-model override (0 = default cost).
+fn cost_tag(cost: Option<&CostConfig>) -> u64 {
+    match cost {
+        None => 0,
+        Some(c) => {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            c.theta_r.to_bits().hash(&mut h);
+            c.theta_w.to_bits().hash(&mut h);
+            c.mma_efficiency.to_bits().hash(&mut h);
+            format!("{:?}", c.mode).hash(&mut h);
+            h.finish() | 1
+        }
+    }
+}
 
 /// Thread-safe plan cache shared across launches (and across SM workers
 /// within a launch).
@@ -97,11 +117,18 @@ impl PlanCache {
     }
 
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        self.locked().len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lock the plan map, recovering from a poisoned mutex (a panicking
+    /// SM worker must not take the whole cache down — the map itself is
+    /// never left mid-update).
+    fn locked(&self) -> MutexGuard<'_, HashMap<PlanKey, PlanEntry>> {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The plan for one work-item shape, tuning and profiling on first
@@ -111,14 +138,27 @@ impl PlanCache {
         device: &DeviceSpec,
         item: &WorkItem,
     ) -> Result<(PlanEntry, bool), KamiError> {
-        let key = self.key(device, item);
-        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        self.plan_for_costed(device, item, None)
+    }
+
+    /// Like [`PlanCache::plan_for`], but profile the representative
+    /// block under a cost-model override. Plans built under different
+    /// overrides are cached under distinct keys, so one cache can serve
+    /// default-cost and fault-injected launches side by side.
+    pub fn plan_for_costed(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        cost: Option<&CostConfig>,
+    ) -> Result<(PlanEntry, bool), KamiError> {
+        let key = self.key(device, item, cost);
+        if let Some(hit) = self.locked().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((hit.clone(), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let entry = self.build_plan(device, item)?;
-        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        let entry = self.build_plan(device, item, cost)?;
+        let mut plans = self.locked();
         Ok((plans.entry(key).or_insert(entry).clone(), false))
     }
 
@@ -130,27 +170,52 @@ impl PlanCache {
         item: &WorkItem,
         decomposition: Decomposition,
     ) {
-        let key = self.key(device, item);
-        if let Some(entry) = self
-            .plans
-            .lock()
-            .expect("plan cache poisoned")
-            .get_mut(&key)
-        {
+        self.record_decomposition_costed(device, item, None, decomposition)
+    }
+
+    /// Cost-override variant of [`PlanCache::record_decomposition`].
+    pub fn record_decomposition_costed(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        cost: Option<&CostConfig>,
+        decomposition: Decomposition,
+    ) {
+        let key = self.key(device, item, cost);
+        if let Some(entry) = self.locked().get_mut(&key) {
             entry.decomposition = decomposition;
         }
     }
 
-    fn key(&self, device: &DeviceSpec, item: &WorkItem) -> PlanKey {
-        (device.name.clone(), item.m, item.n, item.k, item.precision)
+    fn key(&self, device: &DeviceSpec, item: &WorkItem, cost: Option<&CostConfig>) -> PlanKey {
+        (
+            device.name.clone(),
+            item.m,
+            item.n,
+            item.k,
+            item.precision,
+            cost_tag(cost),
+        )
     }
 
     /// Tune the shape, then run the winner once on seeded data to
-    /// extract the block-level cost quantities.
-    fn build_plan(&self, device: &DeviceSpec, item: &WorkItem) -> Result<PlanEntry, KamiError> {
-        let tuned = self
+    /// extract the block-level cost quantities. A cost override is
+    /// applied to the winner before the representative run, so the
+    /// extracted cycles reflect the overridden model (the tuning sweep
+    /// itself ranks candidates under the default cost — the override
+    /// scales costs, it does not reorder configurations).
+    fn build_plan(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        cost: Option<&CostConfig>,
+    ) -> Result<PlanEntry, KamiError> {
+        let mut tuned = self
             .tuner
             .config_for(device, item.m, item.n, item.k, item.precision)?;
+        if let Some(c) = cost {
+            tuned.cfg.cost = c.clone();
+        }
         let a = Matrix::seeded_uniform(item.m, item.k, 0x5CED);
         let b = Matrix::seeded_uniform(item.k, item.n, 0x5CED + 1);
         let res = gemm(device, &tuned.cfg, &a, &b)?;

@@ -20,10 +20,10 @@
 //! [`kami_gpu_sim::occupancy::analyze`]'s `rate_per_cycle`, which is
 //! what ties the device-level makespan back to the single-block model.
 
+use crate::error::SchedError;
 use crate::plan::{PlanCache, PlanEntry};
 use crate::work::BlockWork;
-use kami_core::KamiError;
-use kami_gpu_sim::{DeviceSpec, Trace, TraceEvent, TraceKind};
+use kami_gpu_sim::{CostConfig, DeviceSpec, Trace, TraceEvent, TraceKind};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -167,6 +167,7 @@ impl SmPlan {
 pub struct Scheduler<'a> {
     pub(crate) device: &'a DeviceSpec,
     pub(crate) decomposition: Decomposition,
+    pub(crate) cost: Option<CostConfig>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -174,6 +175,7 @@ impl<'a> Scheduler<'a> {
         Scheduler {
             device,
             decomposition: Decomposition::Auto,
+            cost: None,
         }
     }
 
@@ -183,13 +185,26 @@ impl<'a> Scheduler<'a> {
         self
     }
 
+    /// Profile plans under a cost-model override (fault injection,
+    /// overlap mode): every makespan this scheduler produces reflects
+    /// the overridden cycle model.
+    pub fn with_cost(mut self, cost: CostConfig) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
     /// The device this scheduler places work on.
     pub fn device(&self) -> &DeviceSpec {
         self.device
     }
 
+    /// The cost-model override, if any.
+    pub fn cost(&self) -> Option<&CostConfig> {
+        self.cost.as_ref()
+    }
+
     /// Schedule `work` across all SMs and report.
-    pub fn run(&self, work: &BlockWork, plans: &PlanCache) -> Result<ScheduleReport, KamiError> {
+    pub fn run(&self, work: &BlockWork, plans: &PlanCache) -> Result<ScheduleReport, SchedError> {
         self.schedule(work, plans).map(|(report, _)| report)
     }
 
@@ -199,7 +214,7 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &BlockWork,
         plans: &PlanCache,
-    ) -> Result<(ScheduleReport, Trace), KamiError> {
+    ) -> Result<(ScheduleReport, Trace), SchedError> {
         let (report, sm_plans) = self.schedule(work, plans)?;
         let trace = build_trace(self.device, &report, &sm_plans);
         Ok((report, trace))
@@ -209,11 +224,9 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &BlockWork,
         plans: &PlanCache,
-    ) -> Result<(ScheduleReport, Vec<SmPlan>), KamiError> {
+    ) -> Result<(ScheduleReport, Vec<SmPlan>), SchedError> {
         if work.is_empty() {
-            return Err(KamiError::Unsupported {
-                detail: "cannot schedule an empty work stream".into(),
-            });
+            return Err(SchedError::EmptyStream { kind: "dense" });
         }
         if work.is_uniform() {
             self.schedule_uniform(work, plans)
@@ -226,11 +239,11 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &BlockWork,
         plans: &PlanCache,
-    ) -> Result<(ScheduleReport, Vec<SmPlan>), KamiError> {
+    ) -> Result<(ScheduleReport, Vec<SmPlan>), SchedError> {
         let item = work.items[0];
         let count = work.len();
         let sms = self.device.num_sms as usize;
-        let (entry, hit) = plans.plan_for(self.device, &item)?;
+        let (entry, hit) = plans.plan_for_costed(self.device, &item, self.cost.as_ref())?;
         let cost = &entry.cost;
         let steady = cost.steady_cycles();
         let g = cost.k_stages;
@@ -256,11 +269,10 @@ impl<'a> Scheduler<'a> {
         let (chosen, sm_plans, span) = match (self.decomposition, sk, sk_makespan) {
             (Decomposition::StreamK, Some(p), Some(ms)) => (Decomposition::StreamK, p, ms),
             (Decomposition::StreamK, None, _) => {
-                return Err(KamiError::Unsupported {
-                    detail: format!(
-                        "stream-k needs a multi-stage k-loop; {}x{}x{} tunes to a single stage",
-                        item.m, item.n, item.k
-                    ),
+                return Err(SchedError::SingleStageStreamK {
+                    m: item.m,
+                    n: item.n,
+                    k: item.k,
                 });
             }
             (Decomposition::Auto, Some(p), Some(ms)) if ms < dp_makespan => {
@@ -268,7 +280,7 @@ impl<'a> Scheduler<'a> {
             }
             _ => (Decomposition::DataParallel, dp, dp_makespan),
         };
-        plans.record_decomposition(self.device, &item, chosen);
+        plans.record_decomposition_costed(self.device, &item, self.cost.as_ref(), chosen);
 
         let report = self.finish(
             chosen,
@@ -288,13 +300,13 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &BlockWork,
         plans: &PlanCache,
-    ) -> Result<(ScheduleReport, Vec<SmPlan>), KamiError> {
+    ) -> Result<(ScheduleReport, Vec<SmPlan>), SchedError> {
         let sms = self.device.num_sms as usize;
         let mut reused = 0usize;
         let mut tuned = 0usize;
         let mut entries: Vec<PlanEntry> = Vec::with_capacity(work.len());
         for item in &work.items {
-            let (entry, hit) = plans.plan_for(self.device, item)?;
+            let (entry, hit) = plans.plan_for_costed(self.device, item, self.cost.as_ref())?;
             if hit {
                 reused += 1;
             } else {
@@ -645,7 +657,7 @@ pub fn estimate_batched_device(
     k: usize,
     precision: kami_gpu_sim::Precision,
     batch: usize,
-) -> Result<ScheduleReport, KamiError> {
+) -> Result<ScheduleReport, SchedError> {
     let plans = PlanCache::new();
     Scheduler::new(device).run(&BlockWork::uniform(m, n, k, precision, batch), &plans)
 }

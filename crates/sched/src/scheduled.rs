@@ -1,0 +1,39 @@
+//! The unified scheduled-result shape: every entry point that runs work
+//! under the device scheduler returns the same three-field bundle.
+
+use crate::sparse::SparseScheduleReport;
+use kami_gpu_sim::Trace;
+use kami_sparse::spgemm::SpgemmResult;
+use kami_sparse::spmm::SpmmResult;
+
+/// A numeric result paired with the schedule that placed it and the
+/// per-SM device trace — generic over the result type `T` and the
+/// report type `R` (sparse launches report [`SparseScheduleReport`],
+/// dense launches a plain [`crate::ScheduleReport`]).
+#[derive(Debug, Clone)]
+pub struct Scheduled<T, R = SparseScheduleReport> {
+    /// The numeric result, bit-identical to the unscheduled kernel's.
+    pub result: T,
+    /// The device-level schedule behind the makespan.
+    pub report: R,
+    /// One Chrome-trace track per SM.
+    pub trace: Trace,
+}
+
+impl<T, R> Scheduled<T, R> {
+    /// Re-wrap the result, keeping the schedule and trace.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Scheduled<U, R> {
+        Scheduled {
+            result: f(self.result),
+            report: self.report,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Scheduled SpMM: the unscheduled kernel's numeric result plus the
+/// nnz-weighted device schedule.
+pub type ScheduledSpmm = Scheduled<SpmmResult>;
+
+/// Scheduled SpGEMM: see [`ScheduledSpmm`].
+pub type ScheduledSpgemm = Scheduled<SpgemmResult>;

@@ -28,15 +28,15 @@
 //! over the identical per-output-block products, so per-output-block
 //! accumulation order is unchanged and results are bit-identical.
 
+use crate::error::SchedError;
 use crate::plan::PlanCache;
 use crate::schedule::{
     build_report, build_trace, makespan, Decomposition, ScheduleReport, Scheduler, Segment, SmPlan,
 };
+use crate::scheduled::{ScheduledSpgemm, ScheduledSpmm};
 use crate::work::WorkItem;
 use kami_core::{KamiConfig, KamiError};
-use kami_gpu_sim::{DeviceSpec, Matrix, Precision, Trace};
-use kami_sparse::spgemm::SpgemmResult;
-use kami_sparse::spmm::SpmmResult;
+use kami_gpu_sim::{CostConfig, DeviceSpec, Matrix, Precision, Trace};
 use kami_sparse::{model, BlockSparseMatrix};
 
 /// Which sparse kernel a work stream feeds.
@@ -200,7 +200,17 @@ impl SparseCost {
         plans: &PlanCache,
         work: &SparseWork,
     ) -> Result<(Self, bool), KamiError> {
-        let (entry, hit) = plans.plan_for(device, &work.unit)?;
+        Self::from_plans_costed(device, plans, work, None)
+    }
+
+    /// Cost-override variant of [`SparseCost::from_plans`].
+    pub fn from_plans_costed(
+        device: &DeviceSpec,
+        plans: &PlanCache,
+        work: &SparseWork,
+        cost: Option<&CostConfig>,
+    ) -> Result<(Self, bool), KamiError> {
+        let (entry, hit) = plans.plan_for_costed(device, &work.unit, cost)?;
         let cost = &entry.cost;
         Ok((
             SparseCost {
@@ -257,7 +267,7 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &SparseWork,
         plans: &PlanCache,
-    ) -> Result<SparseScheduleReport, KamiError> {
+    ) -> Result<SparseScheduleReport, SchedError> {
         self.schedule_sparse(work, plans).map(|(report, _)| report)
     }
 
@@ -268,7 +278,7 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &SparseWork,
         plans: &PlanCache,
-    ) -> Result<(SparseScheduleReport, Trace), KamiError> {
+    ) -> Result<(SparseScheduleReport, Trace), SchedError> {
         let (report, sm_plans) = self.schedule_sparse(work, plans)?;
         let trace = build_trace(self.device, &report.schedule, &sm_plans);
         Ok((report, trace))
@@ -278,17 +288,15 @@ impl<'a> Scheduler<'a> {
         &self,
         work: &SparseWork,
         plans: &PlanCache,
-    ) -> Result<(SparseScheduleReport, Vec<SmPlan>), KamiError> {
+    ) -> Result<(SparseScheduleReport, Vec<SmPlan>), SchedError> {
         if work.is_empty() || work.total_nnz() == 0 {
-            return Err(KamiError::Unsupported {
-                detail: format!(
-                    "cannot schedule an empty sparse {} stream",
-                    work.kind.label()
-                ),
+            return Err(SchedError::EmptyStream {
+                kind: work.kind.label(),
             });
         }
         let sms = self.device.num_sms as usize;
-        let (cost, hit) = SparseCost::from_plans(self.device, plans, work)?;
+        let (cost, hit) =
+            SparseCost::from_plans_costed(self.device, plans, work, self.cost.as_ref())?;
 
         let dp = sparse_dp_plans(work, sms, &cost);
         let dp_ms = makespan(&dp);
@@ -321,7 +329,7 @@ impl<'a> Scheduler<'a> {
                 best
             }
         };
-        plans.record_decomposition(self.device, &work.unit, chosen);
+        plans.record_decomposition_costed(self.device, &work.unit, self.cost.as_ref(), chosen);
 
         let schedule = build_report(
             self.device,
@@ -503,44 +511,28 @@ fn sparse_streamk_plans(work: &SparseWork, sms: usize, cost: &SparseCost) -> Vec
     plans
 }
 
-/// Scheduled SpMM: the unscheduled kernel's numeric result (bit-
-/// identical by construction — same engine, same per-output-block
-/// accumulation order) plus the device-level schedule and per-SM trace
-/// of its nnz-weighted work stream.
-#[derive(Debug, Clone)]
-pub struct ScheduledSpmm {
-    pub result: SpmmResult,
-    pub report: SparseScheduleReport,
-    pub trace: Trace,
-}
-
 /// Run SpMM under the device scheduler: derive the nnz-weighted work
 /// stream from A's row-block structure, schedule it (emitting per-SM
 /// trace tracks), and compute `C = A·B` with the unscheduled sparse
-/// kernel.
+/// kernel. The numeric result is bit-identical to the unscheduled one
+/// by construction — same engine, same per-output-block accumulation
+/// order.
 pub fn spmm_scheduled(
     scheduler: &Scheduler,
     cfg: &KamiConfig,
     a: &BlockSparseMatrix,
     b: &Matrix,
     plans: &PlanCache,
-) -> Result<ScheduledSpmm, KamiError> {
+) -> Result<ScheduledSpmm, SchedError> {
     let work = SparseWork::from_spmm(a, b.cols(), cfg.precision);
     let (report, trace) = scheduler.run_sparse_traced(&work, plans)?;
-    let result = kami_sparse::spmm::spmm(scheduler.device(), cfg, a, b)?;
+    let result =
+        kami_sparse::spmm::spmm(scheduler.device(), cfg, a, b).map_err(SchedError::from)?;
     Ok(ScheduledSpmm {
         result,
         report,
         trace,
     })
-}
-
-/// Scheduled SpGEMM: see [`ScheduledSpmm`].
-#[derive(Debug, Clone)]
-pub struct ScheduledSpgemm {
-    pub result: SpgemmResult,
-    pub report: SparseScheduleReport,
-    pub trace: Trace,
 }
 
 /// Run SpGEMM under the device scheduler: derive the work stream from
@@ -552,10 +544,11 @@ pub fn spgemm_scheduled(
     a: &BlockSparseMatrix,
     b: &BlockSparseMatrix,
     plans: &PlanCache,
-) -> Result<ScheduledSpgemm, KamiError> {
+) -> Result<ScheduledSpgemm, SchedError> {
     let work = SparseWork::from_spgemm(a, b, cfg.precision);
     let (report, trace) = scheduler.run_sparse_traced(&work, plans)?;
-    let result = kami_sparse::spgemm::spgemm(scheduler.device(), cfg, a, b)?;
+    let result =
+        kami_sparse::spgemm::spgemm(scheduler.device(), cfg, a, b).map_err(SchedError::from)?;
     Ok(ScheduledSpgemm {
         result,
         report,

@@ -1,0 +1,83 @@
+//! Typed service errors, chained to the engine and scheduler errors
+//! underneath via [`std::error::Error::source`].
+
+use kami_core::KamiError;
+use kami_sched::SchedError;
+
+/// Why the service rejected, failed, or refused a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded admission queue is full — backpressure, resubmit
+    /// later.
+    QueueFull { capacity: usize },
+    /// The server no longer admits work (graceful drain in progress).
+    ShuttingDown,
+    /// A ticket was asked for a payload kind the request never produced
+    /// (e.g. `into_dense` on an SpMM completion).
+    WrongKind {
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// The engine rejected the request's numerics.
+    Core(KamiError),
+    /// The device scheduler rejected the coalesced work pool.
+    Sched(SchedError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WrongKind { expected, got } => {
+                write!(f, "completion holds a {got} payload, asked for {expected}")
+            }
+            ServeError::Core(e) => write!(f, "engine: {e}"),
+            ServeError::Sched(e) => write!(f, "scheduler: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KamiError> for ServeError {
+    fn from(e: KamiError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<SchedError> for ServeError {
+    fn from(e: SchedError) -> Self {
+        ServeError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = ServeError::QueueFull { capacity: 8 };
+        assert_eq!(e.to_string(), "admission queue full (capacity 8)");
+        assert!(e.source().is_none());
+
+        let e = ServeError::Sched(SchedError::EmptyStream { kind: "dense" });
+        assert!(e.to_string().starts_with("scheduler:"));
+        assert!(e.source().is_some());
+
+        let e = ServeError::Core(KamiError::Unsupported { detail: "x".into() });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,156 @@
+//! # kami-serve
+//!
+//! An async batched GEMM *service* runtime over the simulated device:
+//! multiple producer threads submit [`ServeRequest`]s — dense
+//! 1D/2D/2.5D/3D products via the workspace-wide
+//! [`GemmRequest`](kami_core::GemmRequest), batched and low-rank
+//! variants, SpMM and SpGEMM — into a bounded admission queue and get
+//! back [`Ticket`]s that resolve to [`Completed`] results.
+//!
+//! A dispatcher drains the queue in **ticks** on a simulated device
+//! clock. Each tick coalesces compatible dense requests (same
+//! `m×n×k` shape class and precision) into one [`kami_sched`] work
+//! pool, so many small independent GEMMs share the device the way one
+//! Stream-K launch would, instead of serializing one kernel at a time.
+//! Numerics are produced by the same engine entry points a direct
+//! caller uses, so served results are **bit-identical** to unserved
+//! ones.
+//!
+//! Service semantics:
+//!
+//! * **Backpressure** — the queue is bounded; submissions beyond
+//!   capacity bounce with [`ServeError::QueueFull`].
+//! * **Deadlines** — each request may carry a per-attempt budget in
+//!   simulated cycles; a missed deadline requeues with exponential
+//!   backoff, and once retries are exhausted the request completes via
+//!   a *degraded serial* replay rather than being dropped.
+//! * **Graceful drain** — `shutdown()` stops admission,
+//!   `shutdown_and_drain()` finishes everything already queued.
+//! * **Observability** — per-request and per-tick metrics
+//!   ([`Metrics`]), a Prometheus text export, and an optional merged
+//!   Chrome trace of every dispatched group on the service clock.
+//!
+//! ```
+//! use kami_serve::{Server, ServeRequest};
+//! use kami_gpu_sim::{device, Matrix, Precision};
+//!
+//! let dev = device::gh200();
+//! let server = Server::new(&dev);
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let a = Matrix::seeded_uniform(64, 64, i);
+//!         let b = Matrix::seeded_uniform(64, 64, i + 100);
+//!         server.submit(ServeRequest::gemm(a, b, Precision::Fp16)).unwrap()
+//!     })
+//!     .collect();
+//! server.shutdown_and_drain();
+//! for t in tickets {
+//!     let done = t.wait().unwrap();
+//!     assert!(done.output.useful_flops() > 0);
+//! }
+//! ```
+
+pub mod error;
+pub mod metrics;
+pub mod request;
+pub mod server;
+pub mod ticket;
+
+pub use error::ServeError;
+pub use metrics::{Metrics, TickRecord};
+pub use request::{ServeOutput, ServeRequest, Workload};
+pub use server::{Server, ServerConfig, TickSummary};
+pub use ticket::{Completed, CompletionPath, Ticket};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_gpu_sim::{device::gh200, Matrix, Precision};
+
+    fn dense(seed: u64) -> ServeRequest {
+        let a = Matrix::seeded_uniform(64, 64, seed);
+        let b = Matrix::seeded_uniform(64, 64, seed + 1000);
+        ServeRequest::gemm(a, b, Precision::Fp16)
+    }
+
+    #[test]
+    fn served_result_is_bit_identical_to_direct_call() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let req = dense(7);
+        let direct = req.execute(&dev).unwrap();
+        let ticket = server.submit(req).unwrap();
+        server.drain();
+        let done = ticket.wait().unwrap();
+        let (got, want) = match (&done.output, &direct) {
+            (ServeOutput::Dense(g), ServeOutput::Dense(w)) => (g, w),
+            _ => panic!("dense in, dense out"),
+        };
+        let got = got.clone().into_single().unwrap();
+        let want = want.clone().into_single().unwrap();
+        assert_eq!(got.c.as_slice(), want.c.as_slice());
+    }
+
+    #[test]
+    fn same_shape_requests_coalesce_into_one_group() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let tickets: Vec<_> = (0..6).map(|i| server.submit(dense(i)).unwrap()).collect();
+        let summary = server.tick();
+        assert_eq!(summary.groups, 1);
+        assert_eq!(summary.completed, 6);
+        for t in tickets {
+            let done = t.wait().unwrap();
+            assert_eq!(done.via, CompletionPath::Coalesced { group_size: 6 });
+        }
+    }
+
+    #[test]
+    fn coalescing_off_dispatches_solo_groups() {
+        let dev = gh200();
+        let server = Server::with_config(
+            &dev,
+            ServerConfig {
+                coalesce: false,
+                ..ServerConfig::default()
+            },
+        );
+        for i in 0..3 {
+            server.submit(dense(i)).unwrap();
+        }
+        let summary = server.tick();
+        assert_eq!(summary.groups, 3);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_backpressure() {
+        let dev = gh200();
+        let server = Server::with_config(
+            &dev,
+            ServerConfig {
+                queue_capacity: 2,
+                ..ServerConfig::default()
+            },
+        );
+        server.submit(dense(0)).unwrap();
+        server.submit(dense(1)).unwrap();
+        let err = server.submit(dense(2)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+        assert_eq!(server.metrics().rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_drains_old() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let ticket = server.submit(dense(0)).unwrap();
+        server.shutdown();
+        assert_eq!(
+            server.submit(dense(1)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        server.drain();
+        assert!(ticket.wait().is_ok());
+        assert_eq!(server.pending(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Service observability: per-request and per-tick accounting, a
+//! Prometheus-style text export, and a merged device trace across every
+//! dispatched group.
+
+use kami_gpu_sim::Trace;
+use std::fmt::Write as _;
+
+/// One dispatcher tick's account.
+#[derive(Debug, Clone)]
+pub struct TickRecord {
+    pub tick: u64,
+    /// Requests dispatched this tick (completions + retries).
+    pub requests: usize,
+    /// Work-pool groups those requests coalesced into.
+    pub groups: usize,
+    /// Simulated cycles the tick advanced the clock.
+    pub makespan_cycles: f64,
+    /// Makespan-weighted mean SM utilization across the tick's groups.
+    pub utilization: f64,
+}
+
+impl TickRecord {
+    /// Requests per group — 1.0 when nothing coalesced.
+    pub fn coalesce_factor(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.groups as f64
+        }
+    }
+}
+
+/// Cumulative service counters. Snapshot via
+/// [`Server::metrics`](crate::Server::metrics).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    pub submitted: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_shutting_down: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Deadline misses that went back to the queue with backoff.
+    pub retries: u64,
+    /// Deadline misses that exhausted retries and took the serial path.
+    pub degraded_serial: u64,
+    /// Ticks that dispatched at least one request.
+    pub ticks: u64,
+    /// Sum over completions of eligible-but-waiting cycles.
+    pub queue_cycles_sum: f64,
+    /// Sum over completions of group-start→done cycles.
+    pub service_cycles_sum: f64,
+    /// Sum over groups of their makespans (device busy time).
+    pub group_cycles_sum: f64,
+    /// Largest queue depth observed at submit time.
+    pub max_queue_depth: usize,
+    pub per_tick: Vec<TickRecord>,
+}
+
+impl Metrics {
+    /// Mean requests-per-group across dispatching ticks.
+    pub fn coalesce_factor(&self) -> f64 {
+        let (reqs, groups) = self
+            .per_tick
+            .iter()
+            .fold((0usize, 0usize), |(r, g), t| (r + t.requests, g + t.groups));
+        if groups == 0 {
+            0.0
+        } else {
+            reqs as f64 / groups as f64
+        }
+    }
+
+    /// Mean queue latency per completion, in simulated cycles.
+    pub fn mean_queue_cycles(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.queue_cycles_sum / self.completed as f64
+        }
+    }
+
+    /// Prometheus text exposition (counters and gauges under the
+    /// `kami_serve_` prefix).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP kami_serve_{name} {help}");
+            let _ = writeln!(out, "# TYPE kami_serve_{name} counter");
+            let _ = writeln!(out, "kami_serve_{name} {v}");
+        };
+        counter(
+            "submitted_total",
+            "Requests admitted",
+            self.submitted as f64,
+        );
+        counter(
+            "rejected_queue_full_total",
+            "Submissions bounced by backpressure",
+            self.rejected_queue_full as f64,
+        );
+        counter(
+            "rejected_shutting_down_total",
+            "Submissions refused during drain",
+            self.rejected_shutting_down as f64,
+        );
+        counter(
+            "completed_total",
+            "Requests completed",
+            self.completed as f64,
+        );
+        counter("failed_total", "Requests failed", self.failed as f64);
+        counter(
+            "retries_total",
+            "Deadline misses requeued with backoff",
+            self.retries as f64,
+        );
+        counter(
+            "degraded_serial_total",
+            "Completions via the serial fallback",
+            self.degraded_serial as f64,
+        );
+        counter("ticks_total", "Dispatching ticks", self.ticks as f64);
+        counter(
+            "queue_cycles_total",
+            "Simulated cycles requests waited eligible",
+            self.queue_cycles_sum,
+        );
+        counter(
+            "service_cycles_total",
+            "Simulated cycles from group start to done",
+            self.service_cycles_sum,
+        );
+        counter(
+            "group_cycles_total",
+            "Simulated device-busy cycles across groups",
+            self.group_cycles_sum,
+        );
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP kami_serve_{name} {help}");
+            let _ = writeln!(out, "# TYPE kami_serve_{name} gauge");
+            let _ = writeln!(out, "kami_serve_{name} {v}");
+        };
+        gauge(
+            "max_queue_depth",
+            "Largest queue depth seen at submit",
+            self.max_queue_depth as f64,
+        );
+        gauge(
+            "coalesce_factor",
+            "Mean requests per dispatched group",
+            self.coalesce_factor(),
+        );
+        gauge(
+            "mean_queue_cycles",
+            "Mean eligible-wait cycles per completion",
+            self.mean_queue_cycles(),
+        );
+        out
+    }
+}
+
+/// Merged device trace: every dispatched group's per-SM trace, offset
+/// to the group's start on the service clock, in one Chrome-trace
+/// timeline.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MergedTrace {
+    pub trace: Trace,
+}
+
+impl MergedTrace {
+    pub(crate) fn absorb(&mut self, group: &Trace, offset_cycles: f64) {
+        if self.trace.device.is_empty() {
+            self.trace.device = group.device.clone();
+            self.trace.mode = group.mode;
+        }
+        self.trace.events.extend(group.events.iter().map(|e| {
+            let mut e = e.clone();
+            e.start += offset_cycles;
+            e
+        }));
+        let end = group.total_cycles() + offset_cycles;
+        match self.trace.phase_starts.as_mut_slice() {
+            [] => self.trace.phase_starts = vec![0.0, end],
+            [.., last] => *last = last.max(end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_export_names_every_counter() {
+        let mut m = Metrics {
+            submitted: 7,
+            completed: 5,
+            ..Metrics::default()
+        };
+        m.per_tick.push(TickRecord {
+            tick: 1,
+            requests: 4,
+            groups: 2,
+            makespan_cycles: 100.0,
+            utilization: 0.5,
+        });
+        let text = m.to_prometheus();
+        for name in [
+            "kami_serve_submitted_total 7",
+            "kami_serve_completed_total 5",
+            "kami_serve_coalesce_factor 2",
+            "# TYPE kami_serve_ticks_total counter",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn merged_trace_offsets_events() {
+        use kami_gpu_sim::{TraceEvent, TraceKind};
+        let mut group = Trace::default();
+        group.events.push(TraceEvent {
+            warp: 0,
+            phase: 0,
+            kind: TraceKind::Mma,
+            amount: 1,
+            start: 5.0,
+            duration: 2.0,
+            detail: String::new(),
+        });
+        group.phase_starts = vec![0.0, 7.0];
+        let mut merged = MergedTrace::default();
+        merged.absorb(&group, 100.0);
+        assert_eq!(merged.trace.events[0].start, 105.0);
+        assert_eq!(merged.trace.total_cycles(), 107.0);
+    }
+}

@@ -1,0 +1,555 @@
+//! The service runtime: bounded admission, tick-based dispatch,
+//! coalescing, deadlines with retry and degraded-serial fallback.
+//!
+//! ## Clock model
+//!
+//! The server keeps one simulated device clock. Each tick pops every
+//! eligible request, coalesces compatible ones into shared work pools,
+//! runs each pool through the device scheduler, and advances the clock
+//! by the pool's makespan. Wall-clock time never enters the model —
+//! latency, deadlines, and backoff are all simulated cycles, so runs
+//! are exactly reproducible.
+//!
+//! ## Numerics
+//!
+//! Coalescing only shares the *schedule*. Every request's numeric
+//! payload is produced by the same engine entry points a direct caller
+//! would use ([`ServeRequest::execute`]), so served results are
+//! bit-identical to unserved ones, retries included: the payload is
+//! computed once on the first attempt and carried across requeues.
+
+use crate::error::ServeError;
+use crate::metrics::{MergedTrace, Metrics, TickRecord};
+use crate::request::{ServeOutput, ServeRequest, Workload};
+use crate::ticket::{Completed, CompletionPath, Ticket, TicketInner};
+use kami_gpu_sim::{CostConfig, DeviceSpec, Trace};
+use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler, SparseWork, WorkItem};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bounded admission queue: submissions beyond this depth bounce
+    /// with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Merge same-shape-class dense requests into shared work pools.
+    /// Off = every request dispatches alone (the serial baseline).
+    pub coalesce: bool,
+    /// Deadline misses tolerated before the serial fallback.
+    pub max_retries: u32,
+    /// Base requeue delay in simulated cycles; attempt `i` waits
+    /// `backoff_cycles · 2^(i−1)`.
+    pub backoff_cycles: f64,
+    /// Cost-model override applied to every schedule this server builds
+    /// (fault injection hook: inflated costs -> deadline misses, while
+    /// numerics stay untouched).
+    pub cost: Option<CostConfig>,
+    /// Decomposition forced on dense work pools (`Auto` = model picks).
+    pub decomposition: Decomposition,
+    /// Record a merged Chrome trace of every dispatched group (costs
+    /// memory proportional to total work; off by default).
+    pub capture_trace: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            coalesce: true,
+            max_retries: 2,
+            backoff_cycles: 1024.0,
+            cost: None,
+            decomposition: Decomposition::Auto,
+            capture_trace: false,
+        }
+    }
+}
+
+/// A queued request attempt.
+struct Pending {
+    id: u64,
+    request: ServeRequest,
+    /// Clock when the current attempt became eligible.
+    ready_at: f64,
+    /// Dispatch attempts consumed so far.
+    attempts: u32,
+    /// Numeric payload from the first attempt, reused on retries.
+    cached: Option<ServeOutput>,
+    ticket: Arc<TicketInner>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    clock: f64,
+    next_id: u64,
+    tick: u64,
+    shutting_down: bool,
+    metrics: Metrics,
+    trace: MergedTrace,
+}
+
+/// Summary of one [`Server::tick`].
+#[derive(Debug, Clone, Default)]
+pub struct TickSummary {
+    pub tick: u64,
+    /// Requests dispatched (completed + retried + failed).
+    pub dispatched: usize,
+    pub groups: usize,
+    pub completed: usize,
+    pub retried: usize,
+    pub degraded: usize,
+    pub failed: usize,
+    /// Cycles this tick advanced the service clock.
+    pub advanced_cycles: f64,
+    /// Sum of group makespans (excludes degraded-serial replays).
+    pub group_cycles: f64,
+    /// Makespan-weighted utilization numerator across groups.
+    util_weighted: f64,
+}
+
+impl TickSummary {
+    /// Makespan-weighted mean SM utilization across this tick's groups.
+    pub fn utilization(&self) -> f64 {
+        if self.group_cycles > 0.0 {
+            self.util_weighted / self.group_cycles
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The batched-GEMM service runtime for one device.
+pub struct Server {
+    device: DeviceSpec,
+    config: ServerConfig,
+    plans: PlanCache,
+    state: Mutex<State>,
+    /// Signalled on submit and shutdown, so dispatcher threads can park.
+    work_cv: Condvar,
+    /// Serializes ticks: dispatch itself runs outside `state`, so
+    /// producers can keep submitting mid-tick.
+    dispatch: Mutex<()>,
+}
+
+impl Server {
+    pub fn new(device: &DeviceSpec) -> Self {
+        Self::with_config(device, ServerConfig::default())
+    }
+
+    pub fn with_config(device: &DeviceSpec, config: ServerConfig) -> Self {
+        Server {
+            device: device.clone(),
+            config,
+            plans: PlanCache::new(),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                clock: 0.0,
+                next_id: 0,
+                tick: 0,
+                shutting_down: false,
+                metrics: Metrics::default(),
+                trace: MergedTrace::default(),
+            }),
+            work_cv: Condvar::new(),
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The shared plan cache (tuning happens once per shape class).
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    fn locked(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admit a request. Returns a [`Ticket`] resolving when some thread
+    /// ticks the queue dry, or a typed rejection under backpressure or
+    /// shutdown.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, ServeError> {
+        let mut st = self.locked();
+        if st.shutting_down {
+            st.metrics.rejected_shutting_down += 1;
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.queue.len() >= self.config.queue_capacity {
+            st.metrics.rejected_queue_full += 1;
+            return Err(ServeError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let ticket = Arc::new(TicketInner::default());
+        let ready_at = st.clock;
+        st.queue.push_back(Pending {
+            id,
+            request,
+            ready_at,
+            attempts: 0,
+            cached: None,
+            ticket: Arc::clone(&ticket),
+        });
+        st.metrics.submitted += 1;
+        let depth = st.queue.len();
+        if depth > st.metrics.max_queue_depth {
+            st.metrics.max_queue_depth = depth;
+        }
+        drop(st);
+        self.work_cv.notify_all();
+        Ok(Ticket { id, inner: ticket })
+    }
+
+    /// Requests currently queued (including ones parked in backoff).
+    pub fn pending(&self) -> usize {
+        self.locked().queue.len()
+    }
+
+    /// The simulated service clock.
+    pub fn clock(&self) -> f64 {
+        self.locked().clock
+    }
+
+    /// Snapshot the cumulative metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.locked().metrics.clone()
+    }
+
+    /// Prometheus text exposition of the current metrics.
+    pub fn to_prometheus(&self) -> String {
+        self.locked().metrics.to_prometheus()
+    }
+
+    /// The merged Chrome trace across every dispatched group (empty
+    /// unless [`ServerConfig::capture_trace`] is set).
+    pub fn merged_trace(&self) -> Trace {
+        self.locked().trace.trace.clone()
+    }
+
+    /// Stop admitting work. Queued requests still run; `drain` (or a
+    /// dispatcher loop) finishes them.
+    pub fn shutdown(&self) {
+        self.locked().shutting_down = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Tick until the queue is empty (graceful drain). Parked-in-backoff
+    /// requests are waited for — the clock jumps to their ready time.
+    pub fn drain(&self) {
+        while self.tick().dispatched > 0 || self.pending() > 0 {}
+    }
+
+    /// Shut down and drain: the graceful-exit combination.
+    pub fn shutdown_and_drain(&self) {
+        self.shutdown();
+        self.drain();
+    }
+
+    /// Dispatcher loop for a dedicated thread: ticks whenever work is
+    /// queued, parks when idle, returns after `shutdown()` once the
+    /// queue is dry.
+    pub fn run_dispatcher(&self) {
+        loop {
+            {
+                let mut st = self.locked();
+                while st.queue.is_empty() && !st.shutting_down {
+                    st = self.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                if st.queue.is_empty() && st.shutting_down {
+                    return;
+                }
+            }
+            self.tick();
+        }
+    }
+
+    /// One dispatch round: pop every eligible request, coalesce, run
+    /// each group through the device scheduler, advance the clock,
+    /// resolve / requeue / degrade members against their deadlines.
+    pub fn tick(&self) -> TickSummary {
+        let _serialize = self.dispatch.lock().unwrap_or_else(|p| p.into_inner());
+
+        // Phase 1 (under the state lock): claim the eligible batch.
+        let (batch, tick_no, clock_at_start) = {
+            let mut st = self.locked();
+            if st.queue.is_empty() {
+                return TickSummary {
+                    tick: st.tick,
+                    ..TickSummary::default()
+                };
+            }
+            // Nothing eligible yet? Everything is parked in backoff —
+            // jump the clock to the earliest ready time.
+            let min_ready = st
+                .queue
+                .iter()
+                .map(|p| p.ready_at)
+                .fold(f64::INFINITY, f64::min);
+            if min_ready > st.clock {
+                st.clock = min_ready;
+            }
+            let clock = st.clock;
+            let mut batch = Vec::new();
+            let mut keep = VecDeque::new();
+            while let Some(p) = st.queue.pop_front() {
+                if p.ready_at <= clock {
+                    batch.push(p);
+                } else {
+                    keep.push_back(p);
+                }
+            }
+            st.queue = keep;
+            st.tick += 1;
+            st.metrics.ticks += 1;
+            (batch, st.tick, clock)
+        };
+
+        // Phase 2 (no state lock): group and execute. Producers keep
+        // submitting; their requests land in the next tick.
+        let groups = self.coalesce(batch);
+        let mut summary = TickSummary {
+            tick: tick_no,
+            ..TickSummary::default()
+        };
+        for group in groups {
+            self.dispatch_group(group, tick_no, &mut summary);
+        }
+        summary.advanced_cycles = self.locked().clock - clock_at_start;
+        self.record_tick(tick_no, &summary);
+        summary
+    }
+
+    /// Partition a batch into dispatch groups. With coalescing on,
+    /// dense requests sharing `(m, n, k, precision)` merge; everything
+    /// else (sparse structure, batched, 2.5D, low-rank) runs solo.
+    fn coalesce(&self, batch: Vec<Pending>) -> Vec<Vec<Pending>> {
+        let mut groups: Vec<(Option<crate::request::CoalesceKey>, Vec<Pending>)> = Vec::new();
+        for p in batch {
+            let key = if self.config.coalesce {
+                p.request.coalesce_key()
+            } else {
+                None
+            };
+            match key {
+                Some(k) => {
+                    if let Some((_, members)) = groups.iter_mut().find(|(gk, _)| *gk == Some(k)) {
+                        members.push(p);
+                    } else {
+                        groups.push((Some(k), vec![p]));
+                    }
+                }
+                None => groups.push((None, vec![p])),
+            }
+        }
+        groups.into_iter().map(|(_, members)| members).collect()
+    }
+
+    /// Execute one group: numerics per member (cached across retries),
+    /// one schedule for the pool, then deadline bookkeeping per member.
+    fn dispatch_group(&self, mut group: Vec<Pending>, tick_no: u64, summary: &mut TickSummary) {
+        summary.dispatched += group.len();
+        summary.groups += 1;
+
+        // Numerics first — members whose engine run fails resolve with
+        // the typed error and drop out of the pool.
+        let mut failed = Vec::new();
+        group.retain_mut(|p| {
+            if p.cached.is_none() {
+                match p.request.execute(&self.device) {
+                    Ok(out) => p.cached = Some(out),
+                    Err(e) => {
+                        failed.push((std::mem::take(&mut p.ticket), e));
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        for (ticket, e) in failed {
+            summary.failed += 1;
+            self.locked().metrics.failed += 1;
+            ticket.resolve(Err(e));
+        }
+        if group.is_empty() {
+            return;
+        }
+
+        // One schedule for the whole pool.
+        let (makespan, utilization, trace) = match self.schedule_group(&group) {
+            Ok(out) => out,
+            Err(e) => {
+                for p in group {
+                    summary.failed += 1;
+                    self.locked().metrics.failed += 1;
+                    p.ticket.resolve(Err(ServeError::Sched(e.clone())));
+                }
+                return;
+            }
+        };
+
+        // Advance the clock and settle every member against its
+        // deadline, all under one state lock.
+        let group_size = group.len();
+        summary.group_cycles += makespan;
+        summary.util_weighted += utilization * makespan;
+        let mut st = self.locked();
+        let group_start = st.clock;
+        st.clock += makespan;
+        st.metrics.group_cycles_sum += makespan;
+        if let Some(t) = &trace {
+            st.trace.absorb(t, group_start);
+        }
+        for mut p in group {
+            p.attempts += 1;
+            let finished = st.clock;
+            let elapsed = finished - p.ready_at;
+            let missed = p.request.deadline_cycles.is_some_and(|d| elapsed > d);
+            if missed && p.attempts <= self.config.max_retries {
+                // Retry with exponential backoff; the cached payload
+                // rides along so numerics never recompute.
+                let backoff = self.config.backoff_cycles * f64::powi(2.0, (p.attempts - 1) as i32);
+                p.ready_at = finished + backoff;
+                st.metrics.retries += 1;
+                summary.retried += 1;
+                st.queue.push_back(p);
+                continue;
+            }
+            let output = p.cached.take().expect("numerics cached before settle");
+            let (via, service_cycles, finished_at) = if missed {
+                // Out of retries: degraded serial fallback — a
+                // dedicated replay at the engine's own serial cost,
+                // charged to the clock, never dropped.
+                let serial = output.serial_cycles();
+                st.clock += serial;
+                st.metrics.degraded_serial += 1;
+                summary.degraded += 1;
+                (CompletionPath::DegradedSerial, makespan + serial, st.clock)
+            } else {
+                let via = if group_size > 1 {
+                    CompletionPath::Coalesced { group_size }
+                } else {
+                    CompletionPath::Solo
+                };
+                (via, makespan, finished)
+            };
+            let queue_cycles = group_start - p.ready_at;
+            st.metrics.completed += 1;
+            st.metrics.queue_cycles_sum += queue_cycles;
+            st.metrics.service_cycles_sum += service_cycles;
+            summary.completed += 1;
+            p.ticket.resolve(Ok(Completed {
+                id: p.id,
+                output,
+                via,
+                attempts: p.attempts,
+                queue_cycles,
+                service_cycles,
+                finished_at,
+                tick: tick_no,
+            }));
+        }
+    }
+
+    /// Model one group's device-level execution: makespan, utilization,
+    /// and (optionally) the per-SM trace.
+    fn schedule_group(
+        &self,
+        group: &[Pending],
+    ) -> Result<(f64, f64, Option<Trace>), kami_sched::SchedError> {
+        let mut scheduler =
+            Scheduler::new(&self.device).with_decomposition(self.config.decomposition);
+        if let Some(c) = &self.config.cost {
+            scheduler = scheduler.with_cost(c.clone());
+        }
+        // A solo sparse request schedules through the nnz-weighted
+        // path; everything else reduces to a dense block-work pool.
+        if let [p] = group {
+            match &p.request.workload {
+                Workload::Spmm { a, b, cfg } => {
+                    let work = SparseWork::from_spmm(a, b.cols(), cfg.precision);
+                    return self.run_sparse(&scheduler, &work, self.config.capture_trace);
+                }
+                Workload::Spgemm { a, b, cfg } => {
+                    let work = SparseWork::from_spgemm(a, b, cfg.precision);
+                    return self.run_sparse(&scheduler, &work, self.config.capture_trace);
+                }
+                Workload::Dense(_) => {}
+            }
+        }
+        let mut items = Vec::new();
+        for p in group {
+            match &p.request.workload {
+                Workload::Dense(r) => match &r.op {
+                    kami_core::Op::Batched { pairs, .. } => {
+                        for (a, b) in pairs {
+                            items.push(WorkItem::new(a.rows(), b.cols(), a.cols(), r.precision));
+                        }
+                    }
+                    _ => {
+                        let (m, n, k) = r.shape();
+                        items.push(WorkItem::new(m, n, k, r.precision));
+                    }
+                },
+                // Unreachable for coalesced groups (sparse never
+                // coalesces), but keep solo fallback sane.
+                Workload::Spmm { .. } | Workload::Spgemm { .. } => unreachable!(),
+            }
+        }
+        let work = BlockWork::new(items);
+        if self.config.capture_trace {
+            let (report, trace) = scheduler.run_traced(&work, &self.plans)?;
+            Ok((report.makespan_cycles, report.utilization, Some(trace)))
+        } else {
+            let report = scheduler.run(&work, &self.plans)?;
+            Ok((report.makespan_cycles, report.utilization, None))
+        }
+    }
+
+    fn run_sparse(
+        &self,
+        scheduler: &Scheduler<'_>,
+        work: &SparseWork,
+        traced: bool,
+    ) -> Result<(f64, f64, Option<Trace>), kami_sched::SchedError> {
+        if traced {
+            let (report, trace) = scheduler.run_sparse_traced(work, &self.plans)?;
+            Ok((
+                report.schedule.makespan_cycles,
+                report.schedule.utilization,
+                Some(trace),
+            ))
+        } else {
+            let report = scheduler.run_sparse(work, &self.plans)?;
+            Ok((
+                report.schedule.makespan_cycles,
+                report.schedule.utilization,
+                None,
+            ))
+        }
+    }
+
+    fn record_tick(&self, tick_no: u64, summary: &TickSummary) {
+        if summary.dispatched == 0 {
+            return;
+        }
+        let mut st = self.locked();
+        let utilization = summary.utilization();
+        st.metrics.per_tick.push(TickRecord {
+            tick: tick_no,
+            requests: summary.dispatched,
+            groups: summary.groups,
+            makespan_cycles: summary.advanced_cycles,
+            utilization,
+        });
+    }
+}

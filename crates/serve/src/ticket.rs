@@ -1,0 +1,115 @@
+//! Tickets: the client's handle to an in-flight request.
+//!
+//! `submit` returns a [`Ticket`] immediately; the dispatcher resolves
+//! it when the request's group drains (or when the request fails).
+//! Waiting blocks on a condvar, so producer threads can park while the
+//! dispatcher ticks.
+
+use crate::error::ServeError;
+use crate::request::ServeOutput;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a request reached completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionPath {
+    /// Dispatched in a shared work pool with `group_size − 1` other
+    /// requests of the same shape class.
+    Coalesced { group_size: usize },
+    /// Dispatched as its own group (coalescing off, or nothing
+    /// compatible in the queue).
+    Solo,
+    /// Deadline budget exhausted through every retry; served by a
+    /// dedicated serial replay instead of being dropped.
+    DegradedSerial,
+}
+
+impl CompletionPath {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompletionPath::Coalesced { .. } => "coalesced",
+            CompletionPath::Solo => "solo",
+            CompletionPath::DegradedSerial => "degraded-serial",
+        }
+    }
+}
+
+/// A resolved request: the numeric payload plus the service account of
+/// how it got there.
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// Server-assigned request id (submission order).
+    pub id: u64,
+    pub output: ServeOutput,
+    pub via: CompletionPath,
+    /// Dispatch attempts consumed (1 = first try).
+    pub attempts: u32,
+    /// Simulated cycles spent eligible-but-waiting before the final
+    /// attempt's group started.
+    pub queue_cycles: f64,
+    /// Simulated cycles from group start to completion (the group
+    /// makespan, plus the serial replay for degraded completions).
+    pub service_cycles: f64,
+    /// Simulated clock when the request completed.
+    pub finished_at: f64,
+    /// Dispatcher tick that completed the request.
+    pub tick: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct TicketInner {
+    slot: Mutex<Option<Result<Completed, ServeError>>>,
+    cv: Condvar,
+}
+
+impl TicketInner {
+    pub(crate) fn resolve(&self, outcome: Result<Completed, ServeError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(outcome);
+        self.cv.notify_all();
+    }
+}
+
+/// The client's handle to a submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// Server-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the request has resolved (without consuming the result).
+    pub fn is_done(&self) -> bool {
+        self.inner
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
+    }
+
+    /// Take the outcome if resolved; `None` while still in flight.
+    pub fn try_take(&self) -> Option<Result<Completed, ServeError>> {
+        self.inner
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+    }
+
+    /// Block until the request resolves and take the outcome. Some
+    /// thread must be ticking the server (or `drain` must already have
+    /// run) for this to return.
+    pub fn wait(self) -> Result<Completed, ServeError> {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.inner.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}

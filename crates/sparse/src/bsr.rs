@@ -10,6 +10,7 @@
 //!   (Fig 7(b)), so any aligned quadrant is a contiguous slice — the
 //!   submatrix indexing the 2D/3D algorithms rely on.
 
+use crate::error::SparseError;
 use crate::morton;
 use kami_gpu_sim::Matrix;
 use serde::{Deserialize, Serialize};
@@ -47,24 +48,48 @@ pub struct BlockSparseMatrix {
 }
 
 impl BlockSparseMatrix {
-    /// Build from an explicit list of blocks. Coordinates must be unique.
+    /// Build from an explicit list of blocks. Coordinates must be
+    /// unique. Panics on malformed structure; see
+    /// [`BlockSparseMatrix::try_from_blocks`] for the fallible variant.
     pub fn from_blocks(
         rows: usize,
         cols: usize,
         block: usize,
         order: BlockOrder,
-        mut entries: Vec<((usize, usize), Matrix)>,
+        entries: Vec<((usize, usize), Matrix)>,
     ) -> Self {
-        assert!(
-            block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
-            "matrix {rows}x{cols} not divisible by block {block}"
-        );
+        Self::try_from_blocks(rows, cols, block, order, entries).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from an explicit list of blocks, rejecting malformed
+    /// structure (misaligned dimensions, out-of-range or duplicate
+    /// coordinates, wrong payload shapes) with a typed [`SparseError`].
+    pub fn try_from_blocks(
+        rows: usize,
+        cols: usize,
+        block: usize,
+        order: BlockOrder,
+        mut entries: Vec<((usize, usize), Matrix)>,
+    ) -> Result<Self, SparseError> {
+        if block == 0 || !rows.is_multiple_of(block) || !cols.is_multiple_of(block) {
+            return Err(SparseError::Misaligned { rows, cols, block });
+        }
         for ((br, bc), m) in &entries {
-            assert!(
-                *br < rows / block && *bc < cols / block,
-                "block ({br},{bc}) out of range"
-            );
-            assert_eq!((m.rows(), m.cols()), (block, block), "block payload shape");
+            if *br >= rows / block || *bc >= cols / block {
+                return Err(SparseError::BlockOutOfRange {
+                    block_row: *br,
+                    block_col: *bc,
+                    rows_blk: rows / block,
+                    cols_blk: cols / block,
+                });
+            }
+            if (m.rows(), m.cols()) != (block, block) {
+                return Err(SparseError::BlockShape {
+                    got_rows: m.rows(),
+                    got_cols: m.cols(),
+                    block,
+                });
+            }
         }
         // Physical sort.
         match order {
@@ -75,8 +100,12 @@ impl BlockSparseMatrix {
         {
             let mut sorted = coords.clone();
             sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(sorted.len(), coords.len(), "duplicate block coordinates");
+            if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                return Err(SparseError::DuplicateBlock {
+                    block_row: w[0].0,
+                    block_col: w[0].1,
+                });
+            }
         }
         let blocks: Vec<_> = entries.into_iter().map(|(_, m)| m).collect();
 
@@ -93,7 +122,7 @@ impl BlockSparseMatrix {
         }
         let colidx = perm.iter().map(|&i| coords[i].1).collect();
 
-        BlockSparseMatrix {
+        Ok(BlockSparseMatrix {
             rows,
             cols,
             block,
@@ -103,14 +132,28 @@ impl BlockSparseMatrix {
             rowptr,
             colidx,
             row_major_perm: perm,
-        }
+        })
     }
 
     /// Convert a dense matrix, keeping blocks with any element whose
     /// magnitude exceeds `threshold` (0.0 keeps any nonzero block).
+    /// Panics on misaligned dimensions; see
+    /// [`BlockSparseMatrix::try_from_dense`].
     pub fn from_dense(dense: &Matrix, block: usize, order: BlockOrder, threshold: f64) -> Self {
+        Self::try_from_dense(dense, block, order, threshold).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`BlockSparseMatrix::from_dense`].
+    pub fn try_from_dense(
+        dense: &Matrix,
+        block: usize,
+        order: BlockOrder,
+        threshold: f64,
+    ) -> Result<Self, SparseError> {
         let (rows, cols) = (dense.rows(), dense.cols());
-        assert!(rows % block == 0 && cols % block == 0);
+        if block == 0 || !rows.is_multiple_of(block) || !cols.is_multiple_of(block) {
+            return Err(SparseError::Misaligned { rows, cols, block });
+        }
         let mut entries = Vec::new();
         for br in 0..rows / block {
             for bc in 0..cols / block {
@@ -120,7 +163,7 @@ impl BlockSparseMatrix {
                 }
             }
         }
-        Self::from_blocks(rows, cols, block, order, entries)
+        Self::try_from_blocks(rows, cols, block, order, entries)
     }
 
     /// Densify.
@@ -278,6 +321,53 @@ impl BlockSparseMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_from_blocks_rejects_bad_structure() {
+        let blk = Matrix::zeros(4, 4);
+        let out = BlockSparseMatrix::try_from_blocks(15, 16, 4, BlockOrder::RowMajor, vec![]);
+        assert_eq!(
+            out.unwrap_err(),
+            SparseError::Misaligned {
+                rows: 15,
+                cols: 16,
+                block: 4
+            }
+        );
+        let out = BlockSparseMatrix::try_from_blocks(
+            16,
+            16,
+            4,
+            BlockOrder::RowMajor,
+            vec![((4, 0), blk.clone())],
+        );
+        assert!(matches!(
+            out.unwrap_err(),
+            SparseError::BlockOutOfRange { block_row: 4, .. }
+        ));
+        let out = BlockSparseMatrix::try_from_blocks(
+            16,
+            16,
+            4,
+            BlockOrder::RowMajor,
+            vec![((0, 0), Matrix::zeros(2, 4))],
+        );
+        assert!(matches!(out.unwrap_err(), SparseError::BlockShape { .. }));
+        let out = BlockSparseMatrix::try_from_blocks(
+            16,
+            16,
+            4,
+            BlockOrder::ZMorton,
+            vec![((1, 2), blk.clone()), ((1, 2), blk)],
+        );
+        assert_eq!(
+            out.unwrap_err(),
+            SparseError::DuplicateBlock {
+                block_row: 1,
+                block_col: 2
+            }
+        );
+    }
 
     fn sample(order: BlockOrder) -> BlockSparseMatrix {
         // 4x4 blocks of 4: diagonal + one off-diagonal.

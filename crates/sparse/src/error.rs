@@ -1,0 +1,92 @@
+//! Typed construction errors for block-sparse storage.
+//!
+//! The fallible constructors ([`BlockSparseMatrix::try_from_blocks`],
+//! [`BlockSparseMatrix::try_from_dense`]) return these instead of
+//! panicking, so callers assembling matrices from untrusted input
+//! (parsed files, service requests) can reject bad structure with a
+//! real error chain. The infallible constructors delegate and panic
+//! with the same message.
+//!
+//! [`BlockSparseMatrix::try_from_blocks`]: crate::BlockSparseMatrix::try_from_blocks
+//! [`BlockSparseMatrix::try_from_dense`]: crate::BlockSparseMatrix::try_from_dense
+
+/// Why a [`BlockSparseMatrix`](crate::BlockSparseMatrix) could not be
+/// built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// The element dimensions are not divisible by the block edge (or
+    /// the edge is zero).
+    Misaligned {
+        rows: usize,
+        cols: usize,
+        block: usize,
+    },
+    /// A block coordinate lies outside the block grid.
+    BlockOutOfRange {
+        block_row: usize,
+        block_col: usize,
+        rows_blk: usize,
+        cols_blk: usize,
+    },
+    /// A block payload is not `block`×`block`.
+    BlockShape {
+        got_rows: usize,
+        got_cols: usize,
+        block: usize,
+    },
+    /// Two entries share the same block coordinate.
+    DuplicateBlock { block_row: usize, block_col: usize },
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::Misaligned { rows, cols, block } => {
+                write!(f, "matrix {rows}x{cols} not divisible by block {block}")
+            }
+            SparseError::BlockOutOfRange {
+                block_row,
+                block_col,
+                rows_blk,
+                cols_blk,
+            } => write!(
+                f,
+                "block ({block_row},{block_col}) out of range for a {rows_blk}x{cols_blk} block grid"
+            ),
+            SparseError::BlockShape {
+                got_rows,
+                got_cols,
+                block,
+            } => write!(
+                f,
+                "block payload is {got_rows}x{got_cols}, expected {block}x{block}"
+            ),
+            SparseError::DuplicateBlock {
+                block_row,
+                block_col,
+            } => write!(f, "duplicate block coordinate ({block_row},{block_col})"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = SparseError::Misaligned {
+            rows: 65,
+            cols: 64,
+            block: 16,
+        };
+        assert_eq!(e.to_string(), "matrix 65x64 not divisible by block 16");
+        let e = SparseError::DuplicateBlock {
+            block_row: 1,
+            block_col: 2,
+        };
+        assert!(e.to_string().contains("(1,2)"));
+    }
+}

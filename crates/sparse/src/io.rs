@@ -127,12 +127,15 @@ pub fn parse_mtx(
     block: usize,
     order: BlockOrder,
 ) -> Result<BlockSparseMatrix, MtxError> {
+    if block == 0 {
+        return Err(err(0, "block size must be nonzero"));
+    }
     let dense = parse_mtx_dense(text)?;
     let rows = dense.rows().div_ceil(block) * block;
     let cols = dense.cols().div_ceil(block) * block;
     let mut padded = Matrix::zeros(rows, cols);
     padded.set_submatrix(0, 0, &dense);
-    Ok(BlockSparseMatrix::from_dense(&padded, block, order, 0.0))
+    BlockSparseMatrix::try_from_dense(&padded, block, order, 0.0).map_err(|e| err(0, e.to_string()))
 }
 
 /// Serialize a block-sparse matrix as MatrixMarket coordinate text

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod bsr;
+pub mod error;
 pub mod gen;
 pub mod io;
 pub mod model;
@@ -28,6 +29,7 @@ pub mod spgemm;
 pub mod spmm;
 
 pub use bsr::{BlockOrder, BlockSparseMatrix, DEFAULT_BLOCK};
+pub use error::SparseError;
 pub use gen::{patterned_block_sparse, power_law_block_sparse, random_block_sparse, Pattern};
 pub use io::{parse_mtx, parse_mtx_dense, write_mtx, MtxError};
 pub use spgemm::numeric::{spgemm_batched, SpgemmBatchedResult};

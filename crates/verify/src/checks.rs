@@ -22,7 +22,7 @@ use crate::case::{Case, CaseAlgo, SPARSE_BLOCK};
 use kami_core::model::cycles::{self, ModelParams};
 use kami_core::{algo25d, gemm, gemm_scaled, reference_gemm, Algo, KamiConfig, KamiError};
 use kami_gpu_sim::{CostConfig, Matrix, Precision};
-use kami_sched::{BlockWork, PlanCache, Scheduler};
+use kami_sched::{BlockWork, PlanCache, SchedError, Scheduler};
 use kami_sparse::{random_block_sparse, reference_spmm, spgemm, spmm, BlockOrder};
 
 /// Which seam a mismatch crossed.
@@ -32,6 +32,9 @@ pub enum CheckKind {
     EngineVsModel,
     SchedulerTrace,
     SparseVsDense,
+    /// Service-runtime replay vs the direct engine call (bit-identity
+    /// and work conservation across coalesced ticks).
+    Served,
 }
 
 impl CheckKind {
@@ -41,6 +44,7 @@ impl CheckKind {
             CheckKind::EngineVsModel => "EngineVsModel",
             CheckKind::SchedulerTrace => "SchedulerTrace",
             CheckKind::SparseVsDense => "SparseVsDense",
+            CheckKind::Served => "Served",
         }
     }
 }
@@ -81,10 +85,15 @@ pub enum CaseOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct Harness {
     pub cost: Option<CostConfig>,
+    /// Also replay each dense case through the `kami-serve` runtime and
+    /// hold the served results to bit-identity with the direct call
+    /// (the `Served` check). Off by default: it spins up a server per
+    /// case, which sweeps usually don't want to pay.
+    pub serve: bool,
 }
 
 impl Harness {
-    fn dense_config(&self, case: &Case, algo: Algo) -> KamiConfig {
+    pub(crate) fn dense_config(&self, case: &Case, algo: Algo) -> KamiConfig {
         let mut cfg = KamiConfig::new(algo, case.precision).with_warps(case.warps);
         if let Some(cost) = &self.cost {
             cfg = cfg.with_cost(cost.clone());
@@ -246,6 +255,11 @@ pub fn run_case(
         }
     }
 
+    // Check 5 (opt-in): served replay vs the direct call.
+    if harness.serve {
+        crate::served::check_served(case, harness)?;
+    }
+
     Ok(CaseOutcome::Pass)
 }
 
@@ -327,7 +341,9 @@ fn check_scheduler(
     let work = BlockWork::uniform(case.m, case.n, case.k, case.precision, case.batch);
     let (report, trace) = match Scheduler::new(device).run_traced(&work, plans) {
         Ok(out) => out,
-        Err(KamiError::Sim(_)) | Err(KamiError::Unsupported { .. }) => return Ok(()),
+        Err(SchedError::Core(KamiError::Sim(_)))
+        | Err(SchedError::Core(KamiError::Unsupported { .. }))
+        | Err(SchedError::SingleStageStreamK { .. }) => return Ok(()),
         Err(e) => {
             return Err(fail(
                 CheckKind::SchedulerTrace,
@@ -512,6 +528,7 @@ mod tests {
                 theta_r: 0.5,
                 ..CostConfig::default()
             }),
+            ..Harness::default()
         };
         let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 5);
         let err = run_case(&case, &harness, &plans).expect_err("perturbed engine must mismatch");

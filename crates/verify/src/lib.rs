@@ -29,10 +29,12 @@
 
 pub mod case;
 pub mod checks;
+pub mod served;
 pub mod shrink;
 pub mod sweep;
 
 pub use case::{AlgoKind, Case, CaseAlgo, DeviceId};
 pub use checks::{assert_case, run_case, CaseOutcome, CheckKind, Harness, Mismatch};
+pub use served::{ServedCase, ServedReplay};
 pub use shrink::shrink;
 pub use sweep::{sweep, Failure, SweepConfig, SweepOutcome};

@@ -137,6 +137,7 @@ mod tests {
                 theta_w: 0.25,
                 ..CostConfig::default()
             }),
+            ..Harness::default()
         };
         // Hand-built worst case: big dims, busy epilogue, sparse rider.
         let case = Case {

@@ -1,0 +1,143 @@
+//! The workspace-level error facade: one enum any `kami` caller can
+//! hold, `?`-convert into, and walk down a [`std::error::Error::source`]
+//! chain from, regardless of which layer rejected the work.
+//!
+//! Layer errors stay typed in their own crates ([`KamiError`],
+//! [`SimError`], [`SchedError`], [`SparseError`], [`MtxError`],
+//! [`ServeError`]); this enum is the top of the chain for applications
+//! that mix layers.
+
+use kami_core::KamiError;
+use kami_gpu_sim::SimError;
+use kami_sched::SchedError;
+use kami_serve::ServeError;
+use kami_sparse::{MtxError, SparseError};
+
+/// Any error the KAMI workspace can produce.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Engine / algorithm-level rejection ([`kami_core`]).
+    Core(KamiError),
+    /// Simulator substrate fault ([`kami_gpu_sim`]).
+    Sim(SimError),
+    /// Device-scheduler rejection ([`kami_sched`]).
+    Sched(SchedError),
+    /// Block-sparse construction rejection ([`kami_sparse`]).
+    Sparse(SparseError),
+    /// MatrixMarket parse failure ([`kami_sparse::io`]).
+    SparseIo(MtxError),
+    /// Service-runtime rejection ([`kami_serve`]).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Sim(e) => write!(f, "sim: {e}"),
+            Error::Sched(e) => write!(f, "sched: {e}"),
+            Error::Sparse(e) => write!(f, "sparse: {e}"),
+            Error::SparseIo(e) => write!(f, "sparse-io: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Sched(e) => Some(e),
+            Error::Sparse(e) => Some(e),
+            Error::SparseIo(e) => Some(e),
+            Error::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<KamiError> for Error {
+    fn from(e: KamiError) -> Self {
+        // A core error that wraps a simulator fault surfaces as `Sim`,
+        // so matching on the facade sees the deepest layer.
+        match e {
+            KamiError::Sim(sim) => Error::Sim(sim),
+            other => Error::Core(other),
+        }
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<SchedError> for Error {
+    fn from(e: SchedError) -> Self {
+        Error::Sched(e)
+    }
+}
+
+impl From<SparseError> for Error {
+    fn from(e: SparseError) -> Self {
+        Error::Sparse(e)
+    }
+}
+
+impl From<MtxError> for Error {
+    fn from(e: MtxError) -> Self {
+        Error::SparseIo(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+/// Workspace-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_layer_converts_and_chains() {
+        let e: Error = KamiError::Unsupported { detail: "x".into() }.into();
+        assert!(matches!(e, Error::Core(_)));
+        assert!(e.source().is_some());
+
+        let e: Error = SchedError::EmptyStream { kind: "dense" }.into();
+        assert!(e.to_string().starts_with("sched:"));
+
+        let e: Error = SparseError::DuplicateBlock {
+            block_row: 0,
+            block_col: 0,
+        }
+        .into();
+        assert!(matches!(e, Error::Sparse(_)));
+
+        let e: Error = ServeError::ShuttingDown.into();
+        assert!(matches!(e, Error::Serve(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn question_mark_composes_across_layers() {
+        fn mixed() -> crate::error::Result<()> {
+            kami_sparse::BlockSparseMatrix::try_from_blocks(
+                15,
+                16,
+                4,
+                kami_sparse::BlockOrder::RowMajor,
+                vec![],
+            )?;
+            Ok(())
+        }
+        assert!(matches!(mixed().unwrap_err(), Error::Sparse(_)));
+    }
+}

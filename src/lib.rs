@@ -18,29 +18,50 @@
 //!   vs Stream-K decomposition, shared plan cache, per-SM accounting),
 //!   including the nnz-weighted sparse path (`sched::sparse`) that
 //!   splits SpMM/SpGEMM streams by nonzero k-iterations;
+//! * [`serve`] — the batched GEMM service runtime: bounded admission
+//!   queue, tick-based dispatch coalescing compatible requests into
+//!   shared work pools, deadlines with retry and degraded-serial
+//!   fallback, metrics with a Prometheus export and a merged device
+//!   trace;
 //! * [`verify`] — the seeded differential cross-check harness tying
-//!   engine, closed-form model, scheduler, and sparse kernels against
-//!   each other, with case shrinking to minimal reproducers.
+//!   engine, closed-form model, scheduler, service runtime, and sparse
+//!   kernels against each other, with case shrinking to minimal
+//!   reproducers.
 //!
-//! See `examples/quickstart.rs` for a first program and
-//! `examples/device_schedule.rs` for the device-level scheduler.
+//! Every layer's error type converts into the workspace-level
+//! [`Error`] facade, so applications that mix layers can `?` across
+//! them and walk one [`std::error::Error::source`] chain.
+//!
+//! See `examples/quickstart.rs` for a first program,
+//! `examples/device_schedule.rs` for the device-level scheduler, and
+//! `examples/serve_traffic.rs` for the service runtime.
 
 pub use kami_baselines as baselines;
 pub use kami_core as core;
 pub use kami_gpu_sim as sim;
 pub use kami_sched as sched;
+pub use kami_serve as serve;
 pub use kami_sparse as sparse;
 pub use kami_verify as verify;
 
+pub mod error;
+pub use error::{Error, Result};
+
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::error::Error;
     pub use kami_core::{
-        batched_gemm, gemm, gemm_auto, gemm_padded, lowrank_gemm, Algo, KamiConfig, KamiError,
+        batched_gemm, gemm, gemm_auto, gemm_padded, lowrank_gemm, Algo, GemmRequest, GemmResponse,
+        KamiConfig, KamiError, Op,
     };
     pub use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
     pub use kami_sched::{
-        spgemm_scheduled, spmm_scheduled, BlockWork, Decomposition, PlanCache, ScheduleReport,
-        Scheduler, SparseWork,
+        spgemm_scheduled, spmm_scheduled, BlockWork, Decomposition, PlanCache, SchedError,
+        ScheduleReport, Scheduled, Scheduler, SparseWork,
     };
-    pub use kami_sparse::{spgemm, spmm::spmm, BlockOrder, BlockSparseMatrix};
+    pub use kami_serve::{
+        Completed, CompletionPath, ServeError, ServeOutput, ServeRequest, Server, ServerConfig,
+        Ticket,
+    };
+    pub use kami_sparse::{spgemm, spmm::spmm, BlockOrder, BlockSparseMatrix, SparseError};
 }

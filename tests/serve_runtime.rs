@@ -1,0 +1,312 @@
+//! End-to-end checks of the kami-serve runtime: multi-producer
+//! submission, coalesced dispatch, backpressure, fault-injected
+//! timeout → retry → degraded-serial fallback, graceful shutdown, and
+//! the observability surface (metrics, Prometheus text, merged trace).
+//!
+//! The invariant stressed throughout: the service may reshape *when*
+//! and *with whom* a request runs, never *what* it computes — every
+//! served output is compared bit-for-bit against the direct engine
+//! call.
+
+use kami::core::{gemm, Algo, GemmRequest, KamiConfig, Op};
+use kami::prelude::*;
+use kami::serve::ServerConfig;
+use kami::sim::CostConfig;
+use kami::verify::{AlgoKind, Case, DeviceId, Harness, ServedCase};
+
+fn pair(seed: u64) -> (Matrix, Matrix) {
+    (
+        Matrix::seeded_uniform(64, 64, seed),
+        Matrix::seeded_uniform(64, 64, seed + 1),
+    )
+}
+
+/// A cost override that inflates every modelled cycle count without
+/// touching numerics: heavy bank conflicts, 5% MMA efficiency.
+fn inflated_cost() -> CostConfig {
+    CostConfig {
+        theta_r: 0.01,
+        theta_w: 0.01,
+        mma_efficiency: 0.05,
+        ..CostConfig::default()
+    }
+}
+
+#[test]
+fn multi_producer_threads_all_resolve_bit_identical() {
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    );
+
+    let completions: Vec<(u64, Completed)> = std::thread::scope(|s| {
+        let dispatcher = s.spawn(|| server.run_dispatcher());
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let server = &server;
+                s.spawn(move || {
+                    (0..6u64)
+                        .map(|i| {
+                            let seed = p * 31 + i;
+                            let (a, b) = pair(seed);
+                            let t = server
+                                .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+                                .expect("well under capacity");
+                            (seed, t.wait().expect("feasible request"))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let done: Vec<_> = producers
+            .into_iter()
+            .flat_map(|p| p.join().expect("producer panicked"))
+            .collect();
+        server.shutdown();
+        dispatcher.join().expect("dispatcher panicked");
+        done
+    });
+
+    assert_eq!(completions.len(), 24);
+    for (seed, done) in completions {
+        let (a, b) = pair(seed);
+        let direct = gemm(&dev, &cfg, &a, &b).unwrap();
+        let served = done.output.into_dense().unwrap().into_single().unwrap();
+        assert_eq!(
+            direct.c.as_slice(),
+            served.c.as_slice(),
+            "seed {seed} diverged through the service"
+        );
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.submitted, 24);
+    assert_eq!(m.completed, 24);
+    assert_eq!(m.failed, 0);
+    // Same shape class everywhere: concurrent producers must have
+    // coalesced at least once.
+    assert!(
+        m.coalesce_factor() > 1.0,
+        "coalesce factor {:.2} — no pooling happened",
+        m.coalesce_factor()
+    );
+}
+
+#[test]
+fn queue_full_backpressure_then_drain_frees_capacity() {
+    let dev = device::gh200();
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+
+    let (a, b) = pair(1);
+    let t1 = server
+        .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+        .unwrap();
+    let (a, b) = pair(2);
+    let t2 = server
+        .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+        .unwrap();
+    let (a, b) = pair(3);
+    let rejected = server.submit(ServeRequest::gemm(a, b, Precision::Fp16));
+    assert_eq!(rejected.unwrap_err(), ServeError::QueueFull { capacity: 2 });
+
+    // One tick drains the pool; capacity is back.
+    server.tick();
+    assert!(t1.is_done() && t2.is_done());
+    let (a, b) = pair(3);
+    let t3 = server
+        .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+        .unwrap();
+    server.shutdown_and_drain();
+    t3.wait().unwrap();
+
+    let m = server.metrics();
+    assert_eq!(m.rejected_queue_full, 1);
+    assert_eq!(m.completed, 3);
+    assert_eq!(m.max_queue_depth, 2);
+}
+
+#[test]
+fn timeout_retries_then_degraded_serial_with_identical_numerics() {
+    let dev = device::gh200();
+    let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16);
+    let copies = 4usize;
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: copies,
+            max_retries: 2,
+            backoff_cycles: 128.0,
+            // Fault injection: the server schedules against a cost
+            // model whose cycles are wildly inflated, so every attempt
+            // blows the deadline. Numerics never see this config.
+            cost: Some(inflated_cost()),
+            ..ServerConfig::default()
+        },
+    );
+
+    let (a, b) = pair(7);
+    let direct = gemm(&dev, &cfg, &a, &b).unwrap();
+    let tickets: Vec<_> = (0..copies)
+        .map(|_| {
+            let req = ServeRequest::dense(GemmRequest::from_config(
+                Op::Gemm {
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+                &cfg,
+            ))
+            .with_deadline(10.0);
+            server.submit(req).unwrap()
+        })
+        .collect();
+    server.shutdown_and_drain();
+
+    for t in tickets {
+        let done = t.wait().expect("fallback must still deliver");
+        // Attempts: 1 initial + max_retries, then the serial fallback.
+        assert_eq!(done.via, CompletionPath::DegradedSerial);
+        assert_eq!(done.attempts, 3);
+        let served = done.output.into_dense().unwrap().into_single().unwrap();
+        assert_eq!(
+            direct.c.as_slice(),
+            served.c.as_slice(),
+            "degraded-serial fallback changed the numbers"
+        );
+        assert_eq!(direct.useful_flops, served.useful_flops);
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.completed, copies as u64);
+    assert_eq!(m.retries, (copies * 2) as u64);
+    assert_eq!(m.degraded_serial, copies as u64);
+    assert_eq!(m.failed, 0);
+}
+
+#[test]
+fn verify_served_seam_covers_the_fault_injected_path() {
+    // The kami-verify ServedCase seam drives the same retry → fallback
+    // machinery and holds it to bit-identity + flop conservation.
+    let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 17);
+    let harness = Harness::default();
+    let served = ServedCase {
+        copies: 3,
+        deadline_cycles: Some(5.0),
+        server_cost: Some(inflated_cost()),
+        max_retries: 1,
+        backoff_cycles: 32.0,
+    };
+    let replay = served
+        .replay(&case, &harness)
+        .expect("no mismatch")
+        .expect("dense case is servable");
+    replay
+        .check(served.copies)
+        .expect("bit-identity through the fault path");
+    assert_eq!(replay.metrics.degraded_serial, served.copies as u64);
+}
+
+#[test]
+fn shutdown_is_graceful_and_coalescing_beats_serial() {
+    let run = |coalesce: bool| -> f64 {
+        let dev = device::gh200();
+        let server = Server::with_config(
+            &dev,
+            ServerConfig {
+                queue_capacity: 24,
+                coalesce,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..24u64)
+            .map(|i| {
+                let (a, b) = pair(500 + i);
+                server
+                    .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+                    .unwrap()
+            })
+            .collect();
+        server.shutdown();
+        // Post-shutdown submissions are refused, queued work still runs.
+        let (a, b) = pair(999);
+        assert_eq!(
+            server
+                .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+                .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        server.drain();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(server.metrics().rejected_shutting_down, 1);
+        server.clock()
+    };
+
+    let serial = run(false);
+    let coalesced = run(true);
+    let speedup = serial / coalesced;
+    assert!(
+        speedup >= 1.5,
+        "coalesced dispatch must beat serial by >= 1.5x on a same-shape burst, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn observability_surface_is_consistent() {
+    let dev = device::gh200();
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: 8,
+            capture_trace: true,
+            ..ServerConfig::default()
+        },
+    );
+    for i in 0..8u64 {
+        let (a, b) = pair(300 + i);
+        server
+            .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+            .unwrap();
+    }
+    server.shutdown_and_drain();
+
+    let m = server.metrics();
+    assert_eq!(m.submitted, 8);
+    assert_eq!(m.completed, 8);
+    assert_eq!(m.ticks as usize, m.per_tick.len());
+    let per_tick_requests: usize = m.per_tick.iter().map(|t| t.requests).sum();
+    assert_eq!(per_tick_requests, 8);
+
+    let prom = server.to_prometheus();
+    for needle in [
+        "# TYPE kami_serve_submitted_total counter",
+        "kami_serve_submitted_total 8",
+        "kami_serve_completed_total 8",
+        "kami_serve_retries_total 0",
+        "kami_serve_coalesce_factor",
+    ] {
+        assert!(
+            prom.contains(needle),
+            "Prometheus export missing {needle:?}"
+        );
+    }
+
+    // The merged trace spans the server clock and serializes to
+    // Chrome-trace JSON.
+    let trace = server.merged_trace();
+    assert!(!trace.events.is_empty());
+    assert!(trace.total_cycles() <= server.clock());
+    let json = trace.to_chrome_json();
+    assert!(json.trim_start().starts_with('[') && json.contains("\"ph\": \"X\""));
+}

@@ -59,6 +59,7 @@ fn injected_cost_discrepancy_is_caught_and_shrunk() {
             theta_r: 0.5,
             ..CostConfig::default()
         }),
+        ..Harness::default()
     };
     let case = Case {
         id: 2024,
@@ -112,6 +113,7 @@ fn injection_reaches_the_25d_path() {
             theta_w: 0.25,
             ..CostConfig::default()
         }),
+        ..Harness::default()
     };
     let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoHalfD, Precision::Fp16, 9);
     let mismatch = run_case(&case, &perturbed, &plans).expect_err("2.5D must also be checked");
@@ -130,6 +132,7 @@ fn assert_case_matches_run_case_verdicts() {
             theta_r: 0.5,
             ..CostConfig::default()
         }),
+        ..Harness::default()
     };
     let result = std::panic::catch_unwind(|| kami::verify::assert_case(&clean, &perturbed));
     assert!(result.is_err(), "perturbed assert_case must panic");
