@@ -78,7 +78,7 @@ pub fn run_gemm_kernel_with_cost(
     let bb = gmem.upload("B", b, prec);
     let cb = gmem.alloc_zeroed("C", m, n, c_prec);
     let kernel = build(ab, bb, cb);
-    let report = Engine::with_cost(device, cost).run(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cost).run_passes(&kernel, &mut gmem)?;
     Ok(BaselineResult {
         c: gmem.download(cb),
         report,

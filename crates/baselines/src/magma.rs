@@ -57,7 +57,7 @@ pub fn gemm(
     let cb = gmem.alloc_zeroed("C", mp, np, prec.accumulator());
     let kernel = build_kernel(prec, mp, np, kp, ab, bb, cb);
     let cost = CostConfig::default().with_mma_efficiency(MMA_EFFICIENCY);
-    let report = Engine::with_cost(device, cost).run(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cost).run_passes(&kernel, &mut gmem)?;
     Ok(BaselineResult {
         c: gmem.download(cb).submatrix(0, 0, m, n),
         report,

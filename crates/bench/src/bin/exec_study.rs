@@ -1,0 +1,136 @@
+//! Wall-clock serve throughput: cold cost pass vs cached cost pass.
+//!
+//! The split engine turns a served dense GEMM into three passes — plan,
+//! cost, execute — of which only the execute pass touches matrix data.
+//! Repeated-shape traffic should therefore pay tuning and the cost pass
+//! once per shape class and run execute-only afterwards. This study
+//! measures that end to end: the same repeated-shape request trace is
+//! drained once with every request on a fresh server (cold caches —
+//! each request pays the autotuning sweep plus the cost pass) and once
+//! on a single server whose tuner and cost caches were primed by an
+//! untimed warmup round (execute-only per request).
+//!
+//! ```text
+//! cargo run --release -p kami-bench --bin exec_study [-- --quick] [--out PATH]
+//! ```
+//!
+//! Emits `target/BENCH_exec.json` (override with `--out`) and exits
+//! nonzero if warm throughput falls under 2x cold — the CI acceptance
+//! gate for the cached cost pass.
+
+use kami_gpu_sim::{device, Matrix, Precision};
+use kami_serve::{ServeRequest, Server};
+use std::time::Instant;
+
+/// The repeated shape classes (the same dense mix `serve_study` uses).
+const SHAPES: [(usize, usize, usize); 3] = [(64, 64, 64), (32, 32, 64), (128, 64, 64)];
+
+/// Deterministic repeated-shape trace: `total` plain FP16 GEMMs cycling
+/// through [`SHAPES`], fresh operand data per request (the cost cache
+/// keys on shape, not data).
+fn trace(total: usize, seed_base: u64) -> Vec<ServeRequest> {
+    (0..total)
+        .map(|i| {
+            let (m, n, k) = SHAPES[i % SHAPES.len()];
+            let seed = seed_base + i as u64;
+            let a = Matrix::seeded_uniform(m, k, seed);
+            let b = Matrix::seeded_uniform(k, n, seed + 10_000);
+            ServeRequest::gemm(a, b, Precision::Fp16)
+        })
+        .collect()
+}
+
+/// Drain `requests` through `server`, panicking on any failure.
+fn drain(server: &Server, requests: Vec<ServeRequest>) {
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|r| server.submit(r).expect("queue sized to the trace"))
+        .collect();
+    while server.pending() > 0 {
+        server.tick();
+    }
+    for t in tickets {
+        t.wait().expect("every request in the trace is feasible");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "target/BENCH_exec.json".into());
+    let total = if quick { 12 } else { 48 };
+    let dev = device::gh200();
+
+    println!("# exec_study: serve requests/sec, cold vs cached cost pass, {total} requests");
+    println!("# shape classes: {SHAPES:?}, fp16, plain C=A*B\n");
+
+    // Cold: a fresh server per request, so every request re-tunes its
+    // shape class and re-runs the cost pass before executing.
+    let t0 = Instant::now();
+    for r in trace(total, 0) {
+        let server = Server::new(&dev);
+        drain(&server, vec![r]);
+    }
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    // Warm: one server; an untimed warmup round primes the tuner and
+    // the shape-class cost cache, so the timed trace is execute-only.
+    let server = Server::new(&dev);
+    drain(&server, trace(SHAPES.len(), 500_000));
+    let warm_base_hits = server.plans().cost_hits();
+    let t0 = Instant::now();
+    drain(&server, trace(total, 1_000_000));
+    let warm_secs = t0.elapsed().as_secs_f64();
+
+    let cold_rps = total as f64 / cold_secs;
+    let warm_rps = total as f64 / warm_secs;
+    let speedup = warm_rps / cold_rps;
+    let cost_hits = server.plans().cost_hits() - warm_base_hits;
+
+    println!("{:<22} {:>12} {:>14}", "mode", "seconds", "requests/sec");
+    println!(
+        "{:<22} {cold_secs:>12.3} {cold_rps:>14.1}",
+        "cold cost pass"
+    );
+    println!(
+        "{:<22} {warm_secs:>12.3} {warm_rps:>14.1}",
+        "cached cost pass"
+    );
+    println!(
+        "\ncost-cache hits on the warm trace: {cost_hits}/{total} \
+         (misses total: {})",
+        server.plans().cost_misses()
+    );
+    println!("throughput speedup (warm / cold): {speedup:.2}x");
+
+    let shape_classes = SHAPES
+        .iter()
+        .map(|&(m, n, k)| format!("\"{m}x{n}x{k}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"study\": \"exec_study\",\n  \"device\": \"{}\",\n  \"requests\": {total},\n  \
+         \"shape_classes\": [{shape_classes}],\n  \"cold_secs\": {cold_secs:.6},\n  \
+         \"warm_secs\": {warm_secs:.6},\n  \"cold_requests_per_sec\": {cold_rps:.3},\n  \
+         \"warm_requests_per_sec\": {warm_rps:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"warm_cost_cache_hits\": {cost_hits},\n  \"gate\": \"warm >= 2x cold\"\n}}\n",
+        dev.name
+    );
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, json).expect("write BENCH_exec.json");
+    println!("wrote {out}");
+
+    if speedup < 2.0 {
+        eprintln!("FAIL: cached-cost throughput {speedup:.2}x under the 2x acceptance bar");
+        std::process::exit(1);
+    }
+    println!("PASS: >= 2x acceptance bar");
+}

@@ -41,7 +41,7 @@ fn main() {
     };
 
     let (report, trace) = Engine::new(&dev)
-        .run_traced(&kernel, &mut gmem)
+        .run_passes_traced(&kernel, &mut gmem)
         .expect("runs");
     std::fs::write(&out, trace.to_chrome_json()).expect("write trace");
     println!(

@@ -190,7 +190,7 @@ pub fn gemm_25d(
     let bb = gmem.upload("B", b, prec);
     let cb = gmem.alloc_zeroed("C", m, n, c_prec);
     let kernel = build_kernel(cfg, m, n, k, ab, bb, cb, c_prec);
-    let report = Engine::with_cost(device, cfg.cost.clone()).run(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cfg.cost.clone()).run_passes(&kernel, &mut gmem)?;
     Ok(GemmResult {
         c: gmem.download(cb),
         report,

@@ -51,6 +51,56 @@ pub fn c_precision(input: Precision) -> Precision {
     input
 }
 
+/// Which interpreter backs a GEMM run: the split plan→cost→execute
+/// pipeline (default) or the legacy interleaved engine kept as the
+/// differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnginePath {
+    Split,
+    Legacy,
+}
+
+/// Build the algorithm kernel for one block GEMM (the single place the
+/// 1D/2D/3D dispatch lives).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_gemm_kernel(
+    cfg: &KamiConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    ab: kami_gpu_sim::BufferId,
+    bb: kami_gpu_sim::BufferId,
+    cb: kami_gpu_sim::BufferId,
+    c_prec: Precision,
+) -> kami_gpu_sim::BlockKernel {
+    match cfg.algo {
+        Algo::OneD => algo1d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+        Algo::TwoD => algo2d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+        Algo::ThreeD => algo3d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
+    }
+}
+
+/// Run a built kernel through the requested engine path.
+pub(crate) fn run_kernel(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    kernel: &kami_gpu_sim::BlockKernel,
+    gmem: &mut GlobalMemory,
+    path: EnginePath,
+) -> Result<ExecutionReport, SimError> {
+    let engine = Engine::with_cost(device, cfg.cost.clone());
+    match path {
+        EnginePath::Legacy => engine.run(kernel, gmem),
+        EnginePath::Split => {
+            let planned = engine.plan(kernel)?;
+            let layout = gmem.layout();
+            let report = engine.cost(&planned, &layout)?;
+            engine.execute(&planned, gmem)?;
+            Ok(report)
+        }
+    }
+}
+
 /// Run one KAMI block GEMM: `C = A·B` with `A: m×k`, `B: k×n`.
 ///
 /// Thin wrapper over the unified request API: builds a
@@ -71,12 +121,36 @@ pub fn gemm(
     .execute_single(device)
 }
 
-/// Engine body of [`gemm`] (shared by the request executor).
+/// Engine body of [`gemm`] (shared by the request executor); runs the
+/// split plan→cost→execute pipeline.
 pub(crate) fn exec_gemm(
     device: &DeviceSpec,
     cfg: &KamiConfig,
     a: &Matrix,
     b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    exec_gemm_path(device, cfg, a, b, EnginePath::Split)
+}
+
+/// [`gemm`] driven by the legacy interleaved engine. Exists so the
+/// differential harness (`kami-verify`'s `ExecParity`) can hold the two
+/// interpreters together on real workloads; everything else goes
+/// through the split pipeline.
+pub fn gemm_legacy(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    exec_gemm_path(device, cfg, a, b, EnginePath::Legacy)
+}
+
+fn exec_gemm_path(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+    path: EnginePath,
 ) -> Result<GemmResult, KamiError> {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
@@ -94,12 +168,8 @@ pub(crate) fn exec_gemm(
     let bb = gmem.upload("B", b, prec);
     let cb = gmem.alloc_zeroed("C", m, n, c_prec);
 
-    let kernel = match cfg.algo {
-        Algo::OneD => algo1d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
-        Algo::TwoD => algo2d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
-        Algo::ThreeD => algo3d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
-    };
-    let report = Engine::with_cost(device, cfg.cost.clone()).run(&kernel, &mut gmem)?;
+    let kernel = build_gemm_kernel(cfg, m, n, k, ab, bb, cb, c_prec);
+    let report = run_kernel(device, cfg, &kernel, &mut gmem, path)?;
     Ok(GemmResult {
         c: gmem.download(cb),
         report,
@@ -140,7 +210,8 @@ pub fn gemm_scaled(
     .execute_single(device)
 }
 
-/// Engine body of [`gemm_scaled`] (shared by the request executor).
+/// Engine body of [`gemm_scaled`] (shared by the request executor);
+/// runs the split plan→cost→execute pipeline.
 pub(crate) fn exec_gemm_scaled(
     device: &DeviceSpec,
     cfg: &KamiConfig,
@@ -149,6 +220,34 @@ pub(crate) fn exec_gemm_scaled(
     b: &Matrix,
     beta: f64,
     c0: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    exec_gemm_scaled_path(device, cfg, alpha, a, b, beta, c0, EnginePath::Split)
+}
+
+/// [`gemm_scaled`] driven by the legacy interleaved engine (the
+/// `ExecParity` differential oracle, like [`gemm_legacy`]).
+pub fn gemm_scaled_legacy(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c0: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    exec_gemm_scaled_path(device, cfg, alpha, a, b, beta, c0, EnginePath::Legacy)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_gemm_scaled_path(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c0: &Matrix,
+    path: EnginePath,
 ) -> Result<GemmResult, KamiError> {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
@@ -183,14 +282,10 @@ pub(crate) fn exec_gemm_scaled(
         gmem.alloc_zeroed("C", m, n, c_prec)
     };
 
-    let mut kernel = match cfg.algo {
-        Algo::OneD => algo1d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
-        Algo::TwoD => algo2d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
-        Algo::ThreeD => algo3d::build_kernel(cfg, m, n, k, ab, bb, cb, c_prec),
-    };
+    let mut kernel = build_gemm_kernel(cfg, m, n, k, ab, bb, cb, c_prec);
     apply_epilogue(&mut kernel, cb, alpha, beta, three_d, c_prec);
 
-    let report = Engine::with_cost(device, cfg.cost.clone()).run(&kernel, &mut gmem)?;
+    let report = run_kernel(device, cfg, &kernel, &mut gmem, path)?;
     Ok(GemmResult {
         c: gmem.download(cb),
         report,
@@ -408,11 +503,14 @@ pub(crate) fn exec_gemm_scaled_auto(
 }
 
 /// Run `attempt` at the requested `smem_fraction`, escalating through
-/// [`FALLBACK_FRACTIONS`] on register overflow.
-fn run_fallback_ladder(
+/// [`FALLBACK_FRACTIONS`] on register overflow. Generic over the
+/// attempt's output so the same §4.7 ladder drives full runs
+/// ([`GemmResult`]) and cost-only planning
+/// ([`crate::plan::GemmPlan`]).
+pub(crate) fn run_fallback_ladder<T>(
     cfg: &KamiConfig,
-    mut attempt: impl FnMut(&KamiConfig) -> Result<GemmResult, KamiError>,
-) -> Result<GemmResult, KamiError> {
+    mut attempt: impl FnMut(&KamiConfig) -> Result<T, KamiError>,
+) -> Result<T, KamiError> {
     let mut last = attempt(cfg);
     if !matches!(last, Err(KamiError::Sim(SimError::RegisterOverflow { .. }))) {
         return last;

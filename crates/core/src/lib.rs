@@ -40,6 +40,7 @@ pub mod gemm;
 pub mod layout;
 pub mod lowrank;
 pub mod model;
+pub mod plan;
 pub mod reference;
 pub mod request;
 pub mod tune;
@@ -52,10 +53,11 @@ pub use batched::{
 pub use config::{Algo, KamiConfig};
 pub use error::KamiError;
 pub use gemm::{
-    gemm, gemm_auto, gemm_padded, gemm_scaled, gemm_t, padded_dims, GemmResult, MatOp,
-    FALLBACK_FRACTIONS,
+    gemm, gemm_auto, gemm_legacy, gemm_padded, gemm_scaled, gemm_scaled_legacy, gemm_t,
+    padded_dims, GemmResult, MatOp, FALLBACK_FRACTIONS,
 };
 pub use lowrank::{auto_warps, lowrank_gemm, lowrank_gemm_colsplit, MAX_LOW_RANK};
+pub use plan::{gemm_cost, gemm_cost_auto, gemm_execute_plan, GemmPlan};
 pub use reference::{reference_gemm, reference_gemm_f64};
 pub use request::{GemmRequest, GemmResponse, Op};
 pub use tune::{tune, SharedTuner, TunedConfig, Tuner};

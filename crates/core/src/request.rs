@@ -38,7 +38,7 @@ use crate::gemm::{
     GemmResult,
 };
 use crate::lowrank::exec_lowrank_gemm;
-use crate::tune::tune;
+use crate::tune::{tune, SharedTuner};
 use kami_gpu_sim::{CostConfig, DeviceSpec, Matrix, Precision};
 
 /// The operation a [`GemmRequest`] describes.
@@ -326,13 +326,38 @@ impl GemmRequest {
     /// if pinned, otherwise the autotuner's winner, with the explicit
     /// warp/fraction/cost overrides applied on top.
     pub fn resolve_config(&self, device: &DeviceSpec) -> Result<KamiConfig, KamiError> {
-        let mut cfg = match self.algo {
+        let cfg = match self.algo {
             Some(algo) => KamiConfig::new(algo, self.precision),
             None => {
                 let (m, n, k) = self.shape();
                 tune(device, m, n, k, self.precision)?.cfg
             }
         };
+        Ok(self.apply_overrides(cfg))
+    }
+
+    /// Like [`GemmRequest::resolve_config`], but serve the autotuning
+    /// sweep from a shared shape-keyed cache — service layers resolving
+    /// many requests of the same shape class tune once and reuse the
+    /// winner.
+    pub fn resolve_config_cached(
+        &self,
+        device: &DeviceSpec,
+        tuner: &SharedTuner,
+    ) -> Result<KamiConfig, KamiError> {
+        let cfg = match self.algo {
+            Some(algo) => KamiConfig::new(algo, self.precision),
+            None => {
+                let (m, n, k) = self.shape();
+                tuner.config_for(device, m, n, k, self.precision)?.cfg
+            }
+        };
+        Ok(self.apply_overrides(cfg))
+    }
+
+    /// The explicit warp/fraction/cost overrides, applied on top of a
+    /// resolved base configuration.
+    fn apply_overrides(&self, mut cfg: KamiConfig) -> KamiConfig {
         cfg.precision = self.precision;
         if let Some(w) = self.warps {
             cfg.warps = w;
@@ -343,7 +368,7 @@ impl GemmRequest {
         if let Some(c) = &self.cost {
             cfg.cost = c.clone();
         }
-        Ok(cfg)
+        cfg
     }
 
     /// Execute on `device`, returning a [`GemmResponse`].

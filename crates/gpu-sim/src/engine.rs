@@ -85,6 +85,13 @@ impl<'a> Engine<'a> {
 
     /// Run the kernel to completion; returns the cycle/traffic report.
     /// Global buffers in `gmem` are mutated by `GlobalStore` ops.
+    ///
+    /// This is the legacy single-loop interpreter that interleaves cycle
+    /// accounting with functional numerics op by op. The split pipeline
+    /// ([`Self::plan`] → [`Self::cost`] → [`Self::execute`], or
+    /// [`Self::run_passes`] for the one-call form) produces bit-identical
+    /// results and reports; this path is kept as the differential oracle
+    /// (`kami-verify`'s `ExecParity` check holds the two together).
     pub fn run(
         &self,
         kernel: &BlockKernel,
@@ -209,7 +216,7 @@ impl<'a> Engine<'a> {
                         &op,
                         gmem,
                         &mut smem,
-                        &mut frags,
+                        &mut frags[w],
                         &mut tally,
                         &mut writes,
                         &mut reads,
@@ -275,15 +282,19 @@ impl<'a> Engine<'a> {
         })
     }
 
+    /// Execute one op of warp `w` with full functional semantics. Ops
+    /// that touch global memory are handled here; everything else
+    /// forwards to [`Self::exec_local_op`] (which the parallel executor
+    /// reuses against a warp-local shared-memory view).
     #[allow(clippy::too_many_arguments)]
-    fn exec_op(
+    pub(crate) fn exec_op(
         &self,
         w: usize,
         prog: &WarpProgram,
         op: &Op,
         gmem: &mut GlobalMemory,
         smem: &mut SharedMemory,
-        frags: &mut [Vec<FragValue>],
+        warp_frags: &mut [FragValue],
         tally: &mut PhaseTally,
         writes: &mut Vec<(usize, (usize, usize))>,
         reads: &mut Vec<(usize, (usize, usize))>,
@@ -300,7 +311,7 @@ impl<'a> Engine<'a> {
                 let (rows, cols) = (decl.rows, decl.cols);
                 let bytes = rows * cols * gmem.precision(buf).size_bytes();
                 let values = gmem.read_window(buf, row0, col0, rows, cols);
-                frags[w][dst].store(&values);
+                warp_frags[dst].store(&values);
                 tally.gmem_bytes += bytes as u64;
                 tally.has_gmem_load = true;
             }
@@ -311,13 +322,13 @@ impl<'a> Engine<'a> {
                 col0,
                 accumulate,
             } => {
-                require_init(&frags[w], src, w, prog)?;
+                require_init(warp_frags, src, w, prog)?;
                 let (rows, cols) = {
-                    let d = &frags[w][src].decl;
+                    let d = &warp_frags[src].decl;
                     (d.rows, d.cols)
                 };
                 let bytes = rows * cols * gmem.precision(buf).size_bytes();
-                let data = frags[w][src].data.clone();
+                let data = warp_frags[src].data.clone();
                 gmem.write_window(buf, row0, col0, rows, cols, &data, accumulate);
                 tally.gmem_bytes += bytes as u64;
                 if accumulate {
@@ -326,11 +337,42 @@ impl<'a> Engine<'a> {
                     tally.has_gmem_load = true;
                 }
             }
+            _ => self.exec_local_op(
+                w,
+                prog,
+                op,
+                smem,
+                warp_frags,
+                tally,
+                writes,
+                reads,
+                flops_charged,
+            )?,
+        }
+        Ok(())
+    }
+
+    /// Execute one op that touches no global memory: shared-memory
+    /// traffic, register movement, and tensor-core MMAs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_local_op(
+        &self,
+        w: usize,
+        prog: &WarpProgram,
+        op: &Op,
+        smem: &mut SharedMemory,
+        warp_frags: &mut [FragValue],
+        tally: &mut PhaseTally,
+        writes: &mut Vec<(usize, (usize, usize))>,
+        reads: &mut Vec<(usize, (usize, usize))>,
+        flops_charged: &mut u64,
+    ) -> Result<(), SimError> {
+        match *op {
             Op::SharedStore { src, addr } => {
-                require_init(&frags[w], src, w, prog)?;
-                let elem = frags[w][src].decl.precision.size_bytes();
-                let n = frags[w][src].decl.elems();
-                let data = frags[w][src].data.clone();
+                require_init(warp_frags, src, w, prog)?;
+                let elem = warp_frags[src].decl.precision.size_bytes();
+                let n = warp_frags[src].decl.elems();
+                let data = warp_frags[src].data.clone();
                 smem.store(addr, elem, &data)
                     .map_err(|detail| SimError::SharedMemoryOverflow { detail })?;
                 tally.smem_bytes_written += (n * elem) as u64;
@@ -343,15 +385,15 @@ impl<'a> Engine<'a> {
                 let values = smem
                     .load(addr, elem, n)
                     .map_err(|detail| SimError::SharedMemoryFault { warp: w, detail })?;
-                frags[w][dst].store(&values);
+                warp_frags[dst].store(&values);
                 tally.smem_bytes_read += (n * elem) as u64;
                 tally.has_smem_load = true;
                 reads.push((w, (addr, n * elem)));
             }
             Op::RegCopy { dst, src } => {
-                require_init(&frags[w], src, w, prog)?;
+                require_init(warp_frags, src, w, prog)?;
                 let (sr, sc) = {
-                    let d = &frags[w][src].decl;
+                    let d = &warp_frags[src].decl;
                     (d.rows, d.cols)
                 };
                 let dd = frag_decl(prog, dst)?;
@@ -363,13 +405,13 @@ impl<'a> Engine<'a> {
                         ),
                     });
                 }
-                let data = frags[w][src].data.clone();
-                frags[w][dst].store(&data);
+                let data = warp_frags[src].data.clone();
+                warp_frags[dst].store(&data);
                 tally.reg_copies += 1;
             }
             Op::ZeroAcc { frag } => {
                 frag_decl(prog, frag)?;
-                frags[w][frag].zero();
+                warp_frags[frag].zero();
             }
             Op::Mma {
                 d,
@@ -378,24 +420,24 @@ impl<'a> Engine<'a> {
                 a_cols,
                 b_rows,
             } => {
-                require_init(&frags[w], a, w, prog)?;
-                require_init(&frags[w], b, w, prog)?;
-                require_init(&frags[w], d, w, prog)?;
-                let flops = self.exec_mma(w, prog, d, a, b, a_cols, b_rows, frags, tally)?;
+                require_init(warp_frags, a, w, prog)?;
+                require_init(warp_frags, b, w, prog)?;
+                require_init(warp_frags, d, w, prog)?;
+                let flops = self.exec_mma(prog, d, a, b, a_cols, b_rows, warp_frags, tally)?;
                 *flops_charged += flops;
             }
             Op::Scale { frag, factor } => {
-                require_init(&frags[w], frag, w, prog)?;
-                let prec = frags[w][frag].decl.precision;
-                for x in frags[w][frag].data.iter_mut() {
+                require_init(warp_frags, frag, w, prog)?;
+                let prec = warp_frags[frag].decl.precision;
+                for x in warp_frags[frag].data.iter_mut() {
                     *x = prec.round(*x * factor);
                 }
                 tally.reg_copies += 1;
             }
             Op::AddAssign { dst, src } => {
-                require_init(&frags[w], dst, w, prog)?;
-                require_init(&frags[w], src, w, prog)?;
-                let (dd, sd) = (&frags[w][dst].decl, &frags[w][src].decl);
+                require_init(warp_frags, dst, w, prog)?;
+                require_init(warp_frags, src, w, prog)?;
+                let (dd, sd) = (&warp_frags[dst].decl, &warp_frags[src].decl);
                 if (dd.rows, dd.cols) != (sd.rows, sd.cols) {
                     return Err(SimError::BadOperand {
                         detail: format!(
@@ -404,9 +446,9 @@ impl<'a> Engine<'a> {
                         ),
                     });
                 }
-                let prec = frags[w][dst].decl.precision;
-                let src_data = frags[w][src].data.clone();
-                for (x, s) in frags[w][dst].data.iter_mut().zip(src_data) {
+                let prec = warp_frags[dst].decl.precision;
+                let src_data = warp_frags[src].data.clone();
+                for (x, s) in warp_frags[dst].data.iter_mut().zip(src_data) {
                     *x = prec.round(*x + s);
                 }
                 tally.reg_copies += 1;
@@ -425,22 +467,24 @@ impl<'a> Engine<'a> {
                 tally.has_smem_load = true;
                 reads.push((w, (addr, bytes)));
             }
+            Op::GlobalLoad { .. } | Op::GlobalStore { .. } => {
+                unreachable!("global-memory ops are handled by exec_op")
+            }
             Op::Barrier => unreachable!("barriers are consumed by the phase loop"),
         }
         Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_mma(
+    pub(crate) fn exec_mma(
         &self,
-        w: usize,
         prog: &WarpProgram,
         d: usize,
         a: usize,
         b: usize,
         a_cols: Option<(usize, usize)>,
         b_rows: Option<(usize, usize)>,
-        frags: &mut [Vec<FragValue>],
+        warp_frags: &mut [FragValue],
         tally: &mut PhaseTally,
     ) -> Result<u64, SimError> {
         let (ad, bd, dd) = (
@@ -488,7 +532,7 @@ impl<'a> Engine<'a> {
         // Extract the k-slices row-major.
         let (m, n, k) = (ad.rows, bd.cols, ak);
         let a_slice: Vec<f64> = {
-            let src = &frags[w][a].data;
+            let src = &warp_frags[a].data;
             let mut v = Vec::with_capacity(m * k);
             for r in 0..m {
                 v.extend_from_slice(&src[r * ad.cols + ac0..r * ad.cols + ac0 + ak]);
@@ -496,7 +540,7 @@ impl<'a> Engine<'a> {
             v
         };
         let b_slice: Vec<f64> = {
-            let src = &frags[w][b].data;
+            let src = &warp_frags[b].data;
             let mut v = Vec::with_capacity(k * n);
             for r in 0..k {
                 v.extend_from_slice(&src[(br0 + r) * bd.cols..(br0 + r) * bd.cols + n]);
@@ -504,7 +548,7 @@ impl<'a> Engine<'a> {
             v
         };
         let flops = {
-            let dv = &mut frags[w][d];
+            let dv = &mut warp_frags[d];
             let f = mma_fragment(
                 shape,
                 ad.precision,
@@ -529,7 +573,7 @@ impl<'a> Engine<'a> {
     /// warp's ops run back to back from the phase start, each op sized by
     /// its standalone cost (bytes over bandwidth, flops over one tensor
     /// core, latency on the first load of the phase).
-    fn layout_phase_trace(
+    pub(crate) fn layout_phase_trace(
         &self,
         trace: &mut Trace,
         phase: usize,
@@ -591,7 +635,7 @@ impl<'a> Engine<'a> {
 }
 
 /// Trace kind + human-readable detail of one op.
-fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
+pub(crate) fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
     let name = |id: usize| {
         prog.frags
             .get(id)
@@ -634,7 +678,10 @@ fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
     }
 }
 
-fn frag_decl(prog: &WarpProgram, id: usize) -> Result<&crate::fragment::FragDecl, SimError> {
+pub(crate) fn frag_decl(
+    prog: &WarpProgram,
+    id: usize,
+) -> Result<&crate::fragment::FragDecl, SimError> {
     prog.frags.get(id).ok_or_else(|| SimError::BadOperand {
         detail: format!(
             "fragment id {id} out of range ({} declared)",
@@ -643,7 +690,7 @@ fn frag_decl(prog: &WarpProgram, id: usize) -> Result<&crate::fragment::FragDecl
     })
 }
 
-fn require_init(
+pub(crate) fn require_init(
     warp_frags: &[FragValue],
     id: usize,
     warp: usize,
@@ -661,11 +708,11 @@ fn require_init(
     Ok(())
 }
 
-fn overlap(a: (usize, usize), b: (usize, usize)) -> bool {
+pub(crate) fn overlap(a: (usize, usize), b: (usize, usize)) -> bool {
     a.0 < b.0 + b.1 && b.0 < a.0 + a.1
 }
 
-fn detect_races(
+pub(crate) fn detect_races(
     writes: &[(usize, (usize, usize))],
     reads: &[(usize, (usize, usize))],
 ) -> Result<(), SimError> {

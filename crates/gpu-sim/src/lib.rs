@@ -57,6 +57,7 @@ pub mod fragment;
 pub mod matrix;
 pub mod memory;
 pub mod occupancy;
+pub mod passes;
 pub mod precision;
 pub mod program;
 pub mod report;
@@ -69,12 +70,13 @@ pub use engine::Engine;
 pub use error::SimError;
 pub use fragment::{FragDecl, FragId};
 pub use matrix::Matrix;
-pub use memory::global::{BufferId, GlobalMemory};
+pub use memory::global::{BufferId, GlobalMemory, GmemLayout};
 pub use memory::regfile::RegisterUsage;
 pub use occupancy::{
     analyze as analyze_occupancy, analyze_on_chip as analyze_occupancy_on_chip,
     analyze_stream as analyze_occupancy_stream, Limiter, Occupancy, StreamSteady,
 };
+pub use passes::PlannedKernel;
 pub use precision::Precision;
 pub use program::{BlockKernel, Op, WarpProgram};
 pub use report::ExecutionReport;

@@ -19,6 +19,101 @@ struct Buffer {
     name: String,
 }
 
+#[derive(Debug, Clone)]
+struct BufferMeta {
+    name: String,
+    rows: usize,
+    cols: usize,
+    precision: Precision,
+}
+
+/// Shape/precision metadata of a set of global buffers, with no values
+/// attached — everything the cost pass needs to charge global traffic
+/// and check window bounds. Declaring buffers here in the same order
+/// they would be uploaded yields the same [`BufferId`]s, so a kernel
+/// built against a `GmemLayout` runs unchanged against the real
+/// [`GlobalMemory`].
+#[derive(Debug, Clone, Default)]
+pub struct GmemLayout {
+    buffers: Vec<BufferMeta>,
+}
+
+impl GmemLayout {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a buffer shape; returns the id an `upload`/`alloc_zeroed`
+    /// at the same position would return.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        precision: Precision,
+    ) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        self.buffers.push(BufferMeta {
+            name: name.into(),
+            rows,
+            cols,
+            precision,
+        });
+        id
+    }
+
+    pub fn precision(&self, id: BufferId) -> Precision {
+        self.buffers[id.0].precision
+    }
+
+    pub fn name(&self, id: BufferId) -> &str {
+        &self.buffers[id.0].name
+    }
+
+    pub fn shape(&self, id: BufferId) -> (usize, usize) {
+        let b = &self.buffers[id.0];
+        (b.rows, b.cols)
+    }
+
+    /// Bounds-check a read window exactly as
+    /// [`GlobalMemory::read_window`] would.
+    pub(crate) fn check_read(
+        &self,
+        id: BufferId,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        let b = &self.buffers[id.0];
+        assert!(
+            row0 + rows <= b.rows && col0 + cols <= b.cols,
+            "global read out of bounds on '{}': ({row0},{col0})+{rows}x{cols} of {}x{}",
+            b.name,
+            b.rows,
+            b.cols
+        );
+    }
+
+    /// Bounds-check a write window exactly as
+    /// [`GlobalMemory::write_window`] would.
+    pub(crate) fn check_write(
+        &self,
+        id: BufferId,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        let b = &self.buffers[id.0];
+        assert!(
+            row0 + rows <= b.rows && col0 + cols <= b.cols,
+            "global write out of bounds on '{}'",
+            b.name
+        );
+    }
+}
+
 /// Global-memory space of one simulated kernel launch.
 #[derive(Default)]
 pub struct GlobalMemory {
@@ -93,6 +188,22 @@ impl GlobalMemory {
         rows: usize,
         cols: usize,
     ) -> Vec<f64> {
+        let out = self.read_window_pure(id, row0, col0, rows, cols);
+        self.bytes_read += (rows * cols * self.buffers[id.0].precision.size_bytes()) as u64;
+        out
+    }
+
+    /// Read a window without counting traffic — the parallel executor's
+    /// snapshot read (each warp reads through `&self`, byte counts are
+    /// settled per warp afterwards via [`Self::note_read_bytes`]).
+    pub(crate) fn read_window_pure(
+        &self,
+        id: BufferId,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Vec<f64> {
         let b = &self.buffers[id.0];
         assert!(
             row0 + rows <= b.data.rows() && col0 + cols <= b.data.cols(),
@@ -101,7 +212,6 @@ impl GlobalMemory {
             b.data.rows(),
             b.data.cols()
         );
-        self.bytes_read += (rows * cols * b.precision.size_bytes()) as u64;
         let mut out = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -109,6 +219,51 @@ impl GlobalMemory {
             }
         }
         out
+    }
+
+    /// Bounds-check a write window without performing it (the parallel
+    /// executor defers writes but must fault at the op, like the
+    /// interleaved engine).
+    pub(crate) fn check_write(
+        &self,
+        id: BufferId,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        let b = &self.buffers[id.0];
+        assert!(
+            row0 + rows <= b.data.rows() && col0 + cols <= b.data.cols(),
+            "global write out of bounds on '{}'",
+            b.name
+        );
+    }
+
+    /// Charge read traffic measured outside [`Self::read_window`].
+    pub(crate) fn note_read_bytes(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+    }
+
+    pub(crate) fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Snapshot the buffer shapes/precisions as a [`GmemLayout`] (the
+    /// cost pass's view of this memory).
+    pub fn layout(&self) -> GmemLayout {
+        GmemLayout {
+            buffers: self
+                .buffers
+                .iter()
+                .map(|b| BufferMeta {
+                    name: b.name.clone(),
+                    rows: b.data.rows(),
+                    cols: b.data.cols(),
+                    precision: b.precision,
+                })
+                .collect(),
+        }
     }
 
     /// Write (or accumulate into) a window; counts traffic and quantizes

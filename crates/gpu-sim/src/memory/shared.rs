@@ -32,6 +32,7 @@ enum Layout {
 }
 
 /// Shared-memory space of one thread block.
+#[derive(Clone)]
 pub struct SharedMemory {
     capacity: usize,
     /// byte address -> (value, element size that wrote it)
@@ -76,7 +77,31 @@ impl SharedMemory {
     /// followed by a 4-byte store at byte 4 would leave the stale wide
     /// value readable at byte 0.
     pub fn store(&mut self, addr: usize, elem_size: usize, values: &[f64]) -> Result<(), String> {
-        let extent = addr + values.len() * elem_size;
+        self.store_cells(addr, elem_size, values.len(), Some(values))
+    }
+
+    /// Shape-only variant of [`Self::store`]: identical capacity check,
+    /// overlap invalidation, counters, and layout bookkeeping, but cell
+    /// values are placeholders. This is what the cost pass runs — it must
+    /// see the exact same faults and footprint as a functional store
+    /// without touching matrix data.
+    pub fn store_shape(
+        &mut self,
+        addr: usize,
+        elem_size: usize,
+        count: usize,
+    ) -> Result<(), String> {
+        self.store_cells(addr, elem_size, count, None)
+    }
+
+    fn store_cells(
+        &mut self,
+        addr: usize,
+        elem_size: usize,
+        count: usize,
+        values: Option<&[f64]>,
+    ) -> Result<(), String> {
+        let extent = addr + count * elem_size;
         if extent > self.capacity {
             return Err(format!(
                 "shared memory overflow: extent {extent} B > capacity {} B",
@@ -94,7 +119,7 @@ impl SharedMemory {
                 Layout::Mixed => false,
             };
         if !uniform {
-            for i in 0..values.len() {
+            for i in 0..count {
                 let a = addr + i * elem_size;
                 let lo = a.saturating_sub(self.max_elem.saturating_sub(1));
                 for s in lo..a + elem_size {
@@ -109,7 +134,8 @@ impl SharedMemory {
                 }
             }
         }
-        for (i, &v) in values.iter().enumerate() {
+        for i in 0..count {
+            let v = values.map_or(0.0, |vs| vs[i]);
             self.cells.insert(addr + i * elem_size, (v, elem_size));
         }
         self.layout = if uniform {
@@ -118,7 +144,7 @@ impl SharedMemory {
             Layout::Mixed
         };
         self.max_elem = self.max_elem.max(elem_size);
-        self.bytes_written += (values.len() * elem_size) as u64;
+        self.bytes_written += (count * elem_size) as u64;
         self.peak_extent = self.peak_extent.max(extent);
         Ok(())
     }
@@ -132,10 +158,37 @@ impl SharedMemory {
         count: usize,
     ) -> Result<Vec<f64>, String> {
         let mut out = Vec::with_capacity(count);
+        self.load_cells(addr, elem_size, count, Some(&mut out))?;
+        Ok(out)
+    }
+
+    /// Shape-only variant of [`Self::load`]: identical initialization and
+    /// element-size checks and the same traffic counter, without
+    /// producing values (the cost pass's read).
+    pub fn load_shape(
+        &mut self,
+        addr: usize,
+        elem_size: usize,
+        count: usize,
+    ) -> Result<(), String> {
+        self.load_cells(addr, elem_size, count, None)
+    }
+
+    fn load_cells(
+        &mut self,
+        addr: usize,
+        elem_size: usize,
+        count: usize,
+        mut out: Option<&mut Vec<f64>>,
+    ) -> Result<(), String> {
         for i in 0..count {
             let a = addr + i * elem_size;
             match self.cells.get(&a) {
-                Some(&(v, sz)) if sz == elem_size => out.push(v),
+                Some(&(v, sz)) if sz == elem_size => {
+                    if let Some(o) = out.as_deref_mut() {
+                        o.push(v);
+                    }
+                }
                 Some(&(_, sz)) => {
                     return Err(format!(
                         "shared memory element-size mismatch at byte {a}: \
@@ -146,7 +199,7 @@ impl SharedMemory {
             }
         }
         self.bytes_read += (count * elem_size) as u64;
-        Ok(out)
+        Ok(())
     }
 
     pub fn bytes_read(&self) -> u64 {
@@ -264,6 +317,31 @@ mod tests {
         assert!(sm.load(0, 4, 1).is_err());
         assert_eq!(sm.bytes_written(), 0);
         assert_eq!(sm.peak_extent(), 0);
+    }
+
+    #[test]
+    fn shape_only_ops_match_functional_bookkeeping() {
+        let mut full = SharedMemory::new(1024);
+        let mut shape = SharedMemory::new(1024);
+        full.store(0, 8, &[1.0, 2.0]).unwrap();
+        shape.store_shape(0, 8, 2).unwrap();
+        // Same overlap invalidation through the shape path.
+        full.store(4, 4, &[3.0]).unwrap();
+        shape.store_shape(4, 4, 1).unwrap();
+        assert_eq!(
+            full.load(0, 8, 1).unwrap_err(),
+            shape.load_shape(0, 8, 1).unwrap_err()
+        );
+        full.load(4, 4, 1).unwrap();
+        shape.load_shape(4, 4, 1).unwrap();
+        assert_eq!(full.bytes_written(), shape.bytes_written());
+        assert_eq!(full.bytes_read(), shape.bytes_read());
+        assert_eq!(full.peak_extent(), shape.peak_extent());
+        // Capacity overflow reports identically.
+        assert_eq!(
+            full.store(1020, 8, &[0.0]).unwrap_err(),
+            shape.store_shape(1020, 8, 1).unwrap_err()
+        );
     }
 
     #[test]

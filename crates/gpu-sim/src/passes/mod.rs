@@ -1,0 +1,215 @@
+//! The three-pass pipeline over a built [`BlockKernel`]:
+//!
+//! 1. **plan** ([`Engine::plan`]) — static validation (warp count,
+//!    barrier alignment, register budget) plus the per-warp per-phase op
+//!    index ranges every later pass walks. No memory state, no cycles.
+//! 2. **cost** ([`Engine::cost`] / [`Engine::cost_traced`], in
+//!    [`cost`]) — pure cycle accounting over the planned structure and a
+//!    [`GmemLayout`](crate::memory::global::GmemLayout): it reproduces
+//!    the legacy engine's [`ExecutionReport`] and [`Trace`] exactly,
+//!    including every simulation fault, without touching matrix data.
+//! 3. **execute** ([`Engine::execute`], in [`exec`]) — numerics only: a
+//!    rayon-parallel per-warp interpreter for conflict-free phases with
+//!    a serial interleaved fallback, bit-identical to the legacy engine
+//!    including accumulation order.
+//!
+//! [`Engine::run_passes`] chains the three; [`Engine::run`] remains the
+//! legacy interleaved loop the pipeline is differentially checked
+//! against.
+
+pub mod cost;
+pub mod exec;
+
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::memory::global::GlobalMemory;
+use crate::memory::regfile::RegisterUsage;
+use crate::program::{BlockKernel, Op};
+use crate::report::ExecutionReport;
+use crate::trace::Trace;
+
+/// A validated kernel plus the phase structure shared by the cost and
+/// execute passes. Producing one proves the kernel passes every static
+/// check the legacy engine front-loads (and in the same order).
+#[derive(Debug, Clone)]
+pub struct PlannedKernel<'k> {
+    pub kernel: &'k BlockKernel,
+    /// Warps in the block.
+    pub warps: usize,
+    /// Barrier-delimited phases (barriers + 1, uniform across warps).
+    pub phases: usize,
+    /// Conservative per-warp register usage (the feasibility check).
+    pub registers_per_warp: Vec<RegisterUsage>,
+    /// `phase_ops[w][ph]` = op index range of warp `w` in phase `ph`,
+    /// excluding the closing barrier.
+    pub(crate) phase_ops: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'k> PlannedKernel<'k> {
+    /// Ops of warp `w` in phase `ph`.
+    pub(crate) fn ops(&self, w: usize, ph: usize) -> &'k [Op] {
+        let (start, end) = self.phase_ops[w][ph];
+        &self.kernel.warps[w].ops[start..end]
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Plan pass: static validation and phase structure. Runs exactly
+    /// the checks the legacy engine front-loads, in the same order
+    /// (warp count, barrier alignment, register budget), so a kernel
+    /// rejected here fails [`Engine::run`] with the same error.
+    pub fn plan<'k>(&self, kernel: &'k BlockKernel) -> Result<PlannedKernel<'k>, SimError> {
+        let p = kernel.num_warps();
+        let max_warps = self.device.max_warps_per_block() as usize;
+        if p == 0 || p > max_warps {
+            return Err(SimError::BadWarpCount {
+                warps: p,
+                max: max_warps,
+            });
+        }
+
+        let expected_phases = kernel.warps[0].barrier_count() + 1;
+        for (i, w) in kernel.warps.iter().enumerate() {
+            let phases = w.barrier_count() + 1;
+            if phases != expected_phases {
+                return Err(SimError::BarrierMismatch {
+                    warp: i,
+                    phases,
+                    expected: expected_phases,
+                });
+            }
+        }
+
+        let registers_per_warp = self.analyze_registers(kernel);
+        for (i, usage) in registers_per_warp.iter().enumerate() {
+            if usage.measured_regs > self.device.max_regs_per_thread {
+                return Err(SimError::RegisterOverflow {
+                    warp: i,
+                    needed: usage.measured_regs,
+                    limit: self.device.max_regs_per_thread,
+                });
+            }
+        }
+
+        let phase_ops = kernel
+            .warps
+            .iter()
+            .map(|w| {
+                let mut ranges = Vec::with_capacity(expected_phases);
+                let mut start = 0usize;
+                for (idx, op) in w.ops.iter().enumerate() {
+                    if matches!(op, Op::Barrier) {
+                        ranges.push((start, idx));
+                        start = idx + 1;
+                    }
+                }
+                ranges.push((start, w.ops.len()));
+                ranges
+            })
+            .collect();
+
+        Ok(PlannedKernel {
+            kernel,
+            warps: p,
+            phases: expected_phases,
+            registers_per_warp,
+            phase_ops,
+        })
+    }
+
+    /// The full pipeline in one call: plan → cost → execute. Equivalent
+    /// to [`Engine::run`] (bit-identical numerics and report) with the
+    /// passes separable.
+    pub fn run_passes(
+        &self,
+        kernel: &BlockKernel,
+        gmem: &mut GlobalMemory,
+    ) -> Result<ExecutionReport, SimError> {
+        let plan = self.plan(kernel)?;
+        let layout = gmem.layout();
+        let report = self.cost(&plan, &layout)?;
+        self.execute(&plan, gmem)?;
+        Ok(report)
+    }
+
+    /// Like [`Self::run_passes`], additionally producing the cost pass's
+    /// [`Trace`] (equivalent to [`Engine::run_traced`]).
+    pub fn run_passes_traced(
+        &self,
+        kernel: &BlockKernel,
+        gmem: &mut GlobalMemory,
+    ) -> Result<(ExecutionReport, Trace), SimError> {
+        let plan = self.plan(kernel)?;
+        let layout = gmem.layout();
+        let (report, trace) = self.cost_traced(&plan, &layout)?;
+        self.execute(&plan, gmem)?;
+        Ok((report, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::gh200;
+    use crate::precision::Precision;
+
+    #[test]
+    fn plan_splits_phases_at_barriers() {
+        let dev = gh200();
+        let k = BlockKernel::spmd(2, |i, w| {
+            let f = w.frag("x", 4, 4, Precision::Fp16);
+            w.zero_acc(f);
+            if i == 0 {
+                w.shared_store(f, 0);
+            }
+            w.barrier();
+            if i == 1 {
+                w.shared_load(f, 0);
+            }
+        });
+        let plan = Engine::new(&dev).plan(&k).unwrap();
+        assert_eq!(plan.warps, 2);
+        assert_eq!(plan.phases, 2);
+        // Warp 0: [zero, store] then []; warp 1: [zero] then [load].
+        assert_eq!(plan.ops(0, 0).len(), 2);
+        assert_eq!(plan.ops(0, 1).len(), 0);
+        assert_eq!(plan.ops(1, 0).len(), 1);
+        assert_eq!(plan.ops(1, 1).len(), 1);
+        assert!(!plan
+            .ops(0, 0)
+            .iter()
+            .chain(plan.ops(1, 1))
+            .any(|o| matches!(o, Op::Barrier)));
+    }
+
+    #[test]
+    fn plan_rejects_what_the_legacy_engine_rejects() {
+        let dev = gh200();
+        let eng = Engine::new(&dev);
+        // Barrier mismatch.
+        let k = BlockKernel::spmd(2, |i, w| {
+            let f = w.frag("x", 1, 1, Precision::Fp32);
+            w.zero_acc(f);
+            if i == 0 {
+                w.barrier();
+            }
+        });
+        let planned = eng.plan(&k).map(|_| ());
+        let legacy = eng.run(&k, &mut GlobalMemory::new()).map(|_| ());
+        assert_eq!(planned, legacy);
+        // Register overflow.
+        let k = BlockKernel::spmd(1, |_, w| {
+            let f = w.frag("huge", 256, 128, Precision::Fp64);
+            w.zero_acc(f);
+        });
+        let planned = eng.plan(&k).map(|_| ());
+        let legacy = eng.run(&k, &mut GlobalMemory::new()).map(|_| ());
+        assert_eq!(planned, legacy);
+        // Empty block.
+        let k = BlockKernel::new(Vec::new());
+        assert_eq!(
+            eng.plan(&k).map(|_| ()),
+            eng.run(&k, &mut GlobalMemory::new()).map(|_| ())
+        );
+    }
+}

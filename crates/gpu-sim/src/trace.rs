@@ -85,6 +85,47 @@ impl Trace {
             .sum()
     }
 
+    /// Merge another trace into this one, offset onto this trace's
+    /// clock: events shift by `offset_cycles` and the final phase
+    /// boundary extends to cover the absorbed trace's end. Device/mode
+    /// are adopted from the first absorbed trace. This is the one merge
+    /// primitive every multi-kernel timeline (scheduler SM tracks,
+    /// service groups) is built from.
+    pub fn absorb(&mut self, other: &Trace, offset_cycles: f64) {
+        if self.device.is_empty() {
+            self.device = other.device.clone();
+            self.mode = other.mode;
+        }
+        self.events.extend(other.events.iter().map(|e| {
+            let mut e = e.clone();
+            e.start += offset_cycles;
+            e
+        }));
+        let end = other.total_cycles() + offset_cycles;
+        match self.phase_starts.as_mut_slice() {
+            [] => self.phase_starts = vec![0.0, end],
+            [.., last] => *last = last.max(end),
+        }
+    }
+
+    /// Assemble a device-level trace from per-track event lists that
+    /// each start at cycle 0 and run concurrently (e.g. one track per
+    /// SM, with the `warp` field carrying the track index). One phase
+    /// spans the whole timeline, ending at `end_cycles`.
+    pub fn from_tracks(
+        device: impl Into<String>,
+        mode: Option<CostMode>,
+        end_cycles: f64,
+        tracks: Vec<Vec<TraceEvent>>,
+    ) -> Trace {
+        Trace {
+            device: device.into(),
+            mode,
+            events: tracks.into_iter().flatten().collect(),
+            phase_starts: vec![0.0, end_cycles],
+        }
+    }
+
     /// Serialize as a Chrome-tracing JSON array (open in
     /// `chrome://tracing` or Perfetto; 1 simulated cycle = 1 µs).
     pub fn to_chrome_json(&self) -> String {
@@ -223,6 +264,45 @@ mod tests {
         // Parse-back must reproduce the exact original string, not a
         // sanitized lookalike.
         assert_eq!(parsed[0]["args"]["detail"].as_str().unwrap(), hostile);
+    }
+
+    #[test]
+    fn absorb_offsets_events_and_extends_the_end() {
+        let mut merged = Trace::default();
+        merged.absorb(&sample(), 100.0);
+        assert_eq!(merged.device, "test");
+        assert_eq!(merged.mode, Some(CostMode::Serial));
+        assert_eq!(merged.events[0].start, 100.0);
+        assert_eq!(merged.total_cycles(), 105.0);
+        // A second, earlier-ending absorb must not shrink the timeline.
+        let mut short = sample();
+        short.phase_starts = vec![0.0, 1.0];
+        short.events.truncate(1);
+        merged.absorb(&short, 10.0);
+        assert_eq!(merged.total_cycles(), 105.0);
+        assert_eq!(merged.events.len(), 3);
+    }
+
+    #[test]
+    fn from_tracks_flattens_into_one_phase() {
+        let e = |warp: usize, start: f64| TraceEvent {
+            warp,
+            phase: 0,
+            kind: TraceKind::Mma,
+            amount: 1,
+            start,
+            duration: 1.0,
+            detail: String::new(),
+        };
+        let t = Trace::from_tracks(
+            "dev",
+            None,
+            42.0,
+            vec![vec![e(0, 0.0), e(0, 1.0)], vec![e(1, 0.0)]],
+        );
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.phase_starts, vec![0.0, 42.0]);
+        assert_eq!(t.total_cycles(), 42.0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The shared plan cache: shape + precision + device → winning
-//! [`KamiConfig`](kami_core::KamiConfig), per-block cost quantities,
+//! [`KamiConfig`], per-block cost quantities,
 //! and the decomposition the scheduler settled on.
 //!
 //! Built on [`kami_core::tune::SharedTuner`] — the thread-safe
@@ -12,13 +12,14 @@
 
 use crate::schedule::Decomposition;
 use crate::work::WorkItem;
+use kami_core::plan::{gemm_cost, gemm_cost_auto, GemmPlan};
 use kami_core::tune::{SharedTuner, TunedConfig};
-use kami_core::{gemm, KamiError};
-use kami_gpu_sim::{occupancy, CostConfig, DeviceSpec, Matrix, Occupancy, Precision};
+use kami_core::{KamiConfig, KamiError};
+use kami_gpu_sim::{occupancy, CostConfig, DeviceSpec, Occupancy, Precision};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Per-block cost quantities of one tuned shape on one device, in the
 /// batched regime (global I/O included — §5.4).
@@ -85,6 +86,23 @@ fn cost_tag(cost: Option<&CostConfig>) -> u64 {
     }
 }
 
+/// Shape class of one costed GEMM configuration: everything the cost
+/// pass's output depends on. Two requests with the same key can share
+/// one [`GemmPlan`] — the cost pass is deterministic in these fields
+/// and touches no matrix data.
+type CostKey = (
+    String,       // device name
+    usize,        // m
+    usize,        // n
+    usize,        // k
+    Precision,    // operand precision
+    &'static str, // algorithm
+    usize,        // warps
+    u64,          // smem_fraction bits
+    u64,          // cost-model fingerprint
+    bool,         // §4.7 auto-escalation requested
+);
+
 /// Thread-safe plan cache shared across launches (and across SM workers
 /// within a launch).
 #[derive(Default)]
@@ -93,6 +111,11 @@ pub struct PlanCache {
     plans: Mutex<HashMap<PlanKey, PlanEntry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Shape-class-keyed cost-pass results: repeated shapes skip the
+    /// cost pass entirely and run execute-only.
+    costs: Mutex<HashMap<CostKey, Arc<GemmPlan>>>,
+    cost_hits: AtomicUsize,
+    cost_misses: AtomicUsize,
 }
 
 impl PlanCache {
@@ -114,6 +137,16 @@ impl PlanCache {
     /// Plans that ran the tuning sweep plus one representative block.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cost-pass results served from the shape-class cache.
+    pub fn cost_hits(&self) -> usize {
+        self.cost_hits.load(Ordering::Relaxed)
+    }
+
+    /// Shape classes that actually ran the cost pass.
+    pub fn cost_misses(&self) -> usize {
+        self.cost_misses.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
@@ -198,12 +231,59 @@ impl PlanCache {
         )
     }
 
-    /// Tune the shape, then run the winner once on seeded data to
-    /// extract the block-level cost quantities. A cost override is
-    /// applied to the winner before the representative run, so the
-    /// extracted cycles reflect the overridden model (the tuning sweep
-    /// itself ranks candidates under the default cost — the override
-    /// scales costs, it does not reorder configurations).
+    fn locked_costs(&self) -> MutexGuard<'_, HashMap<CostKey, Arc<GemmPlan>>> {
+        self.costs.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The costed [`GemmPlan`] for one shape class, running the cost
+    /// pass on first use and serving every repeat from the cache. With
+    /// `auto` the §4.7 fallback ladder is applied (matching
+    /// [`kami_core::gemm_auto`]); the cached plan then carries the
+    /// escalated `smem_fraction`. Callers pair the result with
+    /// [`kami_core::gemm_execute_plan`] for execute-only runs.
+    pub fn gemm_plan_for(
+        &self,
+        device: &DeviceSpec,
+        cfg: &KamiConfig,
+        m: usize,
+        n: usize,
+        k: usize,
+        auto: bool,
+    ) -> Result<Arc<GemmPlan>, KamiError> {
+        let key: CostKey = (
+            device.name.clone(),
+            m,
+            n,
+            k,
+            cfg.precision,
+            cfg.algo.label(),
+            cfg.warps,
+            cfg.smem_fraction.to_bits(),
+            cost_tag(Some(&cfg.cost)),
+            auto,
+        );
+        if let Some(hit) = self.locked_costs().get(&key) {
+            self.cost_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.cost_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(if auto {
+            gemm_cost_auto(device, cfg, m, n, k)?
+        } else {
+            gemm_cost(device, cfg, m, n, k)?
+        });
+        Ok(self.locked_costs().entry(key).or_insert(plan).clone())
+    }
+
+    /// Tune the shape, then cost the winner to extract the block-level
+    /// cost quantities. Profiling is the cost pass alone — no matrix
+    /// data is generated or multiplied — and it goes through the
+    /// shape-class cost cache, so a later execute-only run of the same
+    /// shape reuses the result. A cost override is applied to the
+    /// winner before costing, so the extracted cycles reflect the
+    /// overridden model (the tuning sweep itself ranks candidates under
+    /// the default cost — the override scales costs, it does not
+    /// reorder configurations).
     fn build_plan(
         &self,
         device: &DeviceSpec,
@@ -216,11 +296,9 @@ impl PlanCache {
         if let Some(c) = cost {
             tuned.cfg.cost = c.clone();
         }
-        let a = Matrix::seeded_uniform(item.m, item.k, 0x5CED);
-        let b = Matrix::seeded_uniform(item.k, item.n, 0x5CED + 1);
-        let res = gemm(device, &tuned.cfg, &a, &b)?;
-        let report = &res.report;
-        let occ = occupancy::analyze(device, report, res.useful_flops);
+        let plan = self.gemm_plan_for(device, &tuned.cfg, item.m, item.n, item.k, false)?;
+        let report = &plan.report;
+        let occ = occupancy::analyze(device, report, plan.useful_flops);
 
         let smem_bw_cycles = (report.smem_bytes_written + report.smem_bytes_read) as f64
             / device.smem_bytes_per_cycle();
@@ -241,7 +319,7 @@ impl PlanCache {
                 resident_blocks: occ.resident_blocks,
                 k_stages,
                 c_tile_bytes: report.gmem_bytes_written,
-                flops: res.useful_flops,
+                flops: plan.useful_flops,
                 occupancy: occ,
             },
         })
@@ -304,6 +382,40 @@ mod tests {
         });
         assert_eq!(cache.hits(), 4);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cost_cache_skips_the_cost_pass_on_repeats() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let cfg = kami_core::KamiConfig::new(kami_core::Algo::OneD, Precision::Fp16);
+        let first = cache.gemm_plan_for(&dev, &cfg, 64, 64, 64, false).unwrap();
+        assert_eq!((cache.cost_hits(), cache.cost_misses()), (0, 1));
+        let second = cache.gemm_plan_for(&dev, &cfg, 64, 64, 64, false).unwrap();
+        assert_eq!((cache.cost_hits(), cache.cost_misses()), (1, 1));
+        // Same Arc — the repeat did not rerun the cost pass.
+        assert!(Arc::ptr_eq(&first, &second));
+        // A different shape class (other warp count) costs separately.
+        let wide = cfg.clone().with_warps(16);
+        cache.gemm_plan_for(&dev, &wide, 64, 64, 64, false).unwrap();
+        assert_eq!(cache.cost_misses(), 2);
+    }
+
+    #[test]
+    fn build_plan_goes_through_the_cost_cache() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let item = WorkItem::new(64, 64, 64, Precision::Fp16);
+        cache.plan_for(&dev, &item).unwrap();
+        // Tuning profiled the winner via the cost cache exactly once.
+        assert_eq!(cache.cost_misses(), 1);
+        let (entry, _) = cache.plan_for(&dev, &item).unwrap();
+        // An execute-only consumer asking for the tuned shape class hits.
+        let plan = cache
+            .gemm_plan_for(&dev, &entry.tuned.cfg, 64, 64, 64, false)
+            .unwrap();
+        assert!(cache.cost_hits() >= 1);
+        assert_eq!(plan.report.cycles, entry.cost.serial_cycles);
     }
 
     #[test]

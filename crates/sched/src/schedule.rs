@@ -639,12 +639,12 @@ pub(crate) fn build_trace(
         })
         .collect();
 
-    Trace {
-        device: device.name.clone(),
-        mode: None,
-        events: per_sm_events.into_iter().flatten().collect(),
-        phase_starts: vec![0.0, report.makespan_cycles],
-    }
+    Trace::from_tracks(
+        device.name.clone(),
+        None,
+        report.makespan_cycles,
+        per_sm_events,
+    )
 }
 
 /// Device-level counterpart of [`kami_core::estimate_batched`]: model a

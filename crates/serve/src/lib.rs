@@ -140,6 +140,57 @@ mod tests {
     }
 
     #[test]
+    fn repeat_shapes_reuse_the_cached_cost_pass() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let t = server.submit(dense(0)).unwrap();
+        server.tick();
+        t.wait().unwrap();
+        let misses_after_first = server.plans().cost_misses();
+        let hits_after_first = server.plans().cost_hits();
+        assert!(misses_after_first > 0, "first request must cost its shape");
+
+        let tickets: Vec<_> = (1..4).map(|i| server.submit(dense(i)).unwrap()).collect();
+        server.tick();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(
+            server.plans().cost_misses(),
+            misses_after_first,
+            "repeat shape classes must not re-run the cost pass"
+        );
+        assert!(server.plans().cost_hits() > hits_after_first);
+    }
+
+    #[test]
+    fn scaled_epilogue_skips_the_fast_path_and_still_serves() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let a = Matrix::seeded_uniform(64, 64, 3);
+        let b = Matrix::seeded_uniform(64, 64, 4);
+        let c0 = Matrix::seeded_uniform(64, 64, 5);
+        let req = ServeRequest::dense(
+            kami_core::GemmRequest::gemm_auto(a, b)
+                .precision(Precision::Fp16)
+                .scaled(0.5, 2.0, c0),
+        );
+        let direct = req.execute(&dev).unwrap();
+        let ticket = server.submit(req).unwrap();
+        server.drain();
+        let done = ticket.wait().unwrap();
+        let got = match done.output {
+            ServeOutput::Dense(g) => g.into_single().unwrap(),
+            _ => panic!("dense in, dense out"),
+        };
+        let want = match direct {
+            ServeOutput::Dense(w) => w.into_single().unwrap(),
+            _ => panic!("dense in, dense out"),
+        };
+        assert_eq!(got.c.as_slice(), want.c.as_slice());
+    }
+
+    #[test]
     fn shutdown_refuses_new_work_but_drains_old() {
         let dev = gh200();
         let server = Server::new(&dev);

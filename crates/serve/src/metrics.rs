@@ -169,20 +169,7 @@ pub(crate) struct MergedTrace {
 
 impl MergedTrace {
     pub(crate) fn absorb(&mut self, group: &Trace, offset_cycles: f64) {
-        if self.trace.device.is_empty() {
-            self.trace.device = group.device.clone();
-            self.trace.mode = group.mode;
-        }
-        self.trace.events.extend(group.events.iter().map(|e| {
-            let mut e = e.clone();
-            e.start += offset_cycles;
-            e
-        }));
-        let end = group.total_cycles() + offset_cycles;
-        match self.trace.phase_starts.as_mut_slice() {
-            [] => self.trace.phase_starts = vec![0.0, end],
-            [.., last] => *last = last.max(end),
-        }
+        self.trace.absorb(group, offset_cycles);
     }
 }
 

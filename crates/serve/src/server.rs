@@ -12,11 +12,13 @@
 //!
 //! ## Numerics
 //!
-//! Coalescing only shares the *schedule*. Every request's numeric
-//! payload is produced by the same engine entry points a direct caller
-//! would use ([`ServeRequest::execute`]), so served results are
-//! bit-identical to unserved ones, retries included: the payload is
-//! computed once on the first attempt and carried across requeues.
+//! Coalescing only shares the *schedule*. Plain dense GEMMs run
+//! through the split engine: one cached cost pass per shape class
+//! (shared with scheduling via the [`PlanCache`]) plus an execute-only
+//! run per request; everything else uses the same direct engine entry
+//! points a non-served caller would ([`ServeRequest::execute`]). Both
+//! paths are bit-identical, retries included: the payload is computed
+//! once on the first attempt and carried across requeues.
 
 use crate::error::ServeError;
 use crate::metrics::{MergedTrace, Metrics, TickRecord};
@@ -365,7 +367,7 @@ impl Server {
         let mut failed = Vec::new();
         group.retain_mut(|p| {
             if p.cached.is_none() {
-                match p.request.execute(&self.device) {
+                match self.execute_request(&p.request) {
                     Ok(out) => p.cached = Some(out),
                     Err(e) => {
                         failed.push((std::mem::take(&mut p.ticket), e));
@@ -458,6 +460,39 @@ impl Server {
                 tick: tick_no,
             }));
         }
+    }
+
+    /// Run one member's numerics. Plain strict/auto dense GEMMs take
+    /// the split-engine fast path: the cost pass comes from the shared
+    /// [`PlanCache`] (charged once per shape class, then served from
+    /// cache) and only the execute pass runs per request. Everything
+    /// else — scaled epilogues, padded/2.5D/batched/low-rank ops,
+    /// sparse workloads — goes through the direct engine entry points.
+    /// Both paths are bit-identical, so serving stays numerically
+    /// transparent either way.
+    fn execute_request(&self, request: &ServeRequest) -> Result<ServeOutput, ServeError> {
+        if let Workload::Dense(r) = &request.workload {
+            let plain = r.alpha == 1.0 && r.beta == 0.0 && r.c0.is_none();
+            let fast = match &r.op {
+                kami_core::Op::Gemm { a, b } if plain => Some((a, b, false)),
+                kami_core::Op::GemmAuto { a, b } if plain => Some((a, b, true)),
+                _ => None,
+            };
+            if let Some((a, b, auto)) = fast {
+                let cfg = r.resolve_config_cached(&self.device, self.plans.tuner())?;
+                let plan = self.plans.gemm_plan_for(
+                    &self.device,
+                    &cfg,
+                    a.rows(),
+                    b.cols(),
+                    a.cols(),
+                    auto,
+                )?;
+                let res = kami_core::gemm_execute_plan(&self.device, &plan, a, b)?;
+                return Ok(ServeOutput::Dense(kami_core::GemmResponse::Single(res)));
+            }
+        }
+        request.execute(&self.device)
     }
 
     /// Model one group's device-level execution: makespan, utilization,

@@ -9,6 +9,7 @@
 //! | `EngineVsModel`  | engine per-phase cycle tallies  | Formulas 1–12 closed forms     |
 //! | `SchedulerTrace` | scheduler report fields         | the per-SM trace it emitted    |
 //! | `SparseVsDense`  | SpMM / SpGEMM kernels           | densified dense reference      |
+//! | `ExecParity`     | split cost+execute passes       | legacy interleaved engine      |
 //!
 //! Tolerances: communication cycles must match the closed forms
 //! *exactly* (within float noise, `1e-6·(1+theory)`) because the engine
@@ -20,7 +21,10 @@
 
 use crate::case::{Case, CaseAlgo, SPARSE_BLOCK};
 use kami_core::model::cycles::{self, ModelParams};
-use kami_core::{algo25d, gemm, gemm_scaled, reference_gemm, Algo, KamiConfig, KamiError};
+use kami_core::{
+    algo25d, gemm, gemm_cost, gemm_execute_plan, gemm_legacy, gemm_scaled, reference_gemm, Algo,
+    KamiConfig, KamiError,
+};
 use kami_gpu_sim::{CostConfig, Matrix, Precision};
 use kami_sched::{BlockWork, PlanCache, SchedError, Scheduler};
 use kami_sparse::{random_block_sparse, reference_spmm, spgemm, spmm, BlockOrder};
@@ -35,6 +39,9 @@ pub enum CheckKind {
     /// Service-runtime replay vs the direct engine call (bit-identity
     /// and work conservation across coalesced ticks).
     Served,
+    /// Split plan→cost→execute pipeline vs the legacy interleaved
+    /// engine: bit-identical output, identical report, identical error.
+    ExecParity,
 }
 
 impl CheckKind {
@@ -45,6 +52,7 @@ impl CheckKind {
             CheckKind::SchedulerTrace => "SchedulerTrace",
             CheckKind::SparseVsDense => "SparseVsDense",
             CheckKind::Served => "Served",
+            CheckKind::ExecParity => "ExecParity",
         }
     }
 }
@@ -195,6 +203,11 @@ pub fn run_case(
                 };
                 check_dense_model(case, algo, &prm, &res.report)?;
             }
+
+            // Check: split-engine parity — the separated cost + execute
+            // passes must be indistinguishable from the legacy
+            // interleaved engine on the same inputs.
+            check_exec_parity(case, &cfg, algo, &a, &b)?;
         }
         CaseAlgo::TwoHalfD { q, c } => {
             let mut cfg = algo25d::Kami25dConfig::new(q, c, case.precision);
@@ -329,6 +342,74 @@ fn check_dense_model(
         ));
     }
     Ok(())
+}
+
+/// Split-engine parity: `gemm_cost` + `gemm_execute_plan` (the plan →
+/// cost → execute pipeline, with its rayon fast-path executor) against
+/// `gemm_legacy` (the interleaved engine). Output bits, the full
+/// report, and any error must all be identical — zero tolerance, since
+/// the refactor promises bit-exactness including accumulation order.
+fn check_exec_parity(
+    case: &Case,
+    cfg: &KamiConfig,
+    algo: Algo,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<(), Mismatch> {
+    let device = case.device.spec();
+    let legacy = gemm_legacy(&device, cfg, a, b);
+    let split = gemm_cost(&device, cfg, case.m, case.n, case.k)
+        .and_then(|plan| gemm_execute_plan(&device, &plan, a, b));
+    match (legacy, split) {
+        (Ok(l), Ok(s)) => {
+            let diff = s.c.max_abs_diff(&l.c);
+            if diff != 0.0 {
+                return Err(fail(
+                    CheckKind::ExecParity,
+                    format!(
+                        "{} split-engine output differs from legacy by {diff:.3e} \
+                         (must be bit-identical)",
+                        algo.label()
+                    ),
+                ));
+            }
+            let l_rep = serde_json::to_string(&l.report).unwrap_or_default();
+            let s_rep = serde_json::to_string(&s.report).unwrap_or_default();
+            if l_rep != s_rep {
+                return Err(fail(
+                    CheckKind::ExecParity,
+                    format!(
+                        "{} cost-pass report diverges from the legacy run",
+                        algo.label()
+                    ),
+                ));
+            }
+            Ok(())
+        }
+        (Err(le), Err(se)) => {
+            if format!("{le:?}") != format!("{se:?}") {
+                return Err(fail(
+                    CheckKind::ExecParity,
+                    format!("{} legacy error `{le}` != split error `{se}`", algo.label()),
+                ));
+            }
+            Ok(())
+        }
+        (Ok(_), Err(e)) => Err(fail(
+            CheckKind::ExecParity,
+            format!(
+                "{} legacy engine ran but split engine failed: {e}",
+                algo.label()
+            ),
+        )),
+        (Err(e), Ok(_)) => Err(fail(
+            CheckKind::ExecParity,
+            format!(
+                "{} split engine ran but legacy engine failed: {e}",
+                algo.label()
+            ),
+        )),
+    }
 }
 
 /// Scheduler self-consistency: the report's aggregate claims must be

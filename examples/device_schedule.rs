@@ -61,10 +61,13 @@ fn main() {
     let (_, trace) = Scheduler::new(&dev)
         .run_traced(&tail, &plans)
         .expect("traced run");
-    let out = "device_schedule_trace.json";
-    std::fs::write(out, trace.to_chrome_json()).expect("write trace");
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir).expect("create target/");
+    let out = dir.join("device_schedule_trace.json");
+    std::fs::write(&out, trace.to_chrome_json()).expect("write trace");
     println!(
-        "wrote {out} ({} events) — open in chrome://tracing or https://ui.perfetto.dev",
+        "wrote {} ({} events) — open in chrome://tracing or https://ui.perfetto.dev",
+        out.display(),
         trace.events.len()
     );
 }

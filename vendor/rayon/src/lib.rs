@@ -1,13 +1,15 @@
-//! Vendored stand-in for `rayon` covering exactly the shape this
-//! workspace uses: `slice.par_iter().map(f).collect::<Vec<_>>()`. Work
-//! is fanned out over `std::thread::scope` with an atomic work-stealing
-//! index; results come back in input order, matching rayon's
-//! `collect` semantics for indexed parallel iterators.
+//! Vendored stand-in for `rayon` covering exactly the shapes this
+//! workspace uses: `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! `slice.par_iter_mut().enumerate().map(f).collect::<Vec<_>>()`. Work
+//! is fanned out over `std::thread::scope` (an atomic work-stealing
+//! index for the shared case, contiguous chunks for the mutable case);
+//! results come back in input order, matching rayon's `collect`
+//! semantics for indexed parallel iterators.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 pub trait IntoParallelRefIterator<'a> {
@@ -108,6 +110,108 @@ where
     }
 }
 
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { items: self.items }
+    }
+}
+
+pub struct ParIterMutEnumerate<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnumerate<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMapMutEnumerate<'a, T, F>
+    where
+        F: Fn((usize, &mut T)) -> R + Sync,
+        R: Send,
+    {
+        ParMapMutEnumerate {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMapMutEnumerate<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMapMutEnumerate<'a, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn((usize, &mut T)) -> R + Sync,
+{
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return C::from_ordered_vec(
+                self.items
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, x)| (self.f)((i, x)))
+                    .collect(),
+            );
+        }
+        // Mutable items cannot be work-stolen through a shared slice, so
+        // hand each worker a contiguous chunk; warps per block are few
+        // and uniform enough that chunking balances fine.
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, items)| {
+                    scope.spawn(move || {
+                        items
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(j, x)| (ci * chunk + j, f((ci * chunk + j, x))))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                indexed.extend(h.join().expect("rayon stub worker panicked"));
+            }
+        });
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        C::from_ordered_vec(indexed.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -124,6 +228,24 @@ mod tests {
         let pairs = vec![(1u32, 2u32), (3, 4), (5, 6)];
         let sums: Vec<u32> = pairs.par_iter().map(|(a, b)| a + b).collect();
         assert_eq!(sums, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_and_preserves_order() {
+        let mut items: Vec<u64> = (0..257).collect();
+        let seen: Vec<u64> = items
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                *x += 1;
+                (i as u64) * 10 + *x
+            })
+            .collect();
+        assert_eq!(items, (1..258).collect::<Vec<_>>());
+        assert_eq!(
+            seen,
+            (0..257u64).map(|i| i * 10 + i + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]
