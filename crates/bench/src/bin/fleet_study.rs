@@ -1,0 +1,171 @@
+//! Heterogeneous fleet throughput: cost-oracle routing across the four
+//! Table 3 device classes vs a single replica and vs round-robin.
+//!
+//! The study drains one deterministic mixed trace — tall-skinny panels
+//! (GH200's SM count dominates) interleaved with square-ish tiles (the
+//! high-clock classes are competitive) — through four servings:
+//!
+//! * one GH200 replica (the single-replica baseline);
+//! * each Table 3 class alone at one replica (for the full picture);
+//! * the 4-preset heterogeneous fleet under round-robin placement;
+//! * the same fleet under cost-oracle (earliest-completion) placement.
+//!
+//! All servings dispatch solo groups (`coalesce: false`): same-shape
+//! pooling absorbs an identical-shape burst at roughly the cost of one
+//! request, which would make any multi-replica comparison degenerate —
+//! the study models shape-diverse multi-tenant traffic instead.
+//! Throughput is requests per *simulated* second (each replica's cycle
+//! clock over its own boost clock), so the comparison is device-fair.
+//!
+//! ```text
+//! cargo run --release -p kami-bench --bin fleet_study [-- --quick] [--out PATH]
+//! ```
+//!
+//! Emits `target/BENCH_fleet.json` (override with `--out`) and exits
+//! nonzero if the cost-oracle fleet falls under 1.5x the aggregate
+//! throughput of the single GH200 replica — the CI acceptance gate for
+//! fleet routing.
+
+use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
+use kami_serve::{FleetConfig, FleetServer, FleetSpec, RoutingPolicy, ServeRequest, ServerConfig};
+
+/// The two shape classes of the mixed trace: tall-skinny panel and
+/// square-ish tile, both FP16-feasible on every Table 3 class.
+const TALL_SKINNY: (usize, usize, usize) = (4096, 16, 16);
+const SQUARE: (usize, usize, usize) = (256, 256, 64);
+
+fn trace(total: usize) -> Vec<ServeRequest> {
+    (0..total)
+        .map(|i| {
+            let (m, n, k) = if i % 2 == 0 { TALL_SKINNY } else { SQUARE };
+            let seed = i as u64;
+            let a = Matrix::seeded_uniform(m, k, seed);
+            let b = Matrix::seeded_uniform(k, n, seed + 10_000);
+            ServeRequest::gemm(a, b, Precision::Fp16)
+        })
+        .collect()
+}
+
+/// Drain the trace through one fleet; return the aggregate makespan in
+/// simulated seconds (`None` if the fleet cannot serve the trace).
+fn run(spec: FleetSpec, policy: RoutingPolicy, requests: &[ServeRequest]) -> Option<f64> {
+    let fleet = FleetServer::with_config(
+        spec,
+        FleetConfig {
+            server: ServerConfig {
+                queue_capacity: requests.len(),
+                coalesce: false,
+                ..ServerConfig::default()
+            },
+            policy,
+        },
+    );
+    let mut tickets = Vec::with_capacity(requests.len());
+    for r in requests {
+        tickets.push(fleet.submit(r.clone()).ok()?);
+    }
+    fleet.shutdown_and_drain();
+    for t in tickets {
+        t.wait().ok()?;
+    }
+    Some(fleet.metrics().makespan_secs())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "target/BENCH_fleet.json".into());
+    let total = if quick { 24 } else { 48 };
+    let requests = trace(total);
+
+    println!("# fleet_study: aggregate throughput on a {total}-request mixed trace");
+    println!(
+        "# ({}x{}x{} tall-skinny + {}x{}x{} square, fp16, solo dispatch)\n",
+        TALL_SKINNY.0, TALL_SKINNY.1, TALL_SKINNY.2, SQUARE.0, SQUARE.1, SQUARE.2
+    );
+
+    let mut rows: Vec<(String, usize, f64)> = Vec::new();
+    let single = run(
+        FleetSpec::homogeneous(&device::gh200(), 1),
+        RoutingPolicy::EarliestCompletion,
+        &requests,
+    )
+    .expect("the trace is feasible on GH200");
+    rows.push(("single replica (GH200)".into(), 1, single));
+
+    for dev in DeviceSpec::all_evaluated() {
+        if dev.name == device::gh200().name {
+            continue; // already the baseline row
+        }
+        if let Some(makespan) = run(
+            FleetSpec::homogeneous(&dev, 1),
+            RoutingPolicy::EarliestCompletion,
+            &requests,
+        ) {
+            rows.push((format!("single replica ({})", dev.name), 1, makespan));
+        }
+    }
+
+    let spec = FleetSpec::table3(1);
+    let replicas = spec.total_replicas();
+    let rr = run(spec.clone(), RoutingPolicy::RoundRobin, &requests)
+        .expect("the trace is feasible on every class");
+    rows.push(("heterogeneous, round-robin".into(), replicas, rr));
+    let oracle = run(spec, RoutingPolicy::EarliestCompletion, &requests)
+        .expect("the trace is feasible on every class");
+    rows.push(("heterogeneous, cost oracle".into(), replicas, oracle));
+
+    println!(
+        "{:<34} {:>9} {:>16} {:>14}",
+        "fleet", "replicas", "makespan (s)", "req/sim-sec"
+    );
+    for (label, n, makespan) in &rows {
+        println!(
+            "{label:<34} {n:>9} {makespan:>16.3e} {:>14.1}",
+            total as f64 / makespan
+        );
+    }
+
+    let speedup = single / oracle;
+    let vs_rr = rr / oracle;
+    println!("\noracle vs single GH200 replica: {speedup:.2}x aggregate throughput");
+    println!("oracle vs round-robin (same fleet): {vs_rr:.2}x");
+
+    let rows_json = rows
+        .iter()
+        .map(|(label, n, makespan)| {
+            format!(
+                "    {{\"fleet\": \"{label}\", \"replicas\": {n}, \
+                 \"makespan_secs\": {makespan:.6e}, \
+                 \"requests_per_sim_sec\": {:.3}}}",
+                total as f64 / makespan
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"study\": \"fleet_study\",\n  \"requests\": {total},\n  \
+         \"trace\": [\"{}x{}x{}\", \"{}x{}x{}\"],\n  \"rows\": [\n{rows_json}\n  ],\n  \
+         \"oracle_vs_single_speedup\": {speedup:.3},\n  \
+         \"oracle_vs_round_robin\": {vs_rr:.3},\n  \
+         \"gate\": \"oracle >= 1.5x single GH200 replica\"\n}}\n",
+        TALL_SKINNY.0, TALL_SKINNY.1, TALL_SKINNY.2, SQUARE.0, SQUARE.1, SQUARE.2
+    );
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, json).expect("write BENCH_fleet.json");
+    println!("wrote {out}");
+
+    if speedup < 1.5 {
+        eprintln!("FAIL: oracle fleet {speedup:.2}x under the 1.5x acceptance bar");
+        std::process::exit(1);
+    }
+    println!("PASS: >= 1.5x acceptance bar");
+}

@@ -10,9 +10,15 @@
 //! reference, engine vs Formulas 1–12, scheduler vs its trace, sparse
 //! vs densified dense); on any mismatch it prints the shrunk minimal
 //! case plus a paste-ready regression test and exits 1.
+//!
+//! The sweep is followed by the fleet replay leg: a 200-request mixed
+//! trace served by a single `Server` and by a 4-preset × 2-replica
+//! `FleetServer` must return byte-identical `GemmResponse` numerics
+//! per request, conserve every ticket, and stay cost-coherent across
+//! same-class replicas. Runs in `--quick` too.
 
 use kami_verify::sweep;
-use kami_verify::Harness;
+use kami_verify::{FleetServedCase, Harness};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -51,9 +57,33 @@ fn main() -> ExitCode {
     );
     let outcome = sweep::sweep(&cfg, &Harness::default());
     print!("{}", outcome.summary());
-    if outcome.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    if !outcome.is_clean() {
+        return ExitCode::FAILURE;
+    }
+
+    // Fleet replay: 200 mixed requests, Server vs FleetServer
+    // (4 presets × 2 replicas), held to per-request bit-identity,
+    // ticket conservation, and twin cost coherence.
+    let fleet_case = FleetServedCase {
+        requests: 200,
+        seed: cfg.seed,
+        replicas_per_class: 2,
+        inject: None,
+    };
+    match fleet_case.replay() {
+        Ok(replay) => {
+            println!(
+                "fleet replay: {} requests bit-identical across 1-device and {}-replica \
+                 serving; fleet p99 completion {} cycles",
+                replay.requests,
+                replay.fleet.replicas.len(),
+                replay.fleet.completion_cycles.p99(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(m) => {
+            eprintln!("fleet replay FAILED: {m}");
+            ExitCode::FAILURE
+        }
     }
 }

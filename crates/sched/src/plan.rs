@@ -275,6 +275,32 @@ impl PlanCache {
         Ok(self.locked_costs().entry(key).or_insert(plan).clone())
     }
 
+    /// Predicted device-level makespan, in cycles, for `work` on
+    /// `device` — the routing query a fleet-level placement layer asks
+    /// before committing a request to a replica. The answer comes from
+    /// the same scheduler model a dispatch would run, against the same
+    /// cached per-block cost quantities: a cold shape class pays the
+    /// tuning sweep plus one cost pass on this device and is cached;
+    /// every repeat is answered without touching the simulator. The
+    /// estimate therefore equals the makespan a solo dispatch of
+    /// exactly this work pool would charge the device clock.
+    ///
+    /// Errors surface device infeasibility (e.g. FP64 work on a device
+    /// without FP64 MMA shapes) — a router treats those replicas as
+    /// ineligible rather than failing the request.
+    pub fn predict_makespan(
+        &self,
+        device: &DeviceSpec,
+        work: &crate::work::BlockWork,
+        cost: Option<&CostConfig>,
+    ) -> Result<f64, crate::error::SchedError> {
+        let mut scheduler = crate::schedule::Scheduler::new(device);
+        if let Some(c) = cost {
+            scheduler = scheduler.with_cost(c.clone());
+        }
+        Ok(scheduler.run(work, self)?.makespan_cycles)
+    }
+
     /// Tune the shape, then cost the winner to extract the block-level
     /// cost quantities. Profiling is the cost pass alone — no matrix
     /// data is generated or multiplied — and it goes through the
@@ -416,6 +442,39 @@ mod tests {
             .unwrap();
         assert!(cache.cost_hits() >= 1);
         assert_eq!(plan.report.cycles, entry.cost.serial_cycles);
+    }
+
+    #[test]
+    fn predict_makespan_matches_scheduler_and_caches() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let work = crate::work::BlockWork::uniform(64, 64, 64, Precision::Fp16, 8);
+        let pred = cache.predict_makespan(&dev, &work, None).unwrap();
+        let report = crate::schedule::Scheduler::new(&dev)
+            .run(&work, &cache)
+            .unwrap();
+        assert_eq!(
+            pred, report.makespan_cycles,
+            "routing query must equal the makespan a dispatch would charge"
+        );
+        let misses = cache.misses();
+        cache.predict_makespan(&dev, &work, None).unwrap();
+        assert_eq!(
+            cache.misses(),
+            misses,
+            "repeat routing query must answer from the cache"
+        );
+    }
+
+    #[test]
+    fn predict_makespan_surfaces_infeasible_devices() {
+        let dev = kami_gpu_sim::device::rtx5090();
+        let cache = PlanCache::new();
+        let work = crate::work::BlockWork::uniform(32, 32, 32, Precision::Fp64, 4);
+        assert!(
+            cache.predict_makespan(&dev, &work, None).is_err(),
+            "FP64 on a device without FP64 MMA shapes must be reported ineligible"
+        );
     }
 
     #[test]

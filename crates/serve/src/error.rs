@@ -18,6 +18,11 @@ pub enum ServeError {
         expected: &'static str,
         got: &'static str,
     },
+    /// The fleet router found no replica that can take the request:
+    /// every candidate was excluded by `device_affinity`, device
+    /// infeasibility (e.g. FP64 on a device without FP64 MMA shapes),
+    /// or a full admission queue.
+    NoEligibleReplica { detail: String },
     /// The engine rejected the request's numerics.
     Core(KamiError),
     /// The device scheduler rejected the coalesced work pool.
@@ -31,6 +36,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "admission queue full (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::NoEligibleReplica { detail } => {
+                write!(f, "no eligible replica: {detail}")
+            }
             ServeError::WrongKind { expected, got } => {
                 write!(f, "completion holds a {got} payload, asked for {expected}")
             }

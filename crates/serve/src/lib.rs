@@ -27,8 +27,15 @@
 //! * **Graceful drain** — `shutdown()` stops admission,
 //!   `shutdown_and_drain()` finishes everything already queued.
 //! * **Observability** — per-request and per-tick metrics
-//!   ([`Metrics`]), a Prometheus text export, and an optional merged
-//!   Chrome trace of every dispatched group on the service clock.
+//!   ([`Metrics`]), completion-latency percentiles via a fixed-bucket
+//!   [`CycleHistogram`], a Prometheus text export, and an optional
+//!   merged Chrome trace of every dispatched group on the service
+//!   clock.
+//! * **Fleet serving** — [`FleetServer`] routes requests across a
+//!   heterogeneous fleet of replicas (the four Table 3 presets by
+//!   default), using the shared plan/cost cache as a placement oracle
+//!   and pinning numerics to one device class so placement never
+//!   changes the bytes; see the [`fleet`] module docs.
 //!
 //! ```
 //! use kami_serve::{Server, ServeRequest};
@@ -51,13 +58,18 @@
 //! ```
 
 pub mod error;
+pub mod fleet;
 pub mod metrics;
 pub mod request;
 pub mod server;
 pub mod ticket;
 
 pub use error::ServeError;
-pub use metrics::{Metrics, TickRecord};
+pub use fleet::{
+    DeviceClass, FleetConfig, FleetMetrics, FleetServer, FleetSpec, FleetTicket, Replica,
+    ReplicaMetrics, RouteCandidate, RouteDecision, RouterStats, RoutingPolicy,
+};
+pub use metrics::{CycleHistogram, Metrics, TickRecord};
 pub use request::{ServeOutput, ServeRequest, Workload};
 pub use server::{Server, ServerConfig, TickSummary};
 pub use ticket::{Completed, CompletionPath, Ticket};

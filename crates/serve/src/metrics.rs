@@ -30,6 +30,112 @@ impl TickRecord {
     }
 }
 
+/// Fixed-bucket histogram of completion latencies in simulated cycles.
+///
+/// Buckets are powers of two: bucket `i` counts observations in
+/// `[2^i, 2^(i+1))` cycles, with bucket 0 also absorbing everything
+/// below 1 cycle and a final overflow bucket for `>= 2^32`. Fixed
+/// boundaries make histograms from different replicas mergeable by
+/// plain bucket-wise addition, which is exactly how the fleet rollup
+/// builds its aggregate percentiles.
+///
+/// Percentiles are upper-bound estimates: `percentile(q)` reports the
+/// upper edge of the bucket holding the q-th observation, so the true
+/// latency is never under-reported by more than one octave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleHistogram {
+    /// `BUCKETS` power-of-two buckets plus one overflow bucket.
+    counts: [u64; CycleHistogram::BUCKETS + 1],
+    total: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        CycleHistogram {
+            counts: [0; CycleHistogram::BUCKETS + 1],
+            total: 0,
+        }
+    }
+}
+
+impl CycleHistogram {
+    /// Power-of-two buckets covering `[1, 2^32)` simulated cycles.
+    pub const BUCKETS: usize = 32;
+
+    /// Upper bound (exclusive) of bucket `i`; the overflow bucket
+    /// reports `f64::INFINITY`.
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        if i >= Self::BUCKETS {
+            f64::INFINITY
+        } else {
+            f64::powi(2.0, (i + 1) as i32)
+        }
+    }
+
+    /// Record one completion latency in simulated cycles.
+    pub fn record(&mut self, cycles: f64) {
+        let idx = if cycles < 1.0 {
+            0
+        } else {
+            let i = cycles.log2().floor() as usize;
+            i.min(Self::BUCKETS)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper-bound estimate of the q-th percentile (`q` in `[0, 1]`),
+    /// or 0.0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Median completion latency (upper-bound estimate), in cycles.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Tail completion latency (upper-bound estimate), in cycles.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Fold another histogram into this one — fixed boundaries make
+    /// this exact, which is what fleet rollup relies on.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Iterate `(upper_bound, cumulative_count)` pairs over non-empty
+    /// prefix buckets — the Prometheus `le` series.
+    pub fn cumulative(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            acc += c;
+            (Self::bucket_upper_bound(i), acc)
+        })
+    }
+}
+
 /// Cumulative service counters. Snapshot via
 /// [`Server::metrics`](crate::Server::metrics).
 #[derive(Debug, Clone, Default)]
@@ -53,6 +159,9 @@ pub struct Metrics {
     pub group_cycles_sum: f64,
     /// Largest queue depth observed at submit time.
     pub max_queue_depth: usize,
+    /// Per-completion latency (queue + service cycles) histogram;
+    /// fixed power-of-two buckets so fleet rollups merge exactly.
+    pub completion_cycles: CycleHistogram,
     pub per_tick: Vec<TickRecord>,
 }
 
@@ -155,6 +264,16 @@ impl Metrics {
             "Mean eligible-wait cycles per completion",
             self.mean_queue_cycles(),
         );
+        gauge(
+            "completion_cycles_p50",
+            "Median completion latency in simulated cycles (bucket upper bound)",
+            self.completion_cycles.p50(),
+        );
+        gauge(
+            "completion_cycles_p99",
+            "P99 completion latency in simulated cycles (bucket upper bound)",
+            self.completion_cycles.p99(),
+        );
         out
     }
 }
@@ -200,6 +319,75 @@ mod tests {
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_pinned() {
+        // Bucket i covers [2^i, 2^(i+1)); sub-cycle latencies land in
+        // bucket 0, >= 2^32 in the overflow bucket. These boundaries
+        // are load-bearing: fleet rollup merges replica histograms
+        // bucket-wise, which is only exact because every histogram
+        // shares them.
+        assert_eq!(CycleHistogram::BUCKETS, 32);
+        assert_eq!(CycleHistogram::bucket_upper_bound(0), 2.0);
+        assert_eq!(CycleHistogram::bucket_upper_bound(1), 4.0);
+        assert_eq!(CycleHistogram::bucket_upper_bound(9), 1024.0);
+        assert_eq!(CycleHistogram::bucket_upper_bound(31), 4294967296.0);
+        assert_eq!(CycleHistogram::bucket_upper_bound(32), f64::INFINITY);
+
+        let mut h = CycleHistogram::default();
+        // Exactly at a boundary: 1024 cycles is the *lower* edge of
+        // bucket 10, so its percentile upper bound reads 2048.
+        h.record(1024.0);
+        assert_eq!(h.p50(), 2048.0);
+        // Just below the boundary stays in bucket 9.
+        let mut low = CycleHistogram::default();
+        low.record(1023.9);
+        assert_eq!(low.p50(), 1024.0);
+        // Sub-cycle and overflow extremes.
+        let mut edges = CycleHistogram::default();
+        edges.record(0.25);
+        edges.record(1.0e12);
+        assert_eq!(edges.percentile(0.0), 2.0);
+        assert_eq!(edges.percentile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn histogram_percentiles_and_merge() {
+        let mut a = CycleHistogram::default();
+        for _ in 0..99 {
+            a.record(3.0); // bucket 1 -> upper bound 4
+        }
+        a.record(1.0e6); // lone tail observation
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.p50(), 4.0);
+        // 99th observation is still in the fast bucket...
+        assert_eq!(a.p99(), 4.0);
+        // ...but the max percentile sees the tail (2^20 = 1048576).
+        assert_eq!(a.percentile(1.0), 1048576.0);
+
+        let mut b = CycleHistogram::default();
+        for _ in 0..300 {
+            b.record(1.0e6);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 400);
+        // Tail now dominates: p50 and p99 both in the 2^20 bucket.
+        assert_eq!(a.p50(), 1048576.0);
+        assert_eq!(a.p99(), 1048576.0);
+
+        let empty = CycleHistogram::default();
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.p99(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_reports_percentile_gauges() {
+        let mut m = Metrics::default();
+        m.completion_cycles.record(100.0);
+        let text = m.to_prometheus();
+        assert!(text.contains("kami_serve_completion_cycles_p50 128"));
+        assert!(text.contains("kami_serve_completion_cycles_p99 128"));
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct ServeRequest {
     /// Simulated-cycle budget per attempt, measured from the moment the
     /// attempt became eligible to run. `None` = no deadline.
     pub deadline_cycles: Option<f64>,
+    /// Fleet placement constraint: when set, the request may only land
+    /// on replicas whose [`DeviceSpec::name`] matches exactly. Ignored
+    /// by single-device servers (they are their own placement).
+    pub device_affinity: Option<String>,
 }
 
 impl ServeRequest {
@@ -68,6 +72,7 @@ impl ServeRequest {
         ServeRequest {
             workload: Workload::Dense(request),
             deadline_cycles,
+            device_affinity: None,
         }
     }
 
@@ -81,6 +86,7 @@ impl ServeRequest {
         ServeRequest {
             workload: Workload::Spmm { a, b, cfg },
             deadline_cycles: None,
+            device_affinity: None,
         }
     }
 
@@ -89,12 +95,22 @@ impl ServeRequest {
         ServeRequest {
             workload: Workload::Spgemm { a, b, cfg },
             deadline_cycles: None,
+            device_affinity: None,
         }
     }
 
     /// Set the per-attempt deadline in simulated cycles.
     pub fn with_deadline(mut self, cycles: f64) -> Self {
         self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Pin fleet placement to device class `name` (a
+    /// [`DeviceSpec::name`], e.g. `"GH200"`). The fleet router only
+    /// considers replicas of that class; if none is eligible the
+    /// submission is refused rather than placed elsewhere.
+    pub fn with_affinity(mut self, name: impl Into<String>) -> Self {
+        self.device_affinity = Some(name.into());
         self
     }
 
@@ -112,6 +128,28 @@ impl ServeRequest {
                 _ => None,
             },
             _ => None,
+        }
+    }
+
+    /// The dense scheduler work items this request contributes to a
+    /// dispatch group's pool — one per GEMM (batched ops contribute one
+    /// per pair). Sparse workloads schedule through the nnz-weighted
+    /// sparse path instead and contribute none here.
+    pub fn work_items(&self) -> Vec<kami_sched::WorkItem> {
+        match &self.workload {
+            Workload::Dense(r) => match &r.op {
+                Op::Batched { pairs, .. } => pairs
+                    .iter()
+                    .map(|(a, b)| {
+                        kami_sched::WorkItem::new(a.rows(), b.cols(), a.cols(), r.precision)
+                    })
+                    .collect(),
+                _ => {
+                    let (m, n, k) = r.shape();
+                    vec![kami_sched::WorkItem::new(m, n, k, r.precision)]
+                }
+            },
+            Workload::Spmm { .. } | Workload::Spgemm { .. } => Vec::new(),
         }
     }
 

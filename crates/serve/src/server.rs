@@ -25,7 +25,7 @@ use crate::metrics::{MergedTrace, Metrics, TickRecord};
 use crate::request::{ServeOutput, ServeRequest, Workload};
 use crate::ticket::{Completed, CompletionPath, Ticket, TicketInner};
 use kami_gpu_sim::{CostConfig, DeviceSpec, Trace};
-use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler, SparseWork, WorkItem};
+use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler, SparseWork};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -52,6 +52,14 @@ pub struct ServerConfig {
     /// Record a merged Chrome trace of every dispatched group (costs
     /// memory proportional to total work; off by default).
     pub capture_trace: bool,
+    /// Device the *numerics* run on, when different from the device
+    /// whose clock this server charges. Fleet replicas set this to the
+    /// fleet's designated numeric device so every replica produces
+    /// bit-identical payloads regardless of placement — auto-tuned
+    /// configs differ across device classes, and with them accumulation
+    /// order. Scheduling, costs, and the clock still use the server's
+    /// own device. `None` (the default) = numerics on the same device.
+    pub numeric_device: Option<DeviceSpec>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +72,7 @@ impl Default for ServerConfig {
             cost: None,
             decomposition: Decomposition::Auto,
             capture_trace: false,
+            numeric_device: None,
         }
     }
 }
@@ -125,7 +134,7 @@ impl TickSummary {
 pub struct Server {
     device: DeviceSpec,
     config: ServerConfig,
-    plans: PlanCache,
+    plans: Arc<PlanCache>,
     state: Mutex<State>,
     /// Signalled on submit and shutdown, so dispatcher threads can park.
     work_cv: Condvar,
@@ -140,10 +149,22 @@ impl Server {
     }
 
     pub fn with_config(device: &DeviceSpec, config: ServerConfig) -> Self {
+        Self::with_shared_plans(device, config, Arc::new(PlanCache::new()))
+    }
+
+    /// Build a server over an externally owned [`PlanCache`]. Fleet
+    /// replicas share one cache this way: a shape class tuned and
+    /// costed by any replica (or by the router's placement query) is a
+    /// cache hit for every other replica of the same device class.
+    pub fn with_shared_plans(
+        device: &DeviceSpec,
+        config: ServerConfig,
+        plans: Arc<PlanCache>,
+    ) -> Self {
         Server {
             device: device.clone(),
             config,
-            plans: PlanCache::new(),
+            plans,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 clock: 0.0,
@@ -448,6 +469,9 @@ impl Server {
             st.metrics.completed += 1;
             st.metrics.queue_cycles_sum += queue_cycles;
             st.metrics.service_cycles_sum += service_cycles;
+            st.metrics
+                .completion_cycles
+                .record(queue_cycles + service_cycles);
             summary.completed += 1;
             p.ticket.resolve(Ok(Completed {
                 id: p.id,
@@ -471,6 +495,10 @@ impl Server {
     /// Both paths are bit-identical, so serving stays numerically
     /// transparent either way.
     fn execute_request(&self, request: &ServeRequest) -> Result<ServeOutput, ServeError> {
+        // Numerics device: the fleet pins this to one class so results
+        // are bit-identical wherever the request lands; solo servers
+        // leave it unset and compute on their own device.
+        let ndev = self.config.numeric_device.as_ref().unwrap_or(&self.device);
         if let Workload::Dense(r) = &request.workload {
             let plain = r.alpha == 1.0 && r.beta == 0.0 && r.c0.is_none();
             let fast = match &r.op {
@@ -479,20 +507,15 @@ impl Server {
                 _ => None,
             };
             if let Some((a, b, auto)) = fast {
-                let cfg = r.resolve_config_cached(&self.device, self.plans.tuner())?;
-                let plan = self.plans.gemm_plan_for(
-                    &self.device,
-                    &cfg,
-                    a.rows(),
-                    b.cols(),
-                    a.cols(),
-                    auto,
-                )?;
-                let res = kami_core::gemm_execute_plan(&self.device, &plan, a, b)?;
+                let cfg = r.resolve_config_cached(ndev, self.plans.tuner())?;
+                let plan =
+                    self.plans
+                        .gemm_plan_for(ndev, &cfg, a.rows(), b.cols(), a.cols(), auto)?;
+                let res = kami_core::gemm_execute_plan(ndev, &plan, a, b)?;
                 return Ok(ServeOutput::Dense(kami_core::GemmResponse::Single(res)));
             }
         }
-        request.execute(&self.device)
+        request.execute(ndev)
     }
 
     /// Model one group's device-level execution: makespan, utilization,
@@ -523,22 +546,10 @@ impl Server {
         }
         let mut items = Vec::new();
         for p in group {
-            match &p.request.workload {
-                Workload::Dense(r) => match &r.op {
-                    kami_core::Op::Batched { pairs, .. } => {
-                        for (a, b) in pairs {
-                            items.push(WorkItem::new(a.rows(), b.cols(), a.cols(), r.precision));
-                        }
-                    }
-                    _ => {
-                        let (m, n, k) = r.shape();
-                        items.push(WorkItem::new(m, n, k, r.precision));
-                    }
-                },
-                // Unreachable for coalesced groups (sparse never
-                // coalesces), but keep solo fallback sane.
-                Workload::Spmm { .. } | Workload::Spgemm { .. } => unreachable!(),
-            }
+            // Sparse never coalesces, so groups reaching this dense
+            // pool are all-dense and contribute at least one item each.
+            debug_assert!(matches!(p.request.workload, Workload::Dense(_)));
+            items.extend(p.request.work_items());
         }
         let work = BlockWork::new(items);
         if self.config.capture_trace {

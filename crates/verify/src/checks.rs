@@ -42,6 +42,10 @@ pub enum CheckKind {
     /// Split plan→cost→execute pipeline vs the legacy interleaved
     /// engine: bit-identical output, identical report, identical error.
     ExecParity,
+    /// Fleet replay vs single-server vs direct engine call: per-request
+    /// bit-identity across placements, ticket conservation, and cost
+    /// coherence between same-class replicas.
+    Fleet,
 }
 
 impl CheckKind {
@@ -53,6 +57,7 @@ impl CheckKind {
             CheckKind::SparseVsDense => "SparseVsDense",
             CheckKind::Served => "Served",
             CheckKind::ExecParity => "ExecParity",
+            CheckKind::Fleet => "Fleet",
         }
     }
 }

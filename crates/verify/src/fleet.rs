@@ -1,0 +1,307 @@
+//! The `Fleet` seam: replay one mixed trace three ways — direct engine
+//! calls, a single-device [`Server`], and a heterogeneous
+//! [`FleetServer`] — and hold all three to byte-identical payloads.
+//!
+//! Three properties are checked, in order:
+//!
+//! * **Bit-identity** — every request's `GemmResponse` numerics must be
+//!   byte-identical whether computed directly, served by one server, or
+//!   routed across the fleet. The fleet pins numerics to its
+//!   [`FleetSpec::numeric_device`], so placement can only ever move
+//!   *cycles*, never bytes — this check is what enforces that contract.
+//! * **Conservation** — every admitted ticket resolves exactly once and
+//!   the fleet's served flop total equals the direct total: the router
+//!   neither drops nor duplicates work across replicas.
+//! * **Cost coherence** — twin probe: the same request placed
+//!   explicitly on two replicas of the same device class must charge
+//!   the same `service_cycles`, because both answer from the shared
+//!   cost cache. A fault-injected [`CostConfig`] on one twin breaks
+//!   exactly this property — and only this property, since injection is
+//!   cost-plane-only by construction. The probe runs *after* the
+//!   numerics checks, so a [`CheckKind::Fleet`] cost-coherence mismatch
+//!   is itself evidence that numerics stayed bit-identical.
+
+use crate::checks::{CheckKind, Mismatch};
+use kami_gpu_sim::{device, CostConfig, Matrix, Precision};
+use kami_serve::{
+    DeviceClass, FleetMetrics, FleetServer, FleetSpec, Metrics, ServeRequest, Server, ServerConfig,
+};
+
+/// Shapes the deterministic mixed trace cycles through: squares the
+/// small-square-friendly classes win, tall-skinny panels GH200 wins —
+/// the mix that makes cost-oracle routing matter.
+const TRACE_SHAPES: [(usize, usize, usize); 5] = [
+    (64, 64, 64),
+    (32, 32, 32),
+    (16, 16, 256),
+    (256, 16, 16),
+    (128, 64, 32),
+];
+
+/// Request `idx` of the seeded trace: shape cycles through the trace
+/// shapes above, data is seeded per index.
+pub fn trace_request(seed: u64, idx: usize) -> ServeRequest {
+    let (m, n, k) = TRACE_SHAPES[idx % TRACE_SHAPES.len()];
+    let s = seed.wrapping_mul(1_000_003).wrapping_add(idx as u64 * 2);
+    let a = Matrix::seeded_uniform(m, k, s);
+    let b = Matrix::seeded_uniform(k, n, s + 1);
+    ServeRequest::gemm(a, b, Precision::Fp16)
+}
+
+/// How to replay a mixed trace through the fleet seam.
+#[derive(Debug, Clone)]
+pub struct FleetServedCase {
+    /// Trace length (requests).
+    pub requests: usize,
+    pub seed: u64,
+    /// Replicas per Table 3 device class (the fleet is always all
+    /// four classes). Must be ≥ 2 so the twin probe has a pair.
+    pub replicas_per_class: usize,
+    /// Fault-injection hook: a perturbed cost model installed on
+    /// exactly one GH200 replica. Cost-plane only — numerics must stay
+    /// bit-identical while the twin probe catches the divergence.
+    pub inject: Option<CostConfig>,
+}
+
+impl Default for FleetServedCase {
+    fn default() -> Self {
+        FleetServedCase {
+            requests: 40,
+            seed: 1,
+            replicas_per_class: 2,
+            inject: None,
+        }
+    }
+}
+
+/// Evidence of a clean fleet replay.
+#[derive(Debug)]
+pub struct FleetReplay {
+    pub requests: usize,
+    pub fleet: FleetMetrics,
+    pub single: Metrics,
+    /// The twin probe's `service_cycles` on each same-class replica.
+    pub probe_cycles: (f64, f64),
+}
+
+impl FleetServedCase {
+    /// The fleet under test: all four Table 3 classes. With injection,
+    /// the first GH200 replica keeps the clean cost model and a twin
+    /// GH200 replica (same device class, separate [`DeviceClass`]
+    /// entry) runs the perturbed one — replica count is unchanged.
+    fn spec(&self) -> FleetSpec {
+        let mut spec = FleetSpec::table3(self.replicas_per_class);
+        if let Some(cost) = &self.inject {
+            spec.classes[0].replicas -= 1;
+            let mut injected = DeviceClass::new(device::gh200(), 1);
+            injected.cost = Some(cost.clone());
+            spec.classes.insert(1, injected);
+        }
+        spec
+    }
+
+    fn fail(detail: String) -> Mismatch {
+        Mismatch {
+            kind: CheckKind::Fleet,
+            detail,
+        }
+    }
+
+    /// Run the three-way replay and all three checks (see module docs).
+    pub fn replay(&self) -> Result<FleetReplay, Mismatch> {
+        assert!(
+            self.replicas_per_class >= 2,
+            "twin probe needs at least two replicas per class"
+        );
+        let ndev = device::gh200();
+        let requests: Vec<ServeRequest> = (0..self.requests)
+            .map(|i| trace_request(self.seed, i))
+            .collect();
+
+        // Oracle: the direct engine call on the numeric device.
+        let mut direct: Vec<Vec<f64>> = Vec::with_capacity(self.requests);
+        let mut direct_flops = 0u64;
+        for (i, r) in requests.iter().enumerate() {
+            let out = r
+                .execute(&ndev)
+                .map_err(|e| Self::fail(format!("direct call rejected trace request {i}: {e}")))?;
+            direct_flops += out.useful_flops();
+            let single = out
+                .into_dense()
+                .and_then(|d| d.into_single().map_err(kami_serve::ServeError::Core))
+                .map_err(|e| Self::fail(format!("trace request {i} is not plain dense: {e}")))?;
+            direct.push(single.c.as_slice().to_vec());
+        }
+
+        // Leg 1: one single-device server (the PR 4 runtime, untouched).
+        let single_server = Server::with_config(
+            &ndev,
+            ServerConfig {
+                queue_capacity: self.requests.max(1),
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                single_server
+                    .submit(r.clone())
+                    .map_err(|e| Self::fail(format!("single server refused within capacity: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        single_server.shutdown_and_drain();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let done = t
+                .wait()
+                .map_err(|e| Self::fail(format!("single-server request {i} failed: {e}")))?;
+            let got = done
+                .output
+                .into_dense()
+                .and_then(|d| d.into_single().map_err(kami_serve::ServeError::Core))
+                .map_err(|e| Self::fail(format!("single-server payload {i}: {e}")))?;
+            if got.c.as_slice() != direct[i].as_slice() {
+                return Err(Self::fail(format!(
+                    "single-server request {i} differs bit-wise from the direct call"
+                )));
+            }
+        }
+        let single_metrics = single_server.metrics();
+
+        // Leg 2: the heterogeneous fleet, cost-oracle routed.
+        let fleet = FleetServer::new(self.spec());
+        let fleet_tickets: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                fleet
+                    .submit(r.clone())
+                    .map_err(|e| Self::fail(format!("fleet refused a servable request: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        fleet.drain();
+        let mut fleet_flops = 0u64;
+        for (i, t) in fleet_tickets.into_iter().enumerate() {
+            let (replica, dev) = (t.replica, t.device.clone());
+            let done = t.wait().map_err(|e| {
+                Self::fail(format!(
+                    "fleet request {i} (on {dev}#{replica}) failed: {e}"
+                ))
+            })?;
+            fleet_flops += done.output.useful_flops();
+            let got = done
+                .output
+                .into_dense()
+                .and_then(|d| d.into_single().map_err(kami_serve::ServeError::Core))
+                .map_err(|e| Self::fail(format!("fleet payload {i}: {e}")))?;
+            if got.c.as_slice() != direct[i].as_slice() {
+                return Err(Self::fail(format!(
+                    "fleet request {i} placed on {dev}#{replica} differs bit-wise from the \
+                     direct call — placement changed the bytes"
+                )));
+            }
+        }
+
+        // Conservation: every ticket resolved exactly once (waits above
+        // would have failed otherwise), the rollup agrees, and the
+        // served flop total matches the direct total.
+        let fm = fleet.metrics();
+        if fm.completed() != self.requests as u64 {
+            return Err(Self::fail(format!(
+                "fleet rollup counts {} completions for {} admitted tickets",
+                fm.completed(),
+                self.requests
+            )));
+        }
+        if fleet_flops != direct_flops {
+            return Err(Self::fail(format!(
+                "fleet served {fleet_flops} useful flops, direct total is {direct_flops} — \
+                 work dropped or duplicated across replicas"
+            )));
+        }
+
+        // Cost coherence: identical probes on replicas 0 and 1 — both
+        // GH200-class; with injection, replica 1 runs the perturbed
+        // cost model. Numerics were already proven identical above, so
+        // any divergence here is isolated to the cost plane.
+        let probe = trace_request(self.seed.wrapping_add(0xF1EE7), 0);
+        let t0 = fleet
+            .submit_to(0, probe.clone())
+            .map_err(|e| Self::fail(format!("probe refused on replica 0: {e}")))?;
+        let t1 = fleet
+            .submit_to(1, probe)
+            .map_err(|e| Self::fail(format!("probe refused on replica 1: {e}")))?;
+        fleet.replicas()[0].server().tick();
+        fleet.replicas()[1].server().tick();
+        let d0 = t0
+            .wait()
+            .map_err(|e| Self::fail(format!("probe on replica 0 failed: {e}")))?;
+        let d1 = t1
+            .wait()
+            .map_err(|e| Self::fail(format!("probe on replica 1 failed: {e}")))?;
+        let (g0, g1) = (
+            d0.output
+                .into_dense()
+                .and_then(|d| d.into_single().map_err(kami_serve::ServeError::Core)),
+            d1.output
+                .into_dense()
+                .and_then(|d| d.into_single().map_err(kami_serve::ServeError::Core)),
+        );
+        match (&g0, &g1) {
+            (Ok(a), Ok(b)) if a.c.as_slice() == b.c.as_slice() => {}
+            _ => {
+                return Err(Self::fail(
+                    "twin probes returned different bytes — injection leaked into the \
+                     numerics plane"
+                        .into(),
+                ))
+            }
+        }
+        let (c0, c1) = (d0.service_cycles, d1.service_cycles);
+        if (c0 - c1).abs() > 1e-6 * (1.0 + c0.abs()) {
+            return Err(Self::fail(format!(
+                "same-class twin replicas charge different service cycles for one probe \
+                 ({c0:.3} vs {c1:.3}) — cost models diverge while numerics stay bit-identical"
+            )));
+        }
+        fleet.shutdown_and_drain();
+
+        Ok(FleetReplay {
+            requests: self.requests,
+            fleet: fm,
+            single: single_metrics,
+            probe_cycles: (c0, c1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fleet_replay_passes() {
+        let case = FleetServedCase {
+            requests: 10,
+            ..FleetServedCase::default()
+        };
+        let replay = case.replay().expect("clean fleet must replay clean");
+        assert_eq!(replay.fleet.completed(), 10);
+        assert_eq!(replay.single.completed, 10);
+        assert_eq!(replay.probe_cycles.0, replay.probe_cycles.1);
+    }
+
+    #[test]
+    fn injected_cost_caught_as_fleet_mismatch() {
+        let case = FleetServedCase {
+            requests: 10,
+            inject: Some(CostConfig {
+                theta_r: 0.25,
+                mma_efficiency: 0.05,
+                ..CostConfig::default()
+            }),
+            ..FleetServedCase::default()
+        };
+        let err = case.replay().expect_err("injected twin must diverge");
+        assert_eq!(err.kind, CheckKind::Fleet, "{err}");
+        assert!(err.detail.contains("cost models diverge"), "{err}");
+    }
+}

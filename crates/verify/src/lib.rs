@@ -29,12 +29,14 @@
 
 pub mod case;
 pub mod checks;
+pub mod fleet;
 pub mod served;
 pub mod shrink;
 pub mod sweep;
 
 pub use case::{AlgoKind, Case, CaseAlgo, DeviceId};
 pub use checks::{assert_case, run_case, CaseOutcome, CheckKind, Harness, Mismatch};
+pub use fleet::{FleetReplay, FleetServedCase};
 pub use served::{ServedCase, ServedReplay};
 pub use shrink::shrink;
 pub use sweep::{sweep, Failure, SweepConfig, SweepOutcome};

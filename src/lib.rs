@@ -60,8 +60,8 @@ pub mod prelude {
         ScheduleReport, Scheduled, Scheduler, SparseWork,
     };
     pub use kami_serve::{
-        Completed, CompletionPath, ServeError, ServeOutput, ServeRequest, Server, ServerConfig,
-        Ticket,
+        Completed, CompletionPath, FleetConfig, FleetServer, FleetSpec, FleetTicket, RoutingPolicy,
+        ServeError, ServeOutput, ServeRequest, Server, ServerConfig, Ticket,
     };
     pub use kami_sparse::{spgemm, spmm::spmm, BlockOrder, BlockSparseMatrix, SparseError};
 }

@@ -7,8 +7,8 @@
 use kami::sched::PlanCache;
 use kami::sim::{CostConfig, Precision};
 use kami::verify::{
-    run_case, shrink, sweep, AlgoKind, Case, CaseAlgo, CaseOutcome, CheckKind, DeviceId, Harness,
-    SweepConfig,
+    run_case, shrink, sweep, AlgoKind, Case, CaseAlgo, CaseOutcome, CheckKind, DeviceId,
+    FleetServedCase, Harness, SweepConfig,
 };
 
 /// One seeded case per grid cell (44 cells) must run clean: engine,
@@ -118,6 +118,46 @@ fn injection_reaches_the_25d_path() {
     let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoHalfD, Precision::Fp16, 9);
     let mismatch = run_case(&case, &perturbed, &plans).expect_err("2.5D must also be checked");
     assert_eq!(mismatch.kind, CheckKind::EngineVsModel, "{mismatch}");
+}
+
+/// The fleet seam: a clean heterogeneous fleet replays a mixed trace
+/// bit-identically against the direct engine and a single server, and
+/// a fault-injected cost model on one replica is caught as a
+/// `CheckKind::Fleet` cost-coherence mismatch while numerics stay
+/// bit-identical (the probe runs after the numerics checks, so the
+/// mismatch itself is evidence the injection never touched the bytes).
+#[test]
+fn fleet_replay_catches_injected_cost_divergence() {
+    let clean = FleetServedCase {
+        requests: 10,
+        seed: 23,
+        ..FleetServedCase::default()
+    };
+    let replay = clean.replay().expect("clean fleet must replay clean");
+    assert_eq!(replay.fleet.completed(), 10);
+    assert_eq!(
+        replay.probe_cycles.0, replay.probe_cycles.1,
+        "same-class twins must charge identical cycles on a clean fleet"
+    );
+
+    let injected = FleetServedCase {
+        requests: 10,
+        seed: 23,
+        inject: Some(CostConfig {
+            theta_r: 0.25,
+            mma_efficiency: 0.05,
+            ..CostConfig::default()
+        }),
+        ..FleetServedCase::default()
+    };
+    let mismatch = injected
+        .replay()
+        .expect_err("an injected cost model on one twin must be caught");
+    assert_eq!(mismatch.kind, CheckKind::Fleet, "{mismatch}");
+    assert!(
+        mismatch.detail.contains("cost models diverge"),
+        "the mismatch must name the cost plane: {mismatch}"
+    );
 }
 
 /// `assert_case` (the entry point shrunk reproducers call) passes clean
