@@ -1,0 +1,228 @@
+//! Fused epilogues: functions applied to the GEMM output *inside the
+//! same kernel pass*, while the C tile is still in registers.
+//!
+//! The unfused alternative is a second kernel that re-reads C from
+//! global memory, applies the function, and writes it back — two extra
+//! C-sized global round trips. Fusing reduces the epilogue's global
+//! traffic to zero (ReLU/GELU/softmax) or to one bias-row read
+//! (`m·n → n` bytes), which is exactly the saving the cost pass
+//! accounts in [`crate::model::epilogue`].
+//!
+//! Numerics contract: [`Epilogue::apply_reference`] is the *oracle* —
+//! it performs the same operations in the same order and rounding
+//! discipline as the fused register ops
+//! ([`kami_gpu_sim::Op::Unary`] / [`kami_gpu_sim::Op::AddRowBroadcast`]),
+//! so bias and ReLU are bit-identical between the fused kernel and the
+//! two-pass reference, and GELU/softmax agree to within one rounding of
+//! the same f64 computation.
+
+use std::hash::{Hash, Hasher};
+
+use crate::error::KamiError;
+use kami_gpu_sim::{Matrix, Precision, UnaryFunc};
+
+/// A `GemmRequest`-level fused epilogue, applied to `C = A·B` in
+/// registers before the store (valid only on plain products:
+/// `alpha == 1`, `beta == 0`, no `c0`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Epilogue {
+    /// `C[r][c] += bias[0][c]` — the bias row is a `1×n` matrix read
+    /// once from global memory (n·s_e bytes instead of a full
+    /// m·n-tile round trip).
+    Bias(Matrix),
+    /// `max(x, 0)` elementwise; bit-exact vs the unfused reference.
+    Relu,
+    /// tanh-approximated GELU ([`kami_gpu_sim::gelu`]), computed in f64
+    /// and rounded once at the output precision.
+    Gelu,
+    /// Attention-style row-wise `softmax(scale · x)`, max-subtracted in
+    /// f64 and rounded once at the output precision. Requires the
+    /// kernel's C fragments to span full logical rows (1D layouts and
+    /// the skinny path; rejected on 2D with `q > 1`).
+    SoftmaxScale(f64),
+}
+
+impl Epilogue {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Epilogue::Bias(_) => "bias",
+            Epilogue::Relu => "relu",
+            Epilogue::Gelu => "gelu",
+            Epilogue::SoftmaxScale(_) => "softmax-scale",
+        }
+    }
+
+    /// The register op this epilogue lowers to, if it is a pure unary
+    /// (bias lowers to a `GlobalLoad` + [`kami_gpu_sim::Op::AddRowBroadcast`]
+    /// instead).
+    pub fn unary_func(&self) -> Option<UnaryFunc> {
+        match self {
+            Epilogue::Bias(_) => None,
+            Epilogue::Relu => Some(UnaryFunc::Relu),
+            Epilogue::Gelu => Some(UnaryFunc::Gelu),
+            Epilogue::SoftmaxScale(scale) => Some(UnaryFunc::Softmax { scale: *scale }),
+        }
+    }
+
+    /// Reject shapes the epilogue cannot apply to: the bias row must be
+    /// `1×n` and the softmax scale must be finite.
+    pub fn validate(&self, n: usize) -> Result<(), KamiError> {
+        match self {
+            Epilogue::Bias(bias) => {
+                if bias.rows() != 1 || bias.cols() != n {
+                    return Err(KamiError::ShapeMismatch {
+                        detail: format!(
+                            "bias epilogue needs a 1x{n} row, got {}x{}",
+                            bias.rows(),
+                            bias.cols()
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            Epilogue::SoftmaxScale(scale) => {
+                if !scale.is_finite() {
+                    return Err(KamiError::Unsupported {
+                        detail: format!("softmax-scale epilogue needs a finite scale, got {scale}"),
+                    });
+                }
+                Ok(())
+            }
+            Epilogue::Relu | Epilogue::Gelu => Ok(()),
+        }
+    }
+
+    /// Content fingerprint for cache / coalescing keys. Never zero —
+    /// zero is reserved for "no epilogue" — and distinct for epilogues
+    /// that produce different results (kind, scale bits, bias values).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            Epilogue::Bias(bias) => {
+                0u8.hash(&mut h);
+                bias.rows().hash(&mut h);
+                bias.cols().hash(&mut h);
+                for v in bias.as_slice() {
+                    v.to_bits().hash(&mut h);
+                }
+            }
+            Epilogue::Relu => 1u8.hash(&mut h),
+            Epilogue::Gelu => 2u8.hash(&mut h),
+            Epilogue::SoftmaxScale(scale) => {
+                3u8.hash(&mut h);
+                scale.to_bits().hash(&mut h);
+            }
+        }
+        h.finish() | 1
+    }
+
+    /// Extra global bytes the fused kernel reads beyond the plain
+    /// product (the bias row; zero for the pure unaries).
+    pub fn extra_gmem_bytes(&self, prec: Precision) -> usize {
+        match self {
+            Epilogue::Bias(bias) => bias.cols() * prec.size_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// The unfused reference: apply this epilogue to a downloaded C
+    /// with the same per-element operations and rounding order as the
+    /// fused register path. `prec` is the output (C) precision.
+    pub fn apply_reference(&self, c: &mut Matrix, prec: Precision) {
+        match self {
+            Epilogue::Bias(bias) => {
+                // The fused path reads the bias row through global
+                // memory, which quantizes it at the output precision —
+                // mirror that before adding.
+                let bq = bias.quantized(prec);
+                for r in 0..c.rows() {
+                    for col in 0..c.cols() {
+                        let v = c.get(r, col) + bq.get(0, col);
+                        c.set(r, col, prec.round(v));
+                    }
+                }
+            }
+            Epilogue::Relu => {
+                for v in c.as_mut_slice() {
+                    *v = prec.round(v.max(0.0));
+                }
+            }
+            Epilogue::Gelu => {
+                for v in c.as_mut_slice() {
+                    *v = prec.round(kami_gpu_sim::gelu(*v));
+                }
+            }
+            Epilogue::SoftmaxScale(scale) => {
+                let cols = c.cols();
+                for row in c.as_mut_slice().chunks_mut(cols) {
+                    let mut mx = f64::NEG_INFINITY;
+                    for v in row.iter() {
+                        mx = mx.max(scale * v);
+                    }
+                    let mut sum = 0.0;
+                    let mut exps = vec![0.0; cols];
+                    for (e, v) in exps.iter_mut().zip(row.iter()) {
+                        *e = (scale * v - mx).exp();
+                        sum += *e;
+                    }
+                    for (v, e) in row.iter_mut().zip(exps.iter()) {
+                        *v = prec.round(e / sum);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_distinguish_epilogues() {
+        let bias = Epilogue::Bias(Matrix::seeded_uniform(1, 16, 9));
+        let bias2 = Epilogue::Bias(Matrix::seeded_uniform(1, 16, 10));
+        let fps = [
+            bias.fingerprint(),
+            bias2.fingerprint(),
+            Epilogue::Relu.fingerprint(),
+            Epilogue::Gelu.fingerprint(),
+            Epilogue::SoftmaxScale(1.0).fingerprint(),
+            Epilogue::SoftmaxScale(0.125).fingerprint(),
+        ];
+        for (i, a) in fps.iter().enumerate() {
+            assert_ne!(*a, 0, "fingerprint must never be 0 (reserved for None)");
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b, "distinct epilogues must fingerprint differently");
+            }
+        }
+        // Equal content → equal fingerprint (cache keys must be stable).
+        assert_eq!(bias.fingerprint(), bias.clone().fingerprint());
+    }
+
+    #[test]
+    fn bias_validation_rejects_wrong_shapes() {
+        let e = Epilogue::Bias(Matrix::zeros(1, 8));
+        assert!(e.validate(8).is_ok());
+        assert!(e.validate(16).is_err());
+        assert!(Epilogue::Bias(Matrix::zeros(2, 8)).validate(8).is_err());
+        assert!(Epilogue::SoftmaxScale(f64::NAN).validate(8).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut c = Matrix::seeded_uniform(4, 8, 3);
+        Epilogue::SoftmaxScale(0.5).apply_reference(&mut c, Precision::Fp32);
+        for r in 0..4 {
+            let s: f64 = (0..8).map(|j| c.get(r, j)).sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut c = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        Epilogue::Relu.apply_reference(&mut c, Precision::Fp32);
+        assert_eq!(c.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+}

@@ -17,6 +17,7 @@ use crate::algo1d;
 use crate::algo2d;
 use crate::algo3d;
 use crate::config::{Algo, KamiConfig};
+use crate::epilogue::Epilogue;
 use crate::error::KamiError;
 use kami_gpu_sim::{
     DeviceSpec, Engine, ExecutionReport, GlobalMemory, Matrix, Precision, SimError,
@@ -418,6 +419,195 @@ fn apply_epilogue(
     }
 }
 
+/// Rewrite a kernel's trailing C stores to apply a fused [`Epilogue`]
+/// while the tile is still in registers (the `model::epilogue` closed
+/// forms account exactly the ops inserted here, and nothing else).
+///
+/// The rewrite is geometry-driven, so it works for any algorithm whose
+/// C stores it can legally decorate — and rejects the rest honestly:
+///
+/// * an accumulate-store (3D's cross-layer reduction) cannot host an
+///   epilogue — the function of a partial sum is not the partial sum
+///   of the function;
+/// * row-wise softmax needs each stored fragment to span full logical
+///   rows of C (true on 1D; false on 2D with `q > 1`).
+pub(crate) fn fuse_epilogue_ops(
+    kernel: &mut kami_gpu_sim::BlockKernel,
+    c_buf: kami_gpu_sim::BufferId,
+    bias_buf: Option<kami_gpu_sim::BufferId>,
+    epilogue: &Epilogue,
+    n: usize,
+    c_prec: Precision,
+) -> Result<(), KamiError> {
+    use kami_gpu_sim::Op;
+    let unary = epilogue.unary_func();
+    for w in &mut kernel.warps {
+        let mut new_ops = Vec::with_capacity(w.ops.len() + 4);
+        let ops = std::mem::take(&mut w.ops);
+        for op in ops {
+            match op {
+                Op::GlobalStore {
+                    src,
+                    buf,
+                    row0,
+                    col0,
+                    accumulate,
+                } if buf == c_buf => {
+                    if accumulate {
+                        return Err(KamiError::Unsupported {
+                            detail: format!(
+                                "{} epilogue cannot fuse into an accumulate store \
+                                 (3D cross-layer reduction)",
+                                epilogue.label()
+                            ),
+                        });
+                    }
+                    let cols = w.frags[src].cols;
+                    if let Some(bias_buf) = bias_buf {
+                        // Load the bias columns under this warp's C tile
+                        // and broadcast-add them in registers.
+                        w.frags
+                            .push(kami_gpu_sim::FragDecl::new("BiasRow", 1, cols, c_prec));
+                        let bias_frag = w.frags.len() - 1;
+                        new_ops.push(Op::GlobalLoad {
+                            dst: bias_frag,
+                            buf: bias_buf,
+                            row0: 0,
+                            col0,
+                        });
+                        new_ops.push(Op::AddRowBroadcast {
+                            dst: src,
+                            src: bias_frag,
+                        });
+                    }
+                    if let Some(func) = unary {
+                        if matches!(func, kami_gpu_sim::UnaryFunc::Softmax { .. })
+                            && (cols != n || col0 != 0)
+                        {
+                            return Err(KamiError::Unsupported {
+                                detail: format!(
+                                    "softmax-scale epilogue needs full C rows in registers; \
+                                     this kernel stores {cols}-column tiles at column {col0} \
+                                     (n = {n})"
+                                ),
+                            });
+                        }
+                        new_ops.push(Op::Unary { frag: src, func });
+                    }
+                    new_ops.push(Op::GlobalStore {
+                        src,
+                        buf,
+                        row0,
+                        col0,
+                        accumulate,
+                    });
+                }
+                other => new_ops.push(other),
+            }
+        }
+        w.ops = new_ops;
+    }
+    Ok(())
+}
+
+/// `C = epilogue(A·B)` with the epilogue fused into the kernel's store
+/// phase (no second global round trip). See [`Epilogue`] for the
+/// numerics contract per function.
+pub fn gemm_fused(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+    epilogue: &Epilogue,
+) -> Result<GemmResult, KamiError> {
+    crate::request::GemmRequest::from_config(
+        crate::request::Op::Gemm {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        cfg,
+    )
+    .with_epilogue(epilogue.clone())
+    .execute_single(device)
+}
+
+/// [`gemm_fused`] driven by the legacy interleaved engine (the
+/// `ExecParity` differential oracle, like [`gemm_legacy`]).
+pub fn gemm_fused_legacy(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+    epilogue: &Epilogue,
+) -> Result<GemmResult, KamiError> {
+    exec_gemm_fused_path(device, cfg, a, b, epilogue, EnginePath::Legacy)
+}
+
+/// Engine body of [`gemm_fused`] (shared by the request executor);
+/// runs the split plan→cost→execute pipeline.
+pub(crate) fn exec_gemm_fused(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+    epilogue: &Epilogue,
+) -> Result<GemmResult, KamiError> {
+    exec_gemm_fused_path(device, cfg, a, b, epilogue, EnginePath::Split)
+}
+
+/// The fused path under the §4.7 fallback ladder (the bias-row
+/// fragment can be the straw that overflows the register file).
+pub(crate) fn exec_gemm_fused_auto(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+    epilogue: &Epilogue,
+) -> Result<GemmResult, KamiError> {
+    run_fallback_ladder(cfg, |c| exec_gemm_fused(device, c, a, b, epilogue))
+}
+
+fn exec_gemm_fused_path(
+    device: &DeviceSpec,
+    cfg: &KamiConfig,
+    a: &Matrix,
+    b: &Matrix,
+    epilogue: &Epilogue,
+    path: EnginePath,
+) -> Result<GemmResult, KamiError> {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    if k != kb {
+        return Err(KamiError::ShapeMismatch {
+            detail: format!("A is {m}x{k} but B is {kb}x{n}"),
+        });
+    }
+    cfg.validate(device, m, n, k)?;
+    epilogue.validate(n)?;
+
+    let prec = cfg.precision;
+    let c_prec = c_precision(prec);
+    let mut gmem = GlobalMemory::new();
+    let ab = gmem.upload("A", a, prec);
+    let bb = gmem.upload("B", b, prec);
+    let cb = gmem.alloc_zeroed("C", m, n, c_prec);
+    let bias_buf = match epilogue {
+        Epilogue::Bias(bias) => Some(gmem.upload("Bias", bias, c_prec)),
+        _ => None,
+    };
+
+    let mut kernel = build_gemm_kernel(cfg, m, n, k, ab, bb, cb, c_prec);
+    fuse_epilogue_ops(&mut kernel, cb, bias_buf, epilogue, n, c_prec)?;
+
+    let report = run_kernel(device, cfg, &kernel, &mut gmem, path)?;
+    Ok(GemmResult {
+        c: gmem.download(cb),
+        report,
+        smem_fraction: cfg.smem_fraction,
+        useful_flops: 2 * (m as u64) * (n as u64) * (k as u64),
+    })
+}
+
 /// Operand orientation, cuBLAS-style (`CUBLAS_OP_N` / `CUBLAS_OP_T`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatOp {
@@ -479,12 +669,18 @@ pub fn gemm_auto(
 }
 
 /// Engine body of [`gemm_auto`] (shared by the request executor).
+/// Tall-skinny shapes (including the transposed wide case arriving via
+/// [`gemm_t`]) route to the k-split path — no monolithic configuration
+/// fits them, so the ladder alone could only fail.
 pub(crate) fn exec_gemm_auto(
     device: &DeviceSpec,
     cfg: &KamiConfig,
     a: &Matrix,
     b: &Matrix,
 ) -> Result<GemmResult, KamiError> {
+    if a.cols() == b.rows() && crate::model::skinny::is_tall_skinny(a.rows(), b.cols(), a.cols()) {
+        return crate::tallskinny::gemm_skinny(device, cfg, a, b, None);
+    }
     run_fallback_ladder(cfg, |c| exec_gemm(device, c, a, b))
 }
 

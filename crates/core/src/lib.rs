@@ -35,6 +35,7 @@ pub mod algo2d;
 pub mod algo3d;
 pub mod batched;
 pub mod config;
+pub mod epilogue;
 pub mod error;
 pub mod gemm;
 pub mod layout;
@@ -43,6 +44,7 @@ pub mod model;
 pub mod plan;
 pub mod reference;
 pub mod request;
+pub mod tallskinny;
 pub mod tune;
 
 pub use algo25d::{gemm_25d, Kami25dConfig};
@@ -51,13 +53,17 @@ pub use batched::{
     BatchedResult,
 };
 pub use config::{Algo, KamiConfig};
+pub use epilogue::Epilogue;
 pub use error::KamiError;
 pub use gemm::{
-    gemm, gemm_auto, gemm_legacy, gemm_padded, gemm_scaled, gemm_scaled_legacy, gemm_t,
-    padded_dims, GemmResult, MatOp, FALLBACK_FRACTIONS,
+    gemm, gemm_auto, gemm_fused, gemm_fused_legacy, gemm_legacy, gemm_padded, gemm_scaled,
+    gemm_scaled_legacy, gemm_t, padded_dims, GemmResult, MatOp, FALLBACK_FRACTIONS,
 };
 pub use lowrank::{auto_warps, lowrank_gemm, lowrank_gemm_colsplit, MAX_LOW_RANK};
 pub use plan::{gemm_cost, gemm_cost_auto, gemm_execute_plan, GemmPlan};
 pub use reference::{reference_gemm, reference_gemm_f64};
 pub use request::{GemmRequest, GemmResponse, Op};
+pub use tallskinny::{
+    combine_partials, gemm_skinny, is_tall_skinny, SKINNY_CHUNK_K, SKINNY_DIM_MAX, SKINNY_K_MIN,
+};
 pub use tune::{tune, SharedTuner, TunedConfig, Tuner};

@@ -1,0 +1,142 @@
+//! Closed forms for the fused-epilogue cost delta.
+//!
+//! A fused epilogue perturbs a kernel's final (store) phase in exactly
+//! three ways, and nowhere else:
+//!
+//! 1. a **bias** epilogue adds one `1×cols` global read per storing
+//!    warp (the bias columns under that warp's C tile) — `p·n` elements
+//!    on 1D (every warp spans all n columns), `p·n/q` on 2D;
+//! 2. a bias read makes the store phase pay the global-load latency
+//!    `L_gm` it previously avoided (stores are fire-and-forget);
+//! 3. every epilogue adds one CUDA-core register op per storing warp
+//!    (`AddRowBroadcast` or `Unary`), charged `reg_latency` each.
+//!
+//! Shared-memory traffic and tensor-core flops are untouched, so under
+//! [`CostMode::Serial`](kami_gpu_sim::CostMode) the fused-minus-plain
+//! cycle delta is exactly [`epilogue_delta_cycles`] — the verify grid
+//! holds the engine to this with zero tolerance.
+//!
+//! The *saving* vs the unfused two-pass alternative (a second kernel
+//! that round-trips the full C tile) is [`unfused_epilogue_cycles`]
+//! minus the delta: the fused path trades `2·m·n + n` elements of
+//! global traffic for at most `p·n` bias elements and `p` register ops.
+
+use crate::config::Algo;
+use kami_gpu_sim::{DeviceSpec, Precision};
+
+/// Bias-row elements the fused kernel reads: each storing warp loads
+/// the bias columns under its own C tile. `None` for 3D, whose
+/// accumulate-stores cannot host an epilogue.
+pub fn bias_elems(algo: Algo, n: usize, p: usize) -> Option<usize> {
+    match algo {
+        Algo::OneD => Some(p * n),
+        Algo::TwoD => {
+            let q = (p as f64).sqrt().round() as usize;
+            if q * q != p {
+                return None;
+            }
+            Some(p * (n / q))
+        }
+        Algo::ThreeD => None,
+    }
+}
+
+/// Extra global bytes the fused kernel reads beyond the plain product.
+/// Zero for the pure unaries (ReLU/GELU/softmax run entirely in
+/// registers).
+pub fn epilogue_gmem_read_bytes(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    prec: Precision,
+    is_bias: bool,
+) -> Option<u64> {
+    if !is_bias {
+        return Some(0);
+    }
+    bias_elems(algo, n, p).map(|e| (e * prec.size_bytes()) as u64)
+}
+
+/// Fused-minus-plain cycle delta under `CostMode::Serial`:
+/// `[is_bias]·(L_gm + bias_bytes/B_gm) + p·reg_latency`.
+pub fn epilogue_delta_cycles(
+    device: &DeviceSpec,
+    algo: Algo,
+    n: usize,
+    p: usize,
+    prec: Precision,
+    is_bias: bool,
+) -> Option<f64> {
+    let bytes = epilogue_gmem_read_bytes(algo, n, p, prec, is_bias)?;
+    let global = if is_bias {
+        device.gmem_latency as f64 + bytes as f64 / device.gmem_bytes_per_cycle
+    } else {
+        0.0
+    };
+    Some(global + p as f64 * device.reg_latency as f64)
+}
+
+/// Cycles of the unfused alternative: a second kernel pass that reads
+/// the `m×n` C tile (and the bias row, if any), applies the epilogue on
+/// CUDA cores, and writes C back — `L_gm + (2·m·n + [is_bias]·n)·s_e /
+/// B_gm + reg_latency` of pure global round trip.
+pub fn unfused_epilogue_cycles(
+    device: &DeviceSpec,
+    m: usize,
+    n: usize,
+    prec: Precision,
+    is_bias: bool,
+) -> f64 {
+    let s_e = prec.size_bytes();
+    let elems = 2 * m * n + if is_bias { n } else { 0 };
+    device.gmem_latency as f64
+        + (elems * s_e) as f64 / device.gmem_bytes_per_cycle
+        + device.reg_latency as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_gpu_sim::device;
+
+    #[test]
+    fn bias_elems_follow_store_geometry() {
+        assert_eq!(bias_elems(Algo::OneD, 64, 4), Some(256));
+        assert_eq!(bias_elems(Algo::TwoD, 64, 4), Some(128)); // q=2, 4 warps x 32 cols
+        assert_eq!(bias_elems(Algo::ThreeD, 64, 8), None);
+    }
+
+    #[test]
+    fn unary_epilogue_costs_only_register_ops() {
+        let dev = device::gh200();
+        let d = epilogue_delta_cycles(&dev, Algo::OneD, 64, 4, Precision::Fp16, false).unwrap();
+        assert_eq!(d, 4.0 * dev.reg_latency as f64);
+        assert_eq!(
+            epilogue_gmem_read_bytes(Algo::OneD, 64, 4, Precision::Fp16, false),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn fused_beats_unfused_round_trip() {
+        // The whole point: the fused delta must be far below the
+        // two-pass alternative on every device and shape we care about.
+        for dev in [
+            device::gh200(),
+            device::rtx5090(),
+            device::amd_7900xtx(),
+            device::intel_max1100(),
+        ] {
+            for &(m, n, p) in &[(64usize, 64usize, 4usize), (128, 128, 4)] {
+                let fused =
+                    epilogue_delta_cycles(&dev, Algo::OneD, n, p, Precision::Fp16, true).unwrap();
+                let unfused = unfused_epilogue_cycles(&dev, m, n, Precision::Fp16, true);
+                assert!(
+                    fused < unfused,
+                    "{}: fused {fused:.1} >= unfused {unfused:.1} at {m}x{n}",
+                    dev.name
+                );
+            }
+        }
+    }
+}

@@ -4,9 +4,11 @@
 //! Figs 3, 14, and 15.
 
 pub mod cycles;
+pub mod epilogue;
 pub mod error;
 pub mod registers;
 pub mod roofline;
+pub mod skinny;
 
 pub use cycles::{
     t_all, t_all_comm, t_all_compute, t_cm_per_stage, t_cp_per_warp_stage, v_cm_per_stage,

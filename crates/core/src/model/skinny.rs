@@ -1,0 +1,210 @@
+//! Closed forms for the tall-skinny k-split path.
+//!
+//! Tall-and-skinny products (`m,n ≤ 64`, `k ≥ 10^4`) cannot run
+//! monolithically — the A/B fragments alone (`m·k/p` elements per
+//! warp) overflow the register file by an order of magnitude — so the
+//! skinny path splits k into [`SKINNY_CHUNK_K`]-deep chunks, runs each
+//! chunk as an ordinary 1D/2D block GEMM, and combines the partial C
+//! tiles with a **tree fixup** (pairwise merge rounds, following Ernst
+//! et al.'s tall-skinny reduction strategies): round `r` halves the
+//! number of live partials, every merge reads two `m×n` tiles and
+//! writes one, and all merges of a round proceed concurrently — so a
+//! round costs one tile-merge of bandwidth per merge but only
+//! `⌈log₂ chunks⌉` rounds sit on the critical path, vs `chunks − 1`
+//! serial merges for the naive fixup.
+//!
+//! This module is the single source of truth for that accounting: the
+//! skinny executor synthesizes its fixup phases from
+//! [`fixup_phases`], and the golden-model tests snapshot
+//! [`fixup_cycles`] per device — so model and engine agree by
+//! construction and any drift in either is caught.
+
+use kami_gpu_sim::cost::{phase_cost, CostConfig, PhaseTally};
+use kami_gpu_sim::{DeviceSpec, Precision, SimError};
+
+/// Largest m/n still considered skinny (paper-scale: a few output
+/// columns against a deep k).
+pub const SKINNY_DIM_MAX: usize = 64;
+/// Smallest k that forces the k-split path (monolithic kernels are
+/// register-infeasible well below this on every Table 3 device).
+pub const SKINNY_K_MIN: usize = 4096;
+/// k-depth of one chunk: deep enough to amortize the per-chunk A/B
+/// loads, shallow enough that an `m,n ≤ 64` chunk always fits the
+/// register file.
+pub const SKINNY_CHUNK_K: usize = 256;
+
+/// Is `(m, n, k)` a tall-skinny (or, transposed, wide) shape the
+/// k-split path should own?
+pub fn is_tall_skinny(m: usize, n: usize, k: usize) -> bool {
+    m <= SKINNY_DIM_MAX && n <= SKINNY_DIM_MAX && k >= SKINNY_K_MIN
+}
+
+/// Number of `SKINNY_CHUNK_K`-deep chunks covering `k` (the last chunk
+/// may be ragged).
+pub fn chunk_count(k: usize) -> usize {
+    k.div_ceil(SKINNY_CHUNK_K)
+}
+
+/// Depth of the pairwise merge tree over `parts` partials:
+/// `⌈log₂ parts⌉` rounds (0 for a single partial).
+pub fn tree_depth(parts: usize) -> usize {
+    if parts <= 1 {
+        return 0;
+    }
+    (usize::BITS - (parts - 1).leading_zeros()) as usize
+}
+
+/// Merges performed in each tree round: round `r` reduces `n_r` live
+/// partials to `⌈n_r/2⌉`, performing `n_r − ⌈n_r/2⌉` pairwise merges.
+pub fn round_merges(chunks: usize) -> Vec<usize> {
+    let mut live = chunks;
+    let mut rounds = Vec::new();
+    while live > 1 {
+        let next = live.div_ceil(2);
+        rounds.push(live - next);
+        live = next;
+    }
+    rounds
+}
+
+/// The synthesized fixup phases of one skinny-path run: one phase per
+/// tree round. Every merge reads two `m×n` partial tiles and writes
+/// one (all at the output precision) and performs one `AddAssign`
+/// register op. The final round additionally carries the fused
+/// epilogue, if any: `bias_elems` bias-row elements read once plus
+/// `epilogue_reg_ops` register ops.
+pub fn fixup_phases(
+    m: usize,
+    n: usize,
+    chunks: usize,
+    prec: Precision,
+    bias_elems: usize,
+    epilogue_reg_ops: u64,
+) -> Vec<PhaseTally> {
+    let tile_bytes = (m * n * prec.size_bytes()) as u64;
+    let merges = round_merges(chunks);
+    let rounds = merges.len();
+    let mut phases: Vec<PhaseTally> = merges
+        .iter()
+        .map(|&merge_count| PhaseTally {
+            gmem_bytes: 3 * tile_bytes * merge_count as u64,
+            has_gmem_load: true,
+            reg_copies: merge_count as u64,
+            ..Default::default()
+        })
+        .collect();
+    if bias_elems > 0 || epilogue_reg_ops > 0 {
+        if phases.is_empty() {
+            phases.push(PhaseTally::default());
+        }
+        let last = phases.last_mut().unwrap();
+        last.gmem_bytes += (bias_elems * prec.size_bytes()) as u64;
+        last.has_gmem_load = last.has_gmem_load || bias_elems > 0;
+        last.reg_copies += epilogue_reg_ops;
+    }
+    debug_assert_eq!(round_merges(chunks).len(), rounds);
+    phases
+}
+
+/// Total fixup cycles (the closed form the golden tests snapshot):
+/// sum of [`phase_cost`] over [`fixup_phases`] under `cost`.
+#[allow(clippy::too_many_arguments)]
+pub fn fixup_cycles(
+    device: &DeviceSpec,
+    cost: &CostConfig,
+    m: usize,
+    n: usize,
+    chunks: usize,
+    prec: Precision,
+    bias_elems: usize,
+    epilogue_reg_ops: u64,
+) -> Result<f64, SimError> {
+    let mut total = 0.0;
+    for tally in fixup_phases(m, n, chunks, prec, bias_elems, epilogue_reg_ops) {
+        total += phase_cost(device, cost, &tally)?.cycles(cost.mode);
+    }
+    Ok(total)
+}
+
+/// Cycles of the *serial* fixup the tree replaces (`chunks − 1`
+/// dependent merges) — kept as the comparison point for the bench gate
+/// and the scheduler's DP-vs-SkinnyK decision.
+pub fn serial_fixup_cycles(
+    device: &DeviceSpec,
+    cost: &CostConfig,
+    m: usize,
+    n: usize,
+    chunks: usize,
+    prec: Precision,
+) -> Result<f64, SimError> {
+    let tile_bytes = (m * n * prec.size_bytes()) as u64;
+    let merges = chunks.saturating_sub(1);
+    let mut total = 0.0;
+    for _ in 0..merges {
+        let tally = PhaseTally {
+            gmem_bytes: 3 * tile_bytes,
+            has_gmem_load: true,
+            reg_copies: 1,
+            ..Default::default()
+        };
+        total += phase_cost(device, cost, &tally)?.cycles(cost.mode);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kami_gpu_sim::device;
+
+    #[test]
+    fn classification_matches_the_paper_regime() {
+        assert!(is_tall_skinny(16, 16, 65536));
+        assert!(is_tall_skinny(64, 64, 4096));
+        assert!(!is_tall_skinny(128, 16, 65536)); // m too large
+        assert!(!is_tall_skinny(16, 16, 1024)); // k too shallow
+    }
+
+    #[test]
+    fn tree_depth_and_merges_are_consistent() {
+        for chunks in 1..200 {
+            let merges = round_merges(chunks);
+            assert_eq!(merges.len(), tree_depth(chunks), "chunks = {chunks}");
+            // Every partial but the survivor is consumed by exactly one merge.
+            let total: usize = merges.iter().sum();
+            assert_eq!(total, chunks.saturating_sub(1), "chunks = {chunks}");
+        }
+        assert_eq!(tree_depth(1), 0);
+        assert_eq!(tree_depth(2), 1);
+        assert_eq!(tree_depth(256), 8);
+        assert_eq!(tree_depth(257), 9);
+    }
+
+    #[test]
+    fn tree_fixup_beats_serial_fixup() {
+        let dev = device::gh200();
+        let cost = CostConfig::default();
+        for &chunks in &[16usize, 64, 256] {
+            let tree = fixup_cycles(&dev, &cost, 16, 16, chunks, Precision::Fp16, 0, 0).unwrap();
+            let serial = serial_fixup_cycles(&dev, &cost, 16, 16, chunks, Precision::Fp16).unwrap();
+            assert!(
+                tree < serial,
+                "chunks={chunks}: tree {tree:.1} >= serial {serial:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn epilogue_surcharge_lands_in_the_last_phase() {
+        let plain = fixup_phases(16, 16, 8, Precision::Fp16, 0, 0);
+        let fused = fixup_phases(16, 16, 8, Precision::Fp16, 16, 1);
+        assert_eq!(plain.len(), fused.len());
+        for (p, f) in plain.iter().zip(fused.iter()).take(plain.len() - 1) {
+            assert_eq!(p.gmem_bytes, f.gmem_bytes);
+            assert_eq!(p.reg_copies, f.reg_copies);
+        }
+        let (lp, lf) = (plain.last().unwrap(), fused.last().unwrap());
+        assert_eq!(lf.gmem_bytes - lp.gmem_bytes, 32); // 16 fp16 bias elems
+        assert_eq!(lf.reg_copies - lp.reg_copies, 1);
+    }
+}

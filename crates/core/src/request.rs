@@ -32,12 +32,15 @@
 use crate::algo25d::{gemm_25d, Kami25dConfig};
 use crate::batched::{exec_batched_gemm, exec_batched_gemm_varied, BatchedResult};
 use crate::config::{Algo, KamiConfig};
+use crate::epilogue::Epilogue;
 use crate::error::KamiError;
 use crate::gemm::{
-    exec_gemm, exec_gemm_auto, exec_gemm_padded, exec_gemm_scaled, exec_gemm_scaled_auto,
-    GemmResult,
+    exec_gemm, exec_gemm_auto, exec_gemm_fused, exec_gemm_fused_auto, exec_gemm_padded,
+    exec_gemm_scaled, exec_gemm_scaled_auto, GemmResult,
 };
 use crate::lowrank::exec_lowrank_gemm;
+use crate::model::skinny::{is_tall_skinny, SKINNY_CHUNK_K};
+use crate::tallskinny::gemm_skinny;
 use crate::tune::{tune, SharedTuner};
 use kami_gpu_sim::{CostConfig, DeviceSpec, Matrix, Precision};
 
@@ -144,6 +147,9 @@ pub struct GemmRequest {
     pub beta: f64,
     /// The `C0` operand blended in when `beta != 0`.
     pub c0: Option<Matrix>,
+    /// Fused epilogue applied to the product inside the kernel's store
+    /// phase (plain products only: `alpha = 1`, `beta = 0`, no `C0`).
+    pub epilogue: Option<Epilogue>,
     /// Input precision of the operands.
     pub precision: Precision,
     /// Algorithm hint; `None` autotunes over every valid candidate.
@@ -169,6 +175,7 @@ impl GemmRequest {
             alpha: 1.0,
             beta: 0.0,
             c0: None,
+            epilogue: None,
             precision,
             algo: None,
             warps: None,
@@ -282,6 +289,12 @@ impl GemmRequest {
         self
     }
 
+    /// Fuse an [`Epilogue`] into the kernel's store phase.
+    pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
+        self.epilogue = Some(epilogue);
+        self
+    }
+
     /// Attach the destination device.
     pub fn on_device(mut self, device: DeviceSpec) -> Self {
         self.device = Some(device);
@@ -317,19 +330,59 @@ impl GemmRequest {
         }
     }
 
-    /// Whether the request is a plain product (no alpha/beta epilogue).
-    fn is_plain(&self) -> bool {
+    /// Whether the request is a plain product: no alpha/beta scaling
+    /// and no fused epilogue. Service layers use this to gate the
+    /// cached-plan fast path, so it must reflect *everything* that can
+    /// change the kernel.
+    pub fn is_plain(&self) -> bool {
+        self.scalars_plain() && self.epilogue.is_none()
+    }
+
+    /// Whether the BLAS scalars are trivial (`alpha = 1`, `beta = 0`,
+    /// no `C0`) — the precondition for a fused epilogue.
+    fn scalars_plain(&self) -> bool {
         self.alpha == 1.0 && self.beta == 0.0 && self.c0.is_none()
+    }
+
+    /// Whether this request routes to the tall-skinny k-split path
+    /// (which tunes the chunk shape — no monolithic configuration fits
+    /// the full one). Strict `Op::Gemm` is never rerouted.
+    pub fn is_skinny(&self) -> bool {
+        if !matches!(self.op, Op::GemmAuto { .. } | Op::GemmPadded { .. }) || !self.scalars_plain()
+        {
+            return false;
+        }
+        let (m, n, k) = self.shape();
+        is_tall_skinny(m, n, k)
+    }
+
+    /// Content fingerprint of the epilogue for cache/coalescing keys
+    /// (0 = no epilogue).
+    pub fn epilogue_fingerprint(&self) -> u64 {
+        self.epilogue.as_ref().map_or(0, |e| e.fingerprint())
+    }
+
+    /// The shape the autotuner should optimize: the full problem, or —
+    /// on the skinny path — one k-chunk of it, since no monolithic
+    /// configuration fits the full k.
+    fn tuning_shape(&self) -> (usize, usize, usize) {
+        let (m, n, k) = self.shape();
+        if self.is_skinny() {
+            (m, n, SKINNY_CHUNK_K.min(k))
+        } else {
+            (m, n, k)
+        }
     }
 
     /// Resolve the effective block configuration on `device`: the hint
     /// if pinned, otherwise the autotuner's winner, with the explicit
-    /// warp/fraction/cost overrides applied on top.
+    /// warp/fraction/cost overrides applied on top. Skinny requests
+    /// tune the chunk shape (see [`GemmRequest::is_skinny`]).
     pub fn resolve_config(&self, device: &DeviceSpec) -> Result<KamiConfig, KamiError> {
         let cfg = match self.algo {
             Some(algo) => KamiConfig::new(algo, self.precision),
             None => {
-                let (m, n, k) = self.shape();
+                let (m, n, k) = self.tuning_shape();
                 tune(device, m, n, k, self.precision)?.cfg
             }
         };
@@ -348,7 +401,7 @@ impl GemmRequest {
         let cfg = match self.algo {
             Some(algo) => KamiConfig::new(algo, self.precision),
             None => {
-                let (m, n, k) = self.shape();
+                let (m, n, k) = self.tuning_shape();
                 tuner.config_for(device, m, n, k, self.precision)?.cfg
             }
         };
@@ -394,11 +447,19 @@ impl GemmRequest {
 
     /// Execute a single-block request (everything except `Op::Batched`).
     pub fn execute_single(&self, device: &DeviceSpec) -> Result<GemmResult, KamiError> {
+        if self.epilogue.is_some() && !self.scalars_plain() {
+            return Err(KamiError::Unsupported {
+                detail: "fused epilogue requires a plain product (alpha = 1, beta = 0, no C0)"
+                    .into(),
+            });
+        }
         let plain = self.is_plain();
         match &self.op {
             Op::Gemm { a, b } => {
                 let cfg = self.resolve_config(device)?;
-                if plain {
+                if let Some(epi) = &self.epilogue {
+                    exec_gemm_fused(device, &cfg, a, b, epi)
+                } else if plain {
                     exec_gemm(device, &cfg, a, b)
                 } else {
                     let c0 = self.effective_c0(a, b);
@@ -406,8 +467,17 @@ impl GemmRequest {
                 }
             }
             Op::GemmAuto { a, b } => {
+                // Skinny shapes route before any full-shape work: the
+                // chunk-shape configuration resolves fine, but nothing
+                // monolithic would.
+                if self.is_skinny() {
+                    let cfg = self.resolve_config(device)?;
+                    return gemm_skinny(device, &cfg, a, b, self.epilogue.as_ref());
+                }
                 let cfg = self.resolve_config(device)?;
-                if plain {
+                if let Some(epi) = &self.epilogue {
+                    exec_gemm_fused_auto(device, &cfg, a, b, epi)
+                } else if plain {
                     exec_gemm_auto(device, &cfg, a, b)
                 } else {
                     let c0 = self.effective_c0(a, b);
@@ -415,6 +485,14 @@ impl GemmRequest {
                 }
             }
             Op::GemmPadded { a, b } => {
+                if self.epilogue.is_some() {
+                    // Zero padding corrupts a row-wise softmax (the
+                    // padded columns contribute exp(0) mass) and wastes
+                    // bias reads; keep the support matrix honest.
+                    return Err(KamiError::Unsupported {
+                        detail: "fused epilogues are not defined for padded requests".into(),
+                    });
+                }
                 if !plain {
                     return Err(KamiError::Unsupported {
                         detail: "alpha/beta scaling is not defined for padded requests".into(),
@@ -426,7 +504,9 @@ impl GemmRequest {
             Op::TwoHalfD { a, b, q, c } => {
                 if !plain {
                     return Err(KamiError::Unsupported {
-                        detail: "alpha/beta scaling is not defined for 2.5D requests".into(),
+                        detail: "alpha/beta scaling and fused epilogues are not defined for 2.5D \
+                             requests"
+                            .into(),
                     });
                 }
                 let mut cfg25 = Kami25dConfig::new(*q, *c, self.precision);

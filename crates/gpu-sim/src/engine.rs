@@ -19,7 +19,7 @@ use crate::fragment::FragValue;
 use crate::memory::global::GlobalMemory;
 use crate::memory::regfile::{self, LiveRange, RegisterUsage};
 use crate::memory::shared::SharedMemory;
-use crate::program::{BlockKernel, Op, WarpProgram};
+use crate::program::{BlockKernel, Op, UnaryFunc, WarpProgram};
 use crate::report::ExecutionReport;
 use crate::tensor_core::{mma_fragment, shape_for};
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -453,6 +453,60 @@ impl<'a> Engine<'a> {
                 }
                 tally.reg_copies += 1;
             }
+            Op::Unary { frag, func } => {
+                require_init(warp_frags, frag, w, prog)?;
+                let prec = warp_frags[frag].decl.precision;
+                let cols = warp_frags[frag].decl.cols;
+                match func {
+                    UnaryFunc::Relu => {
+                        for x in warp_frags[frag].data.iter_mut() {
+                            *x = prec.round(x.max(0.0));
+                        }
+                    }
+                    UnaryFunc::Gelu => {
+                        for x in warp_frags[frag].data.iter_mut() {
+                            *x = prec.round(crate::program::gelu(*x));
+                        }
+                    }
+                    UnaryFunc::Softmax { scale } => {
+                        for row in warp_frags[frag].data.chunks_mut(cols) {
+                            let max = row
+                                .iter()
+                                .map(|x| scale * x)
+                                .fold(f64::NEG_INFINITY, f64::max);
+                            let exps: Vec<f64> =
+                                row.iter().map(|x| (scale * x - max).exp()).collect();
+                            let sum: f64 = exps.iter().sum();
+                            for (x, e) in row.iter_mut().zip(exps) {
+                                *x = prec.round(e / sum);
+                            }
+                        }
+                    }
+                }
+                tally.reg_copies += 1;
+            }
+            Op::AddRowBroadcast { dst, src } => {
+                require_init(warp_frags, dst, w, prog)?;
+                require_init(warp_frags, src, w, prog)?;
+                let (dd, sd) = (&warp_frags[dst].decl, &warp_frags[src].decl);
+                if sd.rows != 1 || sd.cols != dd.cols {
+                    return Err(SimError::BadOperand {
+                        detail: format!(
+                            "AddRowBroadcast needs a 1x{} row, got {}x{}",
+                            dd.cols, sd.rows, sd.cols
+                        ),
+                    });
+                }
+                let prec = warp_frags[dst].decl.precision;
+                let cols = warp_frags[dst].decl.cols;
+                let row = warp_frags[src].data.clone();
+                for chunk in warp_frags[dst].data.chunks_mut(cols) {
+                    for (x, b) in chunk.iter_mut().zip(&row) {
+                        *x = prec.round(*x + b);
+                    }
+                }
+                tally.reg_copies += 1;
+            }
             Op::MetaStore { addr, bytes } => {
                 if addr + bytes > smem.capacity() {
                     return Err(SimError::SharedMemoryOverflow {
@@ -672,6 +726,18 @@ pub(crate) fn describe_op(prog: &WarpProgram, op: &Op) -> (TraceKind, String) {
             TraceKind::RegCopy,
             format!("{} += {}", name(dst), name(src)),
         ),
+        Op::Unary { frag, func } => {
+            let f = match func {
+                UnaryFunc::Relu => "relu".to_string(),
+                UnaryFunc::Gelu => "gelu".to_string(),
+                UnaryFunc::Softmax { scale } => format!("softmax[{scale}]"),
+            };
+            (TraceKind::RegCopy, format!("{f}({})", name(frag)))
+        }
+        Op::AddRowBroadcast { dst, src } => (
+            TraceKind::RegCopy,
+            format!("{} += row {}", name(dst), name(src)),
+        ),
         Op::MetaStore { bytes, .. } => (TraceKind::Meta, format!("meta store {bytes} B")),
         Op::MetaLoad { bytes, .. } => (TraceKind::Meta, format!("meta load {bytes} B")),
         Op::Barrier => (TraceKind::Barrier, String::new()),
@@ -774,8 +840,10 @@ fn lazy_register_usage(prog: &WarpProgram, warp_size: u32, reg_width: u32) -> u3
                 events[dst].push((idx, Access::Def));
                 events[src].push((idx, Access::ReadFull));
             }
-            Op::Scale { frag, .. } => events[frag].push((idx, Access::ReadFull)),
-            Op::AddAssign { dst, src } => {
+            Op::Scale { frag, .. } | Op::Unary { frag, .. } => {
+                events[frag].push((idx, Access::ReadFull))
+            }
+            Op::AddAssign { dst, src } | Op::AddRowBroadcast { dst, src } => {
                 events[dst].push((idx, Access::ReadFull));
                 events[src].push((idx, Access::ReadFull));
             }
@@ -882,8 +950,8 @@ fn live_ranges(prog: &WarpProgram) -> Vec<Option<LiveRange>> {
                 touch(dst, idx, &mut ranges);
                 touch(src, idx, &mut ranges);
             }
-            Op::Scale { frag, .. } => touch(frag, idx, &mut ranges),
-            Op::AddAssign { dst, src } => {
+            Op::Scale { frag, .. } | Op::Unary { frag, .. } => touch(frag, idx, &mut ranges),
+            Op::AddAssign { dst, src } | Op::AddRowBroadcast { dst, src } => {
                 touch(dst, idx, &mut ranges);
                 touch(src, idx, &mut ranges);
             }

@@ -78,7 +78,7 @@ pub use occupancy::{
 };
 pub use passes::PlannedKernel;
 pub use precision::Precision;
-pub use program::{BlockKernel, Op, WarpProgram};
+pub use program::{gelu, BlockKernel, Op, UnaryFunc, WarpProgram};
 pub use report::ExecutionReport;
 pub use tensor_core::{native_shape, shape_for, MmaShape};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -332,6 +332,24 @@ impl<'a> Engine<'a> {
                 }
                 tally.reg_copies += 1;
             }
+            Op::Unary { frag, .. } => {
+                require_init_flag(init, frag, w, prog)?;
+                tally.reg_copies += 1;
+            }
+            Op::AddRowBroadcast { dst, src } => {
+                require_init_flag(init, dst, w, prog)?;
+                require_init_flag(init, src, w, prog)?;
+                let (dd, sd) = (&prog.frags[dst], &prog.frags[src]);
+                if sd.rows != 1 || sd.cols != dd.cols {
+                    return Err(SimError::BadOperand {
+                        detail: format!(
+                            "AddRowBroadcast needs a 1x{} row, got {}x{}",
+                            dd.cols, sd.rows, sd.cols
+                        ),
+                    });
+                }
+                tally.reg_copies += 1;
+            }
             Op::MetaStore { addr, bytes } => {
                 if addr + bytes > smem.capacity() {
                     return Err(SimError::SharedMemoryOverflow {

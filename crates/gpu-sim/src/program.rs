@@ -60,8 +60,39 @@ pub enum Op {
     /// Elementwise add another fragment into `dst` (CUDA-core epilogue
     /// op: `dst += src`; shapes must match).
     AddAssign { dst: FragId, src: FragId },
+    /// Apply a fused epilogue function to a fragment in registers
+    /// (CUDA-core op; results rounded at the fragment's precision).
+    /// `Softmax` is row-wise and therefore requires the fragment to span
+    /// full logical rows of the output tile.
+    Unary { frag: FragId, func: UnaryFunc },
+    /// Broadcast-add a `1×cols` row fragment into every row of `dst`
+    /// (fused bias epilogue: `dst[r][c] += src[0][c]`, rounded at the
+    /// destination's precision).
+    AddRowBroadcast { dst: FragId, src: FragId },
     /// Block-wide `__syncthreads()`.
     Barrier,
+}
+
+/// The fused epilogue functions [`Op::Unary`] can apply in registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryFunc {
+    /// `max(x, 0)` elementwise.
+    Relu,
+    /// tanh-approximated GELU, computed in f64 and rounded once at the
+    /// fragment's precision.
+    Gelu,
+    /// Row-wise `softmax(scale · x)` (attention-style), computed
+    /// max-subtracted in f64 and rounded once at the fragment's
+    /// precision.
+    Softmax { scale: f64 },
+}
+
+/// The tanh approximation of GELU used by [`UnaryFunc::Gelu`]:
+/// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+#[inline]
+pub fn gelu(x: f64) -> f64 {
+    const SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
 }
 
 /// The resolved op list and fragment table of one warp.
@@ -173,6 +204,14 @@ impl WarpProgram {
 
     pub fn add_assign(&mut self, dst: FragId, src: FragId) {
         self.ops.push(Op::AddAssign { dst, src });
+    }
+
+    pub fn unary(&mut self, frag: FragId, func: UnaryFunc) {
+        self.ops.push(Op::Unary { frag, func });
+    }
+
+    pub fn add_row_broadcast(&mut self, dst: FragId, src: FragId) {
+        self.ops.push(Op::AddRowBroadcast { dst, src });
     }
 
     pub fn meta_store(&mut self, addr: usize, bytes: usize) {

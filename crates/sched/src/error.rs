@@ -14,6 +14,10 @@ pub enum SchedError {
     /// Stream-K was forced on a shape whose k-loop tunes to a single
     /// stage — there is nothing to split.
     SingleStageStreamK { m: usize, n: usize, k: usize },
+    /// Skinny-K was forced on a shape outside the tall-skinny regime
+    /// (`m,n ≤ 64`, deep k) — its tree fixup models the k-split path,
+    /// which only those shapes run.
+    NotSkinny { m: usize, n: usize, k: usize },
     /// Error from the block layer underneath (tuning, planning, or
     /// running the representative / numeric kernels).
     Core(KamiError),
@@ -28,6 +32,10 @@ impl fmt::Display for SchedError {
             SchedError::SingleStageStreamK { m, n, k } => write!(
                 f,
                 "stream-k needs a multi-stage k-loop; {m}x{n}x{k} tunes to a single stage"
+            ),
+            SchedError::NotSkinny { m, n, k } => write!(
+                f,
+                "skinny-k models the tall-skinny k-split path; {m}x{n}x{k} is not tall-skinny"
             ),
             SchedError::Core(e) => write!(f, "block layer error: {e}"),
         }

@@ -12,6 +12,7 @@
 
 use crate::schedule::Decomposition;
 use crate::work::WorkItem;
+use kami_core::model::skinny;
 use kami_core::plan::{gemm_cost, gemm_cost_auto, GemmPlan};
 use kami_core::tune::{SharedTuner, TunedConfig};
 use kami_core::{KamiConfig, KamiError};
@@ -316,6 +317,9 @@ impl PlanCache {
         item: &WorkItem,
         cost: Option<&CostConfig>,
     ) -> Result<PlanEntry, KamiError> {
+        if skinny::is_tall_skinny(item.m, item.n, item.k) {
+            return self.build_skinny_plan(device, item, cost);
+        }
         let mut tuned = self
             .tuner
             .config_for(device, item.m, item.n, item.k, item.precision)?;
@@ -346,6 +350,75 @@ impl PlanCache {
                 k_stages,
                 c_tile_bytes: report.gmem_bytes_written,
                 flops: plan.useful_flops,
+                occupancy: occ,
+            },
+        })
+    }
+
+    /// Tall-skinny items (`m,n ≤ 64`, `k ≥ 10^4`) cannot be tuned or
+    /// costed monolithically — no configuration fits the register file
+    /// at that depth — so the plan mirrors what the engine actually
+    /// runs ([`kami_core::gemm_skinny`]): tune and cost one
+    /// [`skinny::SKINNY_CHUNK_K`]-deep chunk, scale by the chunk
+    /// count, and add the tree-fixup closed form from
+    /// [`kami_core::model::skinny`]. Every deep-k item of the same
+    /// `m×n` shares the one chunk-shape tuning sweep — the cache win
+    /// the k-split path was designed around. The stored
+    /// [`TunedConfig`] is the *chunk's*, matching what
+    /// `GemmRequest::resolve_config` hands the executor.
+    fn build_skinny_plan(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        cost: Option<&CostConfig>,
+    ) -> Result<PlanEntry, KamiError> {
+        let chunk_k = skinny::SKINNY_CHUNK_K.min(item.k);
+        let chunks = skinny::chunk_count(item.k);
+        let mut tuned = self
+            .tuner
+            .config_for(device, item.m, item.n, chunk_k, item.precision)?;
+        if let Some(c) = cost {
+            tuned.cfg.cost = c.clone();
+        }
+        let plan = self.gemm_plan_for(device, &tuned.cfg, item.m, item.n, chunk_k, false)?;
+        let report = &plan.report;
+        let occ = occupancy::analyze(device, report, plan.useful_flops);
+        let c_prec = kami_core::gemm::c_precision(item.precision);
+        let fixup = skinny::fixup_cycles(
+            device,
+            &tuned.cfg.cost,
+            item.m,
+            item.n,
+            chunks,
+            c_prec,
+            0,
+            0,
+        )
+        .map_err(KamiError::Sim)?;
+
+        let cf = chunks as f64;
+        let tile_bytes = (item.m * item.n * c_prec.size_bytes()) as u64;
+        let fixup_gmem = 3 * tile_bytes * chunks.saturating_sub(1) as u64;
+        let smem_bw_cycles = cf * (report.smem_bytes_written + report.smem_bytes_read) as f64
+            / device.smem_bytes_per_cycle();
+        let gmem_bw_cycles = (cf * (report.gmem_bytes_read + report.gmem_bytes_written) as f64
+            + fixup_gmem as f64)
+            / device.gmem_bytes_per_cycle;
+        let bottleneck_cycles = smem_bw_cycles
+            .max(cf * report.totals.compute)
+            .max(gmem_bw_cycles);
+        let chunk_stages = (report.phase_costs.len().saturating_sub(1) / 2).max(1);
+
+        Ok(PlanEntry {
+            tuned,
+            decomposition: Decomposition::Auto,
+            cost: BlockCost {
+                serial_cycles: cf * report.cycles + fixup,
+                bottleneck_cycles,
+                resident_blocks: occ.resident_blocks,
+                k_stages: chunks * chunk_stages,
+                c_tile_bytes: report.gmem_bytes_written,
+                flops: item.flops(),
                 occupancy: occ,
             },
         })
@@ -475,6 +548,30 @@ mod tests {
             cache.predict_makespan(&dev, &work, None).is_err(),
             "FP64 on a device without FP64 MMA shapes must be reported ineligible"
         );
+    }
+
+    #[test]
+    fn skinny_items_plan_via_the_chunk_shape() {
+        let dev = gh200();
+        let cache = PlanCache::new();
+        let item = WorkItem::new(16, 16, 65536, Precision::Fp16);
+        let (entry, _) = cache.plan_for(&dev, &item).unwrap();
+        let c = &entry.cost;
+        assert_eq!(c.flops, item.flops());
+        let chunks = skinny::chunk_count(65536);
+        assert!(
+            c.k_stages >= chunks,
+            "k-split granularity covers every chunk"
+        );
+        assert!(c.serial_cycles > 0.0 && c.bottleneck_cycles <= c.serial_cycles);
+        // The tuned config is the chunk's, exactly what the executor gets.
+        assert_eq!(cache.tuner().misses(), 1);
+        // A deeper item of the same m x n reuses that one tuning sweep
+        // *and* the chunk's cost pass — the k-split cache win.
+        let deeper = WorkItem::new(16, 16, 131072, Precision::Fp16);
+        cache.plan_for(&dev, &deeper).unwrap();
+        assert_eq!(cache.tuner().misses(), 1);
+        assert_eq!(cache.cost_misses(), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The device-level scheduler: place a stream of block-GEMM work items
 //! across every SM of a [`DeviceSpec`] and report the makespan.
 //!
-//! Two decompositions are supported, mirroring the split CUTLASS /
+//! Three decompositions are supported, mirroring the split CUTLASS /
 //! Stream-K draw for irregular batch counts:
 //!
 //! * **Data-parallel** — one block per work item, round-robin across
@@ -13,6 +13,11 @@
 //!   Blocks straddling an SM boundary need a fixup pass: the non-owner
 //!   spills its partial C tile to global memory and the owner reloads
 //!   and reduces it.
+//! * **Skinny-K** — Stream-K's placement with the tall-skinny tree
+//!   fixup ([`kami_core::model::skinny`]): the owner's reduction runs
+//!   in `⌈log₂(partials+1)⌉` pairwise rounds instead of serially.
+//!   Applicable only to tall-skinny shapes (`m,n ≤ 64`, deep k), whose
+//!   k-split execution path is what the tree models.
 //!
 //! Cost quantities come from the plan cache ([`crate::plan`]): one
 //! block costs its SM `M = max(serial/resident, bottleneck)` cycles at
@@ -34,6 +39,14 @@ pub enum Decomposition {
     DataParallel,
     /// Work-centric k-loop splitting with a fixup/reduction pass.
     StreamK,
+    /// Stream-K splitting with the tall-skinny **tree** fixup: an owner
+    /// straddled across `s` SMs reduces its `s` spilled partials in
+    /// `⌈log₂(s+1)⌉` pairwise rounds instead of `s` serial merges
+    /// (same bytes, shorter critical path — the device-level mirror of
+    /// [`kami_core::model::skinny`]). Only tall-skinny shapes
+    /// (`m,n ≤ 64`, deep k) run the k-split path, so forcing this on
+    /// any other shape is [`SchedError::NotSkinny`].
+    SkinnyK,
     /// Whole items placed heaviest-first onto the least-loaded SM — the
     /// no-fixup fallback for nnz-weighted sparse streams
     /// ([`crate::sparse`]). Uniform dense streams treat it as
@@ -49,6 +62,7 @@ impl Decomposition {
         match self {
             Decomposition::DataParallel => "data-parallel",
             Decomposition::StreamK => "stream-k",
+            Decomposition::SkinnyK => "skinny-k",
             Decomposition::WeightedLpt => "weighted-lpt",
             Decomposition::Auto => "auto",
         }
@@ -249,11 +263,13 @@ impl<'a> Scheduler<'a> {
         let g = cost.k_stages;
         let fixup_cycles = cost.c_tile_bytes as f64 / self.device.gmem_bytes_per_cycle;
 
+        let skinny = kami_core::is_tall_skinny(item.m, item.n, item.k);
+
         let dp = dp_plans(count, sms, steady, cost.serial_cycles, cost.flops);
         let dp_makespan = makespan(&dp);
 
-        // Stream-K needs ≥ 2 stages to split at.
-        let sk = (g > 1).then(|| {
+        // Splitting (Stream-K or Skinny-K) needs ≥ 2 stages to split at.
+        let split = |tree: bool| {
             streamk_plans(
                 count,
                 g,
@@ -262,21 +278,52 @@ impl<'a> Scheduler<'a> {
                 cost.flops,
                 cost.c_tile_bytes,
                 fixup_cycles,
+                tree,
             )
-        });
-        let sk_makespan = sk.as_ref().map(|p| makespan(p));
+        };
 
-        let (chosen, sm_plans, span) = match (self.decomposition, sk, sk_makespan) {
-            (Decomposition::StreamK, Some(p), Some(ms)) => (Decomposition::StreamK, p, ms),
-            (Decomposition::StreamK, None, _) => {
+        let (chosen, sm_plans, span) = match self.decomposition {
+            Decomposition::StreamK | Decomposition::SkinnyK if g <= 1 => {
                 return Err(SchedError::SingleStageStreamK {
                     m: item.m,
                     n: item.n,
                     k: item.k,
                 });
             }
-            (Decomposition::Auto, Some(p), Some(ms)) if ms < dp_makespan => {
+            Decomposition::StreamK => {
+                let p = split(false);
+                let ms = makespan(&p);
                 (Decomposition::StreamK, p, ms)
+            }
+            Decomposition::SkinnyK if !skinny => {
+                return Err(SchedError::NotSkinny {
+                    m: item.m,
+                    n: item.n,
+                    k: item.k,
+                });
+            }
+            Decomposition::SkinnyK => {
+                let p = split(true);
+                let ms = makespan(&p);
+                (Decomposition::SkinnyK, p, ms)
+            }
+            Decomposition::Auto if g > 1 => {
+                let mut best = (Decomposition::DataParallel, dp, dp_makespan);
+                let sk = split(false);
+                let ms = makespan(&sk);
+                if ms < best.2 {
+                    best = (Decomposition::StreamK, sk, ms);
+                }
+                // Only tall-skinny shapes run the k-split path whose
+                // tree fixup Skinny-K models.
+                if skinny {
+                    let skt = split(true);
+                    let ms = makespan(&skt);
+                    if ms < best.2 {
+                        best = (Decomposition::SkinnyK, skt, ms);
+                    }
+                }
+                best
             }
             _ => (Decomposition::DataParallel, dp, dp_makespan),
         };
@@ -502,7 +549,11 @@ fn dp_plans(count: usize, sms: usize, steady: f64, serial: f64, flops: u64) -> V
 /// contiguously and near-evenly; each iteration costs `steady / g`.
 /// A block straddling an SM boundary incurs a fixup: every non-owner
 /// chunk spills the partial C tile (`FixupStore` on its SM) and the
-/// owner reloads and reduces each partial (`FixupLoad`).
+/// owner reloads and reduces each partial (`FixupLoad`) — serially
+/// with `tree` unset, in `⌈log₂(partials+1)⌉` pairwise rounds
+/// (Skinny-K) with it set. The tree moves the same bytes; only the
+/// owner's critical path shortens.
+#[allow(clippy::too_many_arguments)]
 fn streamk_plans(
     count: usize,
     g: usize,
@@ -511,6 +562,7 @@ fn streamk_plans(
     flops: u64,
     c_tile_bytes: u64,
     fixup_cycles: f64,
+    tree: bool,
 ) -> Vec<SmPlan> {
     let total = count * g;
     let base = total / sms;
@@ -558,13 +610,20 @@ fn streamk_plans(
                 }
                 if owner && b_hi > hi {
                     // This block spills onto later SMs; the owner
-                    // reloads and reduces one partial per extra chunk.
+                    // reloads and reduces one partial per extra chunk —
+                    // serially, or (tree) in pairwise rounds over its
+                    // own tile plus the `partials` spilled ones.
                     let partials = sm_of(b_hi - 1) - sm;
+                    let rounds = if tree {
+                        kami_core::model::skinny::tree_depth(partials + 1)
+                    } else {
+                        partials
+                    };
                     segments.push(Segment::FixupLoad {
                         block,
                         partials,
                         bytes: c_tile_bytes * partials as u64,
-                        cycles: fixup_cycles * partials as f64,
+                        cycles: fixup_cycles * rounds as f64,
                     });
                 }
                 block += 1;
@@ -723,6 +782,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn skinny_auto_picks_the_tree_fixup_and_wins() {
+        let dev = gh200();
+        // 32 tall-skinny blocks on 100+ SMs: splitting is mandatory to
+        // fill the device, and the tree fixup beats the serial one.
+        let work = BlockWork::uniform(16, 16, 16384, Precision::Fp16, 32);
+        let auto = Scheduler::new(&dev).run(&work, &PlanCache::new()).unwrap();
+        assert_eq!(auto.decomposition, Decomposition::SkinnyK);
+        for forced in [
+            Decomposition::DataParallel,
+            Decomposition::StreamK,
+            Decomposition::SkinnyK,
+        ] {
+            let r = Scheduler::new(&dev)
+                .with_decomposition(forced)
+                .run(&work, &PlanCache::new())
+                .unwrap();
+            assert!(
+                auto.makespan_cycles <= r.makespan_cycles * (1.0 + 1e-12),
+                "auto ({}) lost to {} on the skinny stream",
+                auto.decomposition.label(),
+                forced.label()
+            );
+            // Conservation: every k-loop iteration runs exactly once
+            // regardless of the fixup topology.
+            let iters: usize = r.per_sm.iter().map(|s| s.k_iters).sum();
+            assert_eq!(iters, 32 * r.k_stages, "{} lost iterations", forced.label());
+        }
+    }
+
+    #[test]
+    fn skinnyk_rejects_non_skinny_streams() {
+        let dev = gh200();
+        let work = BlockWork::uniform(64, 64, 256, Precision::Fp64, 64);
+        let err = Scheduler::new(&dev)
+            .with_decomposition(Decomposition::SkinnyK)
+            .run(&work, &PlanCache::new())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SchedError::NotSkinny {
+                    m: 64,
+                    n: 64,
+                    k: 256
+                }
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -318,6 +318,15 @@ impl<'a> Scheduler<'a> {
                     (Decomposition::StreamK, sk, sk_ms)
                 }
             }
+            // Sparse streams never run the dense k-split path the tree
+            // fixup models.
+            Decomposition::SkinnyK => {
+                return Err(SchedError::NotSkinny {
+                    m: work.unit.m,
+                    n: work.unit.n,
+                    k: work.unit.k,
+                });
+            }
             Decomposition::Auto => {
                 let mut best = (Decomposition::DataParallel, dp, dp_ms);
                 if lpt_ms < best.2 {

@@ -9,9 +9,10 @@
 //!
 //! A dispatcher drains the queue in **ticks** on a simulated device
 //! clock. Each tick coalesces compatible dense requests (same
-//! `m×n×k` shape class and precision) into one [`kami_sched`] work
-//! pool, so many small independent GEMMs share the device the way one
-//! Stream-K launch would, instead of serializing one kernel at a time.
+//! `m×n×k` shape class, precision, and fused epilogue) into one
+//! [`kami_sched`] work pool, so many small independent GEMMs share the
+//! device the way one Stream-K launch would, instead of serializing
+//! one kernel at a time.
 //! Numerics are produced by the same engine entry points a direct
 //! caller uses, so served results are **bit-identical** to unserved
 //! ones.
@@ -200,6 +201,67 @@ mod tests {
             _ => panic!("dense in, dense out"),
         };
         assert_eq!(got.c.as_slice(), want.c.as_slice());
+    }
+
+    #[test]
+    fn different_epilogues_never_share_a_group() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let a = Matrix::seeded_uniform(64, 64, 11);
+        let b = Matrix::seeded_uniform(64, 64, 12);
+        let relu = ServeRequest::dense(
+            kami_core::GemmRequest::gemm_auto(a.clone(), b.clone())
+                .precision(Precision::Fp16)
+                .with_epilogue(kami_core::Epilogue::Relu),
+        );
+        let gelu = ServeRequest::dense(
+            kami_core::GemmRequest::gemm_auto(a, b)
+                .precision(Precision::Fp16)
+                .with_epilogue(kami_core::Epilogue::Gelu),
+        );
+        let want_relu = relu.execute(&dev).unwrap();
+        let want_gelu = gelu.execute(&dev).unwrap();
+        let t_relu = server.submit(relu).unwrap();
+        let t_gelu = server.submit(gelu).unwrap();
+        let summary = server.tick();
+        assert_eq!(
+            summary.groups, 2,
+            "same shape, different epilogue: must not coalesce"
+        );
+        let got_relu = dense_c(t_relu.wait().unwrap().output);
+        let got_gelu = dense_c(t_gelu.wait().unwrap().output);
+        assert_eq!(got_relu.as_slice(), dense_c(want_relu).as_slice());
+        assert_eq!(got_gelu.as_slice(), dense_c(want_gelu).as_slice());
+        assert_ne!(
+            got_relu.as_slice(),
+            got_gelu.as_slice(),
+            "the two epilogues must produce distinct results"
+        );
+    }
+
+    fn dense_c(out: ServeOutput) -> Matrix {
+        match out {
+            ServeOutput::Dense(g) => g.into_single().unwrap().c,
+            _ => panic!("dense in, dense out"),
+        }
+    }
+
+    #[test]
+    fn tall_skinny_requests_serve_through_the_k_split_path() {
+        let dev = gh200();
+        let server = Server::new(&dev);
+        let a = Matrix::seeded_uniform(16, 16384, 21);
+        let b = Matrix::seeded_uniform(16384, 16, 22);
+        let req = ServeRequest::gemm(a, b, Precision::Fp16);
+        let direct = req.execute(&dev).unwrap();
+        let ticket = server.submit(req).unwrap();
+        server.drain();
+        let got = dense_c(ticket.wait().unwrap().output);
+        assert_eq!(
+            got.as_slice(),
+            dense_c(direct).as_slice(),
+            "served skinny result must be bit-identical to the direct call"
+        );
     }
 
     #[test]

@@ -16,10 +16,12 @@ use kami_sparse::spgemm::SpgemmResult;
 use kami_sparse::spmm::SpmmResult;
 use kami_sparse::BlockSparseMatrix;
 
-/// The `(m, n, k, precision)` shape class compatible dense requests
-/// coalesce under — the same identity [`kami_sched::PlanCache`] tunes
-/// per.
-pub type CoalesceKey = (usize, usize, usize, Precision);
+/// The `(m, n, k, precision, epilogue fingerprint)` class compatible
+/// dense requests coalesce under — the shape identity
+/// [`kami_sched::PlanCache`] tunes per, plus the fused-epilogue
+/// fingerprint (0 = none): requests differing only in epilogue compute
+/// different functions and must never share a group.
+pub type CoalesceKey = (usize, usize, usize, Precision, u64);
 
 /// The work a request asks the service to perform.
 #[derive(Debug, Clone)]
@@ -114,16 +116,17 @@ impl ServeRequest {
         self
     }
 
-    /// The key compatible requests coalesce under: same shape class and
-    /// precision share one Stream-K work pool. `None` means the request
-    /// always dispatches as its own group (sparse structure, batched
-    /// and decomposed dense ops are already device-scale on their own).
+    /// The key compatible requests coalesce under: same shape class,
+    /// precision, and fused epilogue share one Stream-K work pool.
+    /// `None` means the request always dispatches as its own group
+    /// (sparse structure, batched and decomposed dense ops are already
+    /// device-scale on their own).
     pub fn coalesce_key(&self) -> Option<CoalesceKey> {
         match &self.workload {
             Workload::Dense(r) => match &r.op {
                 Op::Gemm { .. } | Op::GemmAuto { .. } | Op::GemmPadded { .. } => {
                     let (m, n, k) = r.shape();
-                    Some((m, n, k, r.precision))
+                    Some((m, n, k, r.precision, r.epilogue_fingerprint()))
                 }
                 _ => None,
             },

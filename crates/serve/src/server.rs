@@ -500,10 +500,16 @@ impl Server {
         // leave it unset and compute on their own device.
         let ndev = self.config.numeric_device.as_ref().unwrap_or(&self.device);
         if let Workload::Dense(r) = &request.workload {
-            let plain = r.alpha == 1.0 && r.beta == 0.0 && r.c0.is_none();
+            // `is_plain` also excludes fused epilogues — a cached plain
+            // plan computes a different function, so fused requests must
+            // take the direct engine path. Tall-skinny shapes are
+            // excluded too: no monolithic cost pass exists for them;
+            // the engine runs them through its k-split path.
             let fast = match &r.op {
-                kami_core::Op::Gemm { a, b } if plain => Some((a, b, false)),
-                kami_core::Op::GemmAuto { a, b } if plain => Some((a, b, true)),
+                kami_core::Op::Gemm { a, b } if r.is_plain() => Some((a, b, false)),
+                kami_core::Op::GemmAuto { a, b } if r.is_plain() && !r.is_skinny() => {
+                    Some((a, b, true))
+                }
                 _ => None,
             };
             if let Some((a, b, auto)) = fast {

@@ -7,8 +7,8 @@
 //! [`Case::reproducer`] renders any case as a paste-ready regression
 //! test.
 
-use kami_core::Algo;
-use kami_gpu_sim::{device, DeviceSpec, Precision};
+use kami_core::{Algo, Epilogue, SKINNY_K_MIN};
+use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,14 +66,22 @@ pub enum AlgoKind {
     TwoD,
     ThreeD,
     TwoHalfD,
+    /// Tall-skinny shapes (`m,n ≤ 64`, `k ≥ SKINNY_K_MIN`) through the
+    /// k-split tree-fixup path.
+    Skinny,
+    /// The transposed wide case: the same logical product, but the
+    /// operands arrive transposed and funnel through `gemm_t`.
+    SkinnyWide,
 }
 
 impl AlgoKind {
-    pub const ALL: [AlgoKind; 4] = [
+    pub const ALL: [AlgoKind; 6] = [
         AlgoKind::OneD,
         AlgoKind::TwoD,
         AlgoKind::ThreeD,
         AlgoKind::TwoHalfD,
+        AlgoKind::Skinny,
+        AlgoKind::SkinnyWide,
     ];
 
     pub fn label(self) -> &'static str {
@@ -82,6 +90,64 @@ impl AlgoKind {
             AlgoKind::TwoD => "2d",
             AlgoKind::ThreeD => "3d",
             AlgoKind::TwoHalfD => "2.5d",
+            AlgoKind::Skinny => "skinny",
+            AlgoKind::SkinnyWide => "skinny-wide",
+        }
+    }
+}
+
+/// Sweep axis: which fused epilogue (if any) a case asks the engine to
+/// run inside the kernel's store phase. Carried as a kind (not a
+/// [`kami_core::Epilogue`]) so a [`Case`] stays plain comparable data;
+/// [`EpilogueKind::build`] materializes the real epilogue, deriving the
+/// bias row from the case's data seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpilogueKind {
+    Bias,
+    Relu,
+    Gelu,
+    SoftmaxScale,
+}
+
+impl EpilogueKind {
+    pub const ALL: [EpilogueKind; 4] = [
+        EpilogueKind::Bias,
+        EpilogueKind::Relu,
+        EpilogueKind::Gelu,
+        EpilogueKind::SoftmaxScale,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EpilogueKind::Bias => "bias",
+            EpilogueKind::Relu => "relu",
+            EpilogueKind::Gelu => "gelu",
+            EpilogueKind::SoftmaxScale => "softmax-scale",
+        }
+    }
+
+    /// Rust expression reconstructing this value (for reproducers).
+    fn render(self) -> &'static str {
+        match self {
+            EpilogueKind::Bias => "EpilogueKind::Bias",
+            EpilogueKind::Relu => "EpilogueKind::Relu",
+            EpilogueKind::Gelu => "EpilogueKind::Gelu",
+            EpilogueKind::SoftmaxScale => "EpilogueKind::SoftmaxScale",
+        }
+    }
+
+    /// Materialize the epilogue for an `n`-column product. The bias row
+    /// is seeded off `data_seed`, so it is as reproducible as the
+    /// operands; the softmax scale is a fixed exactly-representable
+    /// constant.
+    pub fn build(self, n: usize, data_seed: u64) -> Epilogue {
+        match self {
+            EpilogueKind::Bias => {
+                Epilogue::Bias(Matrix::seeded_uniform(1, n, data_seed.wrapping_add(5)))
+            }
+            EpilogueKind::Relu => Epilogue::Relu,
+            EpilogueKind::Gelu => Epilogue::Gelu,
+            EpilogueKind::SoftmaxScale => Epilogue::SoftmaxScale(0.125),
         }
     }
 }
@@ -90,7 +156,17 @@ impl AlgoKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CaseAlgo {
     Dense(Algo),
-    TwoHalfD { q: usize, c: usize },
+    TwoHalfD {
+        q: usize,
+        c: usize,
+    },
+    /// The tall-skinny k-split path; `algo` is the per-chunk block
+    /// kernel, `wide` hands the operands over transposed (via
+    /// `gemm_t`).
+    Skinny {
+        algo: Algo,
+        wide: bool,
+    },
 }
 
 impl CaseAlgo {
@@ -98,15 +174,27 @@ impl CaseAlgo {
         match self {
             CaseAlgo::Dense(a) => a.label().to_string(),
             CaseAlgo::TwoHalfD { q, c } => format!("KAMI-2.5D(q={q},c={c})"),
+            CaseAlgo::Skinny { algo, wide } => format!(
+                "KAMI-skinny({}{})",
+                algo.label(),
+                if wide { ",wide" } else { "" }
+            ),
         }
     }
 
     fn render(self) -> String {
+        let algo_expr = |a: Algo| match a {
+            Algo::OneD => "Algo::OneD",
+            Algo::TwoD => "Algo::TwoD",
+            Algo::ThreeD => "Algo::ThreeD",
+        };
         match self {
-            CaseAlgo::Dense(Algo::OneD) => "CaseAlgo::Dense(Algo::OneD)".into(),
-            CaseAlgo::Dense(Algo::TwoD) => "CaseAlgo::Dense(Algo::TwoD)".into(),
-            CaseAlgo::Dense(Algo::ThreeD) => "CaseAlgo::Dense(Algo::ThreeD)".into(),
+            CaseAlgo::Dense(a) => format!("CaseAlgo::Dense({})", algo_expr(a)),
             CaseAlgo::TwoHalfD { q, c } => format!("CaseAlgo::TwoHalfD {{ q: {q}, c: {c} }}"),
+            CaseAlgo::Skinny { algo, wide } => format!(
+                "CaseAlgo::Skinny {{ algo: {}, wide: {wide} }}",
+                algo_expr(algo)
+            ),
         }
     }
 }
@@ -144,6 +232,10 @@ pub struct Case {
     /// `Some(density)` adds the SpMM/SpGEMM-vs-dense check (dense
     /// algorithms only).
     pub sparsity: Option<f64>,
+    /// `Some(kind)` fuses that epilogue into the kernel's store phase
+    /// and adds the fused-vs-unfused checks (plain scalars only, so
+    /// α/β are pinned to 1/0 whenever this is set).
+    pub epilogue: Option<EpilogueKind>,
     /// Block count handed to the device scheduler check.
     pub batch: usize,
     /// Seed the input matrices are drawn from.
@@ -169,9 +261,34 @@ impl Case {
                 let c = [1usize, 2][rng.gen_range(0..2usize)];
                 (CaseAlgo::TwoHalfD { q: 2, c }, c * 4)
             }
+            AlgoKind::Skinny | AlgoKind::SkinnyWide => {
+                let wide = kind == AlgoKind::SkinnyWide;
+                // The per-chunk kernel: 1D or 2D (3D's accumulate
+                // stores cannot host the fused epilogue plane).
+                if rng.gen_range(0..2usize) == 0 {
+                    let p = [2usize, 4][rng.gen_range(0..2usize)];
+                    (
+                        CaseAlgo::Skinny {
+                            algo: Algo::OneD,
+                            wide,
+                        },
+                        p,
+                    )
+                } else {
+                    (
+                        CaseAlgo::Skinny {
+                            algo: Algo::TwoD,
+                            wide,
+                        },
+                        4,
+                    )
+                }
+            }
         };
-        // 2.5D has no scaled epilogue or sparse kernel: pin α/β there.
-        let (alpha, beta) = if matches!(algo, CaseAlgo::TwoHalfD { .. }) {
+        // 2.5D has no scaled epilogue or sparse kernel, and the skinny
+        // path is a plain product: pin α/β there.
+        let plain_only = !matches!(algo, CaseAlgo::Dense(_));
+        let (alpha, beta) = if plain_only {
             (1.0, 0.0)
         } else {
             let alphas = [1.0, -1.0, 0.5, 2.0, 0.0, -0.75];
@@ -185,7 +302,18 @@ impl Case {
         // kernels; sparse shapes are larger so block-grid divisibility
         // holds for every dense algorithm at once.
         let sparse = matches!(algo, CaseAlgo::Dense(_)) && rng.gen_range(0..4usize) == 0;
-        let (m, n, k, sparsity) = if sparse {
+        let (m, n, k, sparsity) = if let CaseAlgo::Skinny { .. } = algo {
+            // Skinny regime: m,n ≤ 64, k ≥ SKINNY_K_MIN. The k menu is
+            // a multiple of the shrink quantum (SKINNY_K_MIN) so every
+            // shrink candidate stays on the k-split path, and 12288
+            // keeps the paper's k ≥ 10^4 regime represented.
+            (
+                16 * rng.gen_range(1..=2usize),
+                16 * rng.gen_range(1..=2usize),
+                SKINNY_K_MIN * rng.gen_range(1..=3usize),
+                None,
+            )
+        } else if sparse {
             let densities = [0.125, 0.25, 0.5];
             (
                 [64usize, 128][rng.gen_range(0..2usize)],
@@ -199,6 +327,28 @@ impl Case {
             let dim = |rng: &mut StdRng| 16 * rng.gen_range(1..=4usize);
             (dim(&mut rng), dim(&mut rng), dim(&mut rng), None)
         };
+        // The epilogue axis. Support matrix: 1D hosts all four, 2D
+        // hosts bias/relu/gelu fused into per-warp tiles (softmax is
+        // drawn too and must skip *visibly*, not silently), 3D's
+        // accumulate stores host none, 2.5D has no epilogue plane, and
+        // the wide transposed entry (`gemm_t`) carries no epilogue.
+        // Epilogues demand a plain product, so drawing one pins α/β
+        // back to 1/0.
+        let epilogue_ok = match algo {
+            CaseAlgo::Dense(Algo::OneD) | CaseAlgo::Dense(Algo::TwoD) => sparsity.is_none(),
+            CaseAlgo::Skinny { wide, .. } => !wide,
+            _ => false,
+        };
+        let epilogue = if epilogue_ok && rng.gen_range(0..2usize) == 0 {
+            Some(EpilogueKind::ALL[rng.gen_range(0..EpilogueKind::ALL.len())])
+        } else {
+            None
+        };
+        let (alpha, beta) = if epilogue.is_some() {
+            (1.0, 0.0)
+        } else {
+            (alpha, beta)
+        };
         Case {
             id: seed,
             device,
@@ -211,6 +361,7 @@ impl Case {
             alpha,
             beta,
             sparsity,
+            epilogue,
             batch: rng.gen_range(1..=8usize),
             data_seed: rng.gen_range(0..u64::MAX),
         }
@@ -218,7 +369,11 @@ impl Case {
 
     /// Divisibility quanta `(m, n, k)` shrink candidates must respect.
     pub fn quantum(&self) -> (usize, usize, usize) {
-        if self.sparsity.is_some() {
+        if matches!(self.algo, CaseAlgo::Skinny { .. }) {
+            // Shrinking k below SKINNY_K_MIN would leave the k-split
+            // path entirely and reproduce a different bug (if any).
+            (16, 16, SKINNY_K_MIN)
+        } else if self.sparsity.is_some() {
             // Worst case over the dense algos in block units: 1D needs
             // p | m/16 and p | k/16 with p ≤ 4; 3D needs 4 | k/16.
             (64, 32, 64)
@@ -230,7 +385,7 @@ impl Case {
     /// One-line human identification.
     pub fn describe(&self) -> String {
         format!(
-            "[{} {} {} {}x{}x{} p={} alpha={} beta={} sparsity={:?} batch={} seed={}]",
+            "[{} {} {} {}x{}x{} p={} alpha={} beta={} sparsity={:?} epilogue={} batch={} seed={}]",
             self.device.label(),
             self.algo.label(),
             self.precision.label(),
@@ -241,6 +396,7 @@ impl Case {
             self.alpha,
             self.beta,
             self.sparsity,
+            self.epilogue.map_or("none", |e| e.label()),
             self.batch,
             self.id,
         )
@@ -254,13 +410,18 @@ impl Case {
             Some(d) => format!("Some({d:?})"),
             None => "None".to_string(),
         };
+        let epilogue = match self.epilogue {
+            Some(e) => format!("Some({})", e.render()),
+            None => "None".to_string(),
+        };
         format!(
             "#[test]\n\
              fn kami_verify_repro_{device}_{id}() {{\n    \
                  // {note}\n    \
                  use kami::core::Algo;\n    \
                  use kami::sim::Precision;\n    \
-                 use kami::verify::{{assert_case, Case, CaseAlgo, DeviceId, Harness}};\n    \
+                 use kami::verify::{{assert_case, Case, CaseAlgo, DeviceId, EpilogueKind, \
+                 Harness}};\n    \
                  let case = Case {{\n        \
                      id: {id},\n        \
                      device: {device_expr},\n        \
@@ -273,6 +434,7 @@ impl Case {
                      alpha: {alpha:?},\n        \
                      beta: {beta:?},\n        \
                      sparsity: {sparsity},\n        \
+                     epilogue: {epilogue},\n        \
                      batch: {batch},\n        \
                      data_seed: {data_seed},\n    \
                  }};\n    \
@@ -290,6 +452,7 @@ impl Case {
             alpha = self.alpha,
             beta = self.beta,
             sparsity = sparsity,
+            epilogue = epilogue,
             batch = self.batch,
             data_seed = self.data_seed,
         )
@@ -329,11 +492,54 @@ mod tests {
                         assert_eq!(c.warps, layers * q * q);
                         assert!(layers <= q);
                     }
+                    CaseAlgo::Skinny { algo, wide } => {
+                        assert!(kami_core::is_tall_skinny(c.m, c.n, c.k), "{}", c.describe());
+                        assert_eq!(c.k % SKINNY_K_MIN, 0, "{}", c.describe());
+                        match algo {
+                            Algo::OneD => assert_eq!(c.m % c.warps, 0),
+                            Algo::TwoD => assert_eq!(c.warps, 4),
+                            Algo::ThreeD => panic!("3D chunks cannot host the epilogue plane"),
+                        }
+                        assert_eq!((c.alpha, c.beta), (1.0, 0.0), "skinny is a plain product");
+                        if wide {
+                            assert_eq!(c.epilogue, None, "gemm_t carries no epilogue");
+                        }
+                    }
                 }
                 if c.sparsity.is_some() {
                     assert!(matches!(c.algo, CaseAlgo::Dense(_)));
+                    assert_eq!(c.epilogue, None, "sparse riders never carry an epilogue");
+                }
+                if c.epilogue.is_some() {
+                    assert_eq!((c.alpha, c.beta), (1.0, 0.0), "{}", c.describe());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn every_epilogue_kind_is_drawn_where_supported() {
+        // The new grid axes must actually appear in generated cases —
+        // a menu nobody draws from is silent coverage loss.
+        for kind in [AlgoKind::OneD, AlgoKind::Skinny] {
+            let mut seen = [false; 4];
+            for seed in 0..400 {
+                let c = Case::generate(DeviceId::Gh200, kind, Precision::Fp16, seed);
+                if let Some(e) = c.epilogue {
+                    let idx = EpilogueKind::ALL.iter().position(|&x| x == e).unwrap();
+                    seen[idx] = true;
+                }
+            }
+            assert_eq!(
+                seen,
+                [true; 4],
+                "{:?}: all four epilogue kinds must be drawn",
+                kind.label()
+            );
+        }
+        for seed in 0..400 {
+            let c = Case::generate(DeviceId::Gh200, AlgoKind::ThreeD, Precision::Fp16, seed);
+            assert_eq!(c.epilogue, None, "3D accumulate stores host no epilogue");
         }
     }
 
@@ -346,6 +552,21 @@ mod tests {
         assert!(r.contains("Precision::Tf32"));
         assert!(r.contains("assert_case"));
         assert!(r.contains("EngineVsModel: demo"));
+        assert!(r.contains("epilogue:"));
         assert!(r.contains(&format!("data_seed: {}", c.data_seed)));
+    }
+
+    #[test]
+    fn skinny_reproducer_renders_the_new_axes() {
+        // Find a fused skinny case and check the template round-trips
+        // both new fields as compilable expressions.
+        let c = (0..400)
+            .map(|s| Case::generate(DeviceId::Gh200, AlgoKind::Skinny, Precision::Fp16, s))
+            .find(|c| c.epilogue == Some(EpilogueKind::SoftmaxScale))
+            .expect("400 seeds must draw a softmax-scale skinny case");
+        let r = c.reproducer("Numerics: demo");
+        assert!(r.contains("CaseAlgo::Skinny {"));
+        assert!(r.contains("wide: false"));
+        assert!(r.contains("Some(EpilogueKind::SoftmaxScale)"));
     }
 }

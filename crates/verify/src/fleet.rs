@@ -30,22 +30,32 @@ use kami_serve::{
 /// Shapes the deterministic mixed trace cycles through: squares the
 /// small-square-friendly classes win, tall-skinny panels GH200 wins —
 /// the mix that makes cost-oracle routing matter.
-const TRACE_SHAPES: [(usize, usize, usize); 5] = [
+const TRACE_SHAPES: [(usize, usize, usize); 6] = [
     (64, 64, 64),
     (32, 32, 32),
     (16, 16, 256),
     (256, 16, 16),
     (128, 64, 32),
+    // Deep tall-skinny: routes through the k-split path on every leg.
+    (16, 16, 4096),
 ];
 
 /// Request `idx` of the seeded trace: shape cycles through the trace
-/// shapes above, data is seeded per index.
+/// shapes above, data is seeded per index, and every third request
+/// carries a fused epilogue so the fleet legs exercise the
+/// epilogue-aware coalesce keys (`idx % 3`: none, ReLU, GELU).
 pub fn trace_request(seed: u64, idx: usize) -> ServeRequest {
     let (m, n, k) = TRACE_SHAPES[idx % TRACE_SHAPES.len()];
     let s = seed.wrapping_mul(1_000_003).wrapping_add(idx as u64 * 2);
     let a = Matrix::seeded_uniform(m, k, s);
     let b = Matrix::seeded_uniform(k, n, s + 1);
-    ServeRequest::gemm(a, b, Precision::Fp16)
+    let req = kami_core::GemmRequest::gemm_auto(a, b).precision(Precision::Fp16);
+    let req = match idx % 3 {
+        1 => req.with_epilogue(kami_core::Epilogue::Relu),
+        2 => req.with_epilogue(kami_core::Epilogue::Gelu),
+        _ => req,
+    };
+    ServeRequest::dense(req)
 }
 
 /// How to replay a mixed trace through the fleet seam.

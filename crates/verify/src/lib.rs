@@ -6,8 +6,8 @@
 //!
 //! The harness generates random-but-reproducible cases over the full
 //! cross product the repo supports (Table-3 device × algorithm
-//! {1D, 2D, 2.5D, 3D} × precision × shape × α/β × sparsity) and runs
-//! four checks per case:
+//! {1D, 2D, 2.5D, 3D, tall-skinny, skinny-wide} × precision × shape ×
+//! α/β × sparsity × fused epilogue) and runs four checks per case:
 //!
 //! 1. **Numerics** — engine GEMM output vs [`kami_core::reference_gemm`]
 //!    within a precision-derived tolerance.
@@ -18,6 +18,11 @@
 //!    k-iteration conservation the scheduler reports vs the per-SM trace
 //!    it emits.
 //! 4. **Sparse vs dense** — SpMM/SpGEMM vs the densified dense path.
+//!
+//! Tall-skinny cells additionally hold the k-split path to a
+//! recomposed chunk+tree oracle and the `model::skinny` fixup closed
+//! form; epilogue draws hold `gemm_fused` to the unfused reference
+//! and the `model::epilogue` delta forms (see [`checks`]).
 //!
 //! On mismatch the case is [shrunk](shrink::shrink) to a minimal
 //! reproducer and rendered as a ready-to-paste regression test
@@ -34,7 +39,7 @@ pub mod served;
 pub mod shrink;
 pub mod sweep;
 
-pub use case::{AlgoKind, Case, CaseAlgo, DeviceId};
+pub use case::{AlgoKind, Case, CaseAlgo, DeviceId, EpilogueKind};
 pub use checks::{assert_case, run_case, CaseOutcome, CheckKind, Harness, Mismatch};
 pub use fleet::{FleetReplay, FleetServedCase};
 pub use served::{ServedCase, ServedReplay};

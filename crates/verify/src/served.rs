@@ -20,7 +20,7 @@
 
 use crate::case::{Case, CaseAlgo};
 use crate::checks::{CaseOutcome, CheckKind, Harness, Mismatch};
-use kami_core::{gemm, GemmRequest, GemmResult, KamiError, Op};
+use kami_core::{GemmRequest, GemmResult, KamiError, Op};
 use kami_gpu_sim::{CostConfig, Matrix};
 use kami_serve::{Completed, Metrics, ServeRequest, Server, ServerConfig};
 
@@ -69,6 +69,9 @@ impl ServedCase {
     pub fn replay(&self, case: &Case, harness: &Harness) -> Result<Option<ServedReplay>, Mismatch> {
         let algo = match case.algo {
             CaseAlgo::Dense(algo) => algo,
+            // Skinny cases serve through `GemmAuto`, the entry that
+            // routes tall shapes onto the k-split path.
+            CaseAlgo::Skinny { algo, .. } => algo,
             CaseAlgo::TwoHalfD { .. } => return Ok(None),
         };
         let device = case.device.spec();
@@ -76,14 +79,32 @@ impl ServedCase {
         let a = Matrix::seeded_uniform(case.m, case.k, case.data_seed);
         let b = Matrix::seeded_uniform(case.k, case.n, case.data_seed.wrapping_add(1));
 
+        // The request a non-served caller would build — epilogue
+        // included, so the replay exercises the same coalesce keys and
+        // fused kernels the service must keep distinct.
+        let op = match case.algo {
+            CaseAlgo::Skinny { .. } => Op::GemmAuto {
+                a: a.clone(),
+                b: b.clone(),
+            },
+            _ => Op::Gemm {
+                a: a.clone(),
+                b: b.clone(),
+            },
+        };
+        let mut base = GemmRequest::from_config(op, &cfg);
+        if let Some(kind) = case.epilogue {
+            base = base.with_epilogue(kind.build(case.n, case.data_seed));
+        }
+
         // The oracle: the very call a non-served user would make.
-        let direct = match gemm(&device, &cfg, &a, &b) {
+        let direct = match base.execute_single(&device) {
             Ok(res) => res,
             Err(KamiError::Sim(_)) | Err(KamiError::Unsupported { .. }) => return Ok(None),
             Err(e) => {
                 return Err(Mismatch {
                     kind: CheckKind::Served,
-                    detail: format!("direct gemm rejected a generated case: {e}"),
+                    detail: format!("direct request rejected a generated case: {e}"),
                 })
             }
         };
@@ -101,13 +122,7 @@ impl ServedCase {
         );
         let tickets: Vec<_> = (0..self.copies)
             .map(|_| {
-                let mut req = ServeRequest::dense(GemmRequest::from_config(
-                    Op::Gemm {
-                        a: a.clone(),
-                        b: b.clone(),
-                    },
-                    &cfg,
-                ));
+                let mut req = ServeRequest::dense(base.clone());
                 if let Some(d) = self.deadline_cycles {
                     req = req.with_deadline(d);
                 }
@@ -229,6 +244,23 @@ mod tests {
             .expect("a generated 1D fp16 case is servable");
         replay.check(served.copies).expect("bit-identity");
         assert_eq!(replay.metrics.completed, served.copies as u64);
+    }
+
+    #[test]
+    fn skinny_cases_replay_through_the_service() {
+        let harness = Harness::default();
+        let served = ServedCase::default();
+        // Scan seeds for a tall-skinny case that carries an epilogue, so
+        // the replay exercises the fused coalesce key end to end.
+        let case = (0..200)
+            .map(|s| Case::generate(DeviceId::Gh200, AlgoKind::Skinny, Precision::Fp16, s))
+            .find(|c| c.epilogue.is_some())
+            .expect("some skinny seed draws an epilogue");
+        let replay = served
+            .replay(&case, &harness)
+            .expect("replay must not mismatch")
+            .expect("a generated skinny fp16 case is servable");
+        replay.check(served.copies).expect("bit-identity");
     }
 
     #[test]

@@ -37,6 +37,11 @@ fn candidates(case: &Case) -> Vec<Case> {
         // later dim shrinks can go all the way down.
         push(c);
     }
+    if case.epilogue.is_some() {
+        let mut c = case.clone();
+        c.epilogue = None;
+        push(c);
+    }
     if case.alpha != 1.0 {
         let mut c = case.clone();
         c.alpha = 1.0;
@@ -115,16 +120,22 @@ mod tests {
 
     #[test]
     fn candidates_respect_quanta_and_strictly_simplify() {
-        for seed in 0..50 {
-            let case = Case::generate(DeviceId::Gh200, AlgoKind::OneD, Precision::Fp16, seed);
-            for cand in candidates(&case) {
-                let (qm, qn, qk) = cand.quantum();
-                assert_eq!(cand.m % qm, 0);
-                assert_eq!(cand.n % qn, 0);
-                assert_eq!(cand.k % qk, 0);
-                assert_ne!(cand, case);
-                assert!(cand.m <= case.m && cand.n <= case.n && cand.k <= case.k);
-                assert!(cand.batch <= case.batch && cand.warps <= case.warps);
+        for kind in [AlgoKind::OneD, AlgoKind::Skinny, AlgoKind::SkinnyWide] {
+            for seed in 0..50 {
+                let case = Case::generate(DeviceId::Gh200, kind, Precision::Fp16, seed);
+                for cand in candidates(&case) {
+                    let (qm, qn, qk) = cand.quantum();
+                    assert_eq!(cand.m % qm, 0);
+                    assert_eq!(cand.n % qn, 0);
+                    assert_eq!(cand.k % qk, 0);
+                    assert_ne!(cand, case);
+                    assert!(cand.m <= case.m && cand.n <= case.n && cand.k <= case.k);
+                    assert!(cand.batch <= case.batch && cand.warps <= case.warps);
+                    // A skinny shrink must stay in the k-split regime.
+                    if matches!(cand.algo, CaseAlgo::Skinny { .. }) {
+                        assert!(kami_core::is_tall_skinny(cand.m, cand.n, cand.k));
+                    }
+                }
             }
         }
     }
@@ -153,6 +164,7 @@ mod tests {
             beta: 3.0,
             sparsity: Some(0.25),
             batch: 8,
+            epilogue: None,
             data_seed: 1234,
         };
         let original = run_case(&case, &harness, &plans).expect_err("must fail");

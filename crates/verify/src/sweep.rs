@@ -24,9 +24,10 @@ pub struct SweepConfig {
     pub max_failures: usize,
 }
 
-/// The CI profile (`verify_sweep --quick`): 5 cases in each of the 44
-/// grid cells — 220 cases over all four Table-3 devices, all four
-/// algorithms, and 2–4 precisions per device.
+/// The CI profile (`verify_sweep --quick`): 5 cases in each of the 66
+/// grid cells — 330 cases over all four Table-3 devices, all six
+/// algorithm kinds (1D/2D/2.5D/3D plus the tall-skinny and skinny-wide
+/// k-split classes), and 2–4 precisions per device.
 pub fn quick() -> SweepConfig {
     SweepConfig {
         seed: 0x4b41_4d49, // "KAMI"
@@ -170,12 +171,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_has_44_cells() {
+    fn grid_has_66_cells() {
         let cells: usize = DeviceId::ALL
             .iter()
             .map(|&d| device_precisions(d).len() * AlgoKind::ALL.len())
             .sum();
-        assert_eq!(cells, 44, "4 devices x 4 algos x (2 to 4) precisions");
+        assert_eq!(cells, 66, "4 devices x 6 algos x (2 to 4) precisions");
         for d in DeviceId::ALL {
             assert!(
                 device_precisions(d).len() >= 2,
@@ -183,6 +184,24 @@ mod tests {
                 d.label()
             );
         }
+    }
+
+    #[test]
+    fn skip_histogram_collapses_repeat_reasons() {
+        let out = SweepOutcome {
+            cases_run: 1,
+            skipped: 2,
+            skip_reasons: vec![
+                ("gh200 skinny fp16".into(), "regfile overflow".into()),
+                ("gh200 skinny fp16".into(), "regfile overflow".into()),
+            ],
+            failures: Vec::new(),
+        };
+        let summary = out.summary();
+        assert!(
+            summary.contains("skip x2 gh200 skinny fp16: regfile overflow"),
+            "{summary}"
+        );
     }
 
     #[test]

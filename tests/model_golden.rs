@@ -5,20 +5,27 @@
 //! Every dense `(device, algorithm, n)` case snapshots the per-stage
 //! communication volume `V_cm`, the per-warp per-stage computation
 //! cycles `T_cp`, and the total communication cycles `t_all_comm` into
-//! `tests/data/model_golden.json`. The sparse cases snapshot expected
-//! flops, volume, and cycles for SpMM and SpGEMM at the paper's sparse
-//! evaluation setting (Fig 13: GH200, FP16, 50% block sparsity, the
-//! five square orders) into `tests/data/sparse_model_golden.json`. Any
-//! change to either model shows up as an explicit diff of its file.
-//! Regenerate with:
+//! `tests/data/model_golden.json`. The same file also snapshots the
+//! tall-skinny closed forms (`model::skinny`: tree vs serial fixup
+//! cycles per deep-k shape) and the fused-epilogue deltas
+//! (`model::epilogue`: bias/unary cycle deltas, bias read bytes, and
+//! the unfused two-pass alternative) on all four Table 3 devices. The
+//! sparse cases snapshot expected flops, volume, and cycles for SpMM
+//! and SpGEMM at the paper's sparse evaluation setting (Fig 13: GH200,
+//! FP16, 50% block sparsity, the five square orders) into
+//! `tests/data/sparse_model_golden.json`. Any change to any model
+//! shows up as an explicit diff of its file. Regenerate with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test model_golden
 //! ```
 
-use kami::core::model::{t_all_comm, t_cp_per_warp_stage, v_cm_per_stage, ModelParams};
+use kami::core::model::{
+    epilogue as epilogue_model, skinny, t_all_comm, t_cp_per_warp_stage, v_cm_per_stage,
+    ModelParams,
+};
 use kami::core::Algo;
-use kami::sim::{device, Precision};
+use kami::sim::{device, CostConfig, Precision};
 use kami::sparse::model as sparse_model;
 use serde_json::Value;
 use std::path::{Path, PathBuf};
@@ -32,6 +39,11 @@ const GRIDS: [(Algo, usize); 3] = [(Algo::OneD, 4), (Algo::TwoD, 4), (Algo::Thre
 // The sparse evaluation setting: 50% block sparsity, 16×16 blocks.
 const SPARSE_DENSITY: f64 = 0.5;
 const SPARSE_BLOCK: usize = 16;
+// Tall-skinny snapshot shapes: the regime's floor and the deep-k pin.
+const SKINNY_SHAPES: [(usize, usize, usize); 3] =
+    [(16, 16, 16384), (16, 16, 65536), (32, 64, 16384)];
+// Epilogue snapshot grids: the two algorithms that can host one.
+const EPILOGUE_GRIDS: [(Algo, usize); 2] = [(Algo::OneD, 4), (Algo::TwoD, 4)];
 
 fn data_path(file: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -108,6 +120,58 @@ fn compute_cases() -> Vec<(String, Value)> {
                     (
                         "t_all_comm".into(),
                         Value::Number(t_all_comm(algo, n, n, n, p, &prm)),
+                    ),
+                ]);
+                out.push((key, record));
+            }
+        }
+        // Tall-skinny closed forms: the pairwise-tree fixup vs the
+        // serial chain it replaces, per deep-k shape.
+        let cost = CostConfig::default();
+        for (m, n, k) in SKINNY_SHAPES {
+            let chunks = skinny::chunk_count(k);
+            let key = format!("{}/skinny/m{m}n{n}k{k}", dev.name);
+            let record = Value::Object(vec![
+                (
+                    "tree_fixup".into(),
+                    Value::Number(
+                        skinny::fixup_cycles(&dev, &cost, m, n, chunks, prec, 0, 0)
+                            .expect("tree closed form evaluates"),
+                    ),
+                ),
+                (
+                    "serial_fixup".into(),
+                    Value::Number(
+                        skinny::serial_fixup_cycles(&dev, &cost, m, n, chunks, prec)
+                            .expect("serial closed form evaluates"),
+                    ),
+                ),
+                (
+                    "rounds".into(),
+                    Value::Number(skinny::tree_depth(chunks) as f64),
+                ),
+            ]);
+            out.push((key, record));
+        }
+        // Fused-epilogue deltas vs the unfused two-pass alternative.
+        for (algo, p) in EPILOGUE_GRIDS {
+            for n in SIZES {
+                let key = format!("{}/epilogue/{}/p{p}/n{n}", dev.name, algo.label());
+                let bias = epilogue_model::epilogue_delta_cycles(&dev, algo, n, p, prec, true)
+                    .expect("square warp grids host a bias epilogue");
+                let unary = epilogue_model::epilogue_delta_cycles(&dev, algo, n, p, prec, false)
+                    .expect("square warp grids host a unary epilogue");
+                let bias_bytes =
+                    epilogue_model::epilogue_gmem_read_bytes(algo, n, p, prec, true).unwrap();
+                let record = Value::Object(vec![
+                    ("delta_bias".into(), Value::Number(bias)),
+                    ("delta_unary".into(), Value::Number(unary)),
+                    ("bias_read_bytes".into(), Value::Number(bias_bytes as f64)),
+                    (
+                        "unfused".into(),
+                        Value::Number(epilogue_model::unfused_epilogue_cycles(
+                            &dev, n, n, prec, true,
+                        )),
                     ),
                 ]);
                 out.push((key, record));
@@ -229,6 +293,41 @@ fn golden_snapshot_obeys_scaling_laws() {
             .as_f64()
             .unwrap();
         assert!(c2 > c1, "{}", dev.name);
+        // Tall-skinny: the pairwise tree must beat the serial chain at
+        // every snapshotted depth (lg(chunks) vs chunks−1 rounds of
+        // latency), and its advantage must grow with k.
+        let mut ratios = Vec::new();
+        for (m, n, k) in SKINNY_SHAPES {
+            let rec = &golden[&*format!("{}/skinny/m{m}n{n}k{k}", dev.name)];
+            let tree = rec["tree_fixup"].as_f64().unwrap();
+            let serial = rec["serial_fixup"].as_f64().unwrap();
+            assert!(
+                tree < serial,
+                "{}: tree {tree} >= serial {serial}",
+                dev.name
+            );
+            if (m, n) == (16, 16) {
+                ratios.push((k, serial / tree));
+            }
+        }
+        ratios.sort_by_key(|&(k, _)| k);
+        assert!(
+            ratios.windows(2).all(|w| w[0].1 < w[1].1),
+            "{}: serial/tree ratio must grow with k",
+            dev.name
+        );
+        // Epilogues: the fused delta stays below the unfused round trip,
+        // and unary epilogues cost less than bias ones (no global read).
+        for (algo, p) in EPILOGUE_GRIDS {
+            for n in SIZES {
+                let rec = &golden[&*format!("{}/epilogue/{}/p{p}/n{n}", dev.name, algo.label())];
+                let bias = rec["delta_bias"].as_f64().unwrap();
+                let unary = rec["delta_unary"].as_f64().unwrap();
+                let unfused = rec["unfused"].as_f64().unwrap();
+                assert!(unary < bias, "{} {}", dev.name, algo.label());
+                assert!(bias < unfused, "{} {}", dev.name, algo.label());
+            }
+        }
     }
 }
 

@@ -74,6 +74,7 @@ fn injected_cost_discrepancy_is_caught_and_shrunk() {
         beta: 0.5,
         sparsity: None,
         batch: 4,
+        epilogue: None,
         data_seed: 77,
     };
     // Sanity: the same case is clean without the perturbation.
@@ -176,4 +177,59 @@ fn assert_case_matches_run_case_verdicts() {
     };
     let result = std::panic::catch_unwind(|| kami::verify::assert_case(&clean, &perturbed));
     assert!(result.is_err(), "perturbed assert_case must panic");
+}
+
+/// Regression: sweep-found 2.5D case where the 16³ shape with q=c=2 on
+/// Intel's m16n16k16 MMA pads each 8×8×4 warp fragment 16×, which the
+/// old fixed `8·t_cp + 128` compute bracket rejected. The bracket is
+/// now derived from the fragment shape padded to the native instruction.
+#[test]
+fn repro_intelmax1100_25d_subnative_fragment_padding() {
+    use kami::verify::{assert_case, Case, CaseAlgo, DeviceId};
+    let case = Case {
+        id: 7298417240558648820,
+        device: DeviceId::IntelMax1100,
+        algo: CaseAlgo::TwoHalfD { q: 2, c: 2 },
+        precision: Precision::Fp16,
+        m: 16,
+        n: 16,
+        k: 16,
+        warps: 8,
+        alpha: 1.0,
+        beta: 0.0,
+        sparsity: None,
+        epilogue: None,
+        batch: 1,
+        data_seed: 12188158517699191176,
+    };
+    assert_case(&case, &Harness::default());
+}
+
+/// Regression: sweep-found dense twin of the case above — a 16×48×16
+/// KAMI-1D product with p=4 on AMD's m16n16k16 MMA has (4 × 48 × 4)
+/// per-warp-stage fragments that pad 16×, so the dense compute bracket
+/// scales its upper bound by the fragment's padding inflation.
+#[test]
+fn repro_amd7900xtx_1d_subnative_fragment_padding() {
+    use kami::core::Algo;
+    use kami::verify::{assert_case, Case, CaseAlgo, DeviceId};
+    for data_seed in [603589650968577474u64, 1172480627808539947] {
+        let case = Case {
+            id: 15799213014198909268,
+            device: DeviceId::Amd7900Xtx,
+            algo: CaseAlgo::Dense(Algo::OneD),
+            precision: Precision::Bf16,
+            m: 16,
+            n: 48,
+            k: 16,
+            warps: 4,
+            alpha: 1.0,
+            beta: 0.0,
+            sparsity: None,
+            epilogue: None,
+            batch: 1,
+            data_seed,
+        };
+        assert_case(&case, &Harness::default());
+    }
 }
