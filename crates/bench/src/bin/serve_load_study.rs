@@ -1,0 +1,301 @@
+//! Sustained-load study: the sharded admission path under a
+//! multi-producer firehose of small mixed requests.
+//!
+//! Small single-block GEMMs are the worst case for tick-based dispatch:
+//! each one occupies a sliver of the device, so aggregate throughput is
+//! set almost entirely by how deep a batch each tick can coalesce. The
+//! study drives the same deterministic mixed trace (dense 16x16x16 fp16
+//! with skinny, fused-epilogue, and block-sparse riders) from several
+//! producer threads through two server configurations:
+//!
+//! * **baseline** — the pre-shard single queue: `admission_shards: 1`,
+//!   `queue_capacity: 64` (the old default admission bound);
+//! * **sharded** — the sharded admission path at sustained depth:
+//!   `admission_shards: 8`, `queue_capacity: 4096`.
+//!
+//! Producers saturate the queue (spinning on `QueueFull` like a
+//! load-shedding client would) and the driver ticks only when admission
+//! is full, so every dispatch sees the configured depth — sustained
+//! load, not a drain of a pre-built backlog. Requests are generated
+//! lazily per index; nothing holds 10^6 payloads at once.
+//!
+//! ```text
+//! cargo run --release -p kami-bench --bin serve_load_study [-- --quick] [--out PATH]
+//! ```
+//!
+//! Reports simulated aggregate throughput (requests per megacycle) and
+//! completion-latency percentiles (p50/p99/p999, end-to-end from
+//! admission) from the server's own [`kami_serve::CycleHistogram`],
+//! emits
+//! `target/BENCH_serve_load.json` plus the sharded leg's Prometheus
+//! text export, and exits nonzero if either CI gate fails:
+//!
+//! * sharded simulated throughput must be >= 2x the baseline leg;
+//! * in `--quick` mode, the sharded p99 must stay within 1.5x of the
+//!   checked-in reference (`crates/bench/data/serve_load_baseline.json`).
+//!
+//! Full mode pushes >= 10^6 requests through the sharded leg; the
+//! baseline leg samples a 20k-request prefix of the same trace (its
+//! simulated rate is depth-determined and stable long before that).
+
+use kami_core::{Epilogue, GemmRequest, KamiConfig};
+use kami_gpu_sim::{device, Matrix, Precision};
+use kami_serve::{Metrics, ServeRequest, Server, ServerConfig};
+use kami_sparse::{gen, BlockOrder};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Producer threads per leg.
+const PRODUCERS: usize = 4;
+
+/// The deterministic mixed trace, generated lazily by index. Per 500
+/// requests: one SpMM, one tall-ish skinny GEMM, two fused-epilogue
+/// GEMMs, and 496 plain dense 16x16x16 fp16 (one device block each —
+/// the shape class that makes admission depth the whole ballgame).
+fn request_at(i: usize) -> ServeRequest {
+    let seed = i as u64;
+    match i % 500 {
+        0 => {
+            let cfg = KamiConfig::new(kami_core::Algo::TwoD, Precision::Fp16);
+            let a = gen::random_block_sparse(32, 32, 16, 0.4, BlockOrder::ZMorton, seed);
+            let b = Matrix::seeded_uniform(32, 32, seed + 5_000);
+            ServeRequest::spmm(a, b, cfg)
+        }
+        1 => {
+            let a = Matrix::seeded_uniform(16, 256, seed);
+            let b = Matrix::seeded_uniform(256, 16, seed + 10_000);
+            ServeRequest::gemm(a, b, Precision::Fp16)
+        }
+        2 | 3 => {
+            let a = Matrix::seeded_uniform(16, 16, seed);
+            let b = Matrix::seeded_uniform(16, 16, seed + 10_000);
+            ServeRequest::dense(
+                GemmRequest::gemm_auto(a, b)
+                    .precision(Precision::Fp16)
+                    .with_epilogue(Epilogue::Relu),
+            )
+        }
+        _ => {
+            let a = Matrix::seeded_uniform(16, 16, seed);
+            let b = Matrix::seeded_uniform(16, 16, seed + 10_000);
+            ServeRequest::gemm(a, b, Precision::Fp16)
+        }
+    }
+}
+
+struct LegStats {
+    clock: f64,
+    wall_secs: f64,
+    metrics: Metrics,
+    prometheus: String,
+}
+
+impl LegStats {
+    /// Simulated aggregate throughput in requests per megacycle.
+    fn requests_per_megacycle(&self) -> f64 {
+        self.metrics.completed as f64 / self.clock * 1e6
+    }
+}
+
+/// Drive `total` requests through one server config: `PRODUCERS`
+/// submitter threads spinning on `QueueFull`, one driver thread that
+/// ticks only when admission is full (or the producers are finished),
+/// so every dispatch runs at the configured depth.
+fn run_leg(shards: usize, capacity: usize, total: usize) -> LegStats {
+    let dev = device::gh200();
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: capacity,
+            admission_shards: shards,
+            ..ServerConfig::default()
+        },
+    );
+    let producers_done = AtomicUsize::new(0);
+    let t0 = Instant::now();
+
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let server = &server;
+            let producers_done = &producers_done;
+            s.spawn(move || {
+                let mut window: VecDeque<kami_serve::Ticket> = VecDeque::new();
+                for i in (p..total).step_by(PRODUCERS) {
+                    let req = std::sync::Arc::new(request_at(i));
+                    let ticket = loop {
+                        match server.submit_shared(std::sync::Arc::clone(&req)) {
+                            Ok(t) => break t,
+                            Err(kami_serve::ServeError::QueueFull { .. }) => {
+                                // Reap whatever already resolved, then
+                                // let the driver drain the queue.
+                                while window.front().is_some_and(|t| t.is_done()) {
+                                    let t = window.pop_front().unwrap();
+                                    t.wait().expect("trace request must serve");
+                                }
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("submission failed under load: {e}"),
+                        }
+                    };
+                    window.push_back(ticket);
+                    while window.front().is_some_and(|t| t.is_done()) {
+                        let t = window.pop_front().unwrap();
+                        t.wait().expect("trace request must serve");
+                    }
+                }
+                producers_done.fetch_add(1, Ordering::SeqCst);
+                for t in window {
+                    t.wait().expect("trace request must serve");
+                }
+            });
+        }
+
+        // The driver: dispatch full batches while producers are live,
+        // then drain the tail.
+        while producers_done.load(Ordering::SeqCst) < PRODUCERS || server.pending() > 0 {
+            if server.pending() >= capacity || producers_done.load(Ordering::SeqCst) == PRODUCERS {
+                server.tick();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    });
+
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed as usize, total, "every request resolves");
+    LegStats {
+        clock: server.clock(),
+        wall_secs,
+        metrics,
+        prometheus: server.to_prometheus(),
+    }
+}
+
+fn leg_json(label: &str, shards: usize, capacity: usize, stats: &LegStats) -> String {
+    let m = &stats.metrics;
+    let h = &m.completion_cycles;
+    format!(
+        "  \"{label}\": {{\n    \"admission_shards\": {shards},\n    \
+         \"queue_capacity\": {capacity},\n    \"requests\": {},\n    \
+         \"simulated_cycles\": {:.3},\n    \"requests_per_megacycle\": {:.3},\n    \
+         \"wall_secs\": {:.3},\n    \"wall_requests_per_sec\": {:.1},\n    \
+         \"p50_cycles\": {:.3},\n    \"p99_cycles\": {:.3},\n    \"p999_cycles\": {:.3},\n    \
+         \"ticks\": {},\n    \"max_queue_depth\": {},\n    \"max_parked_depth\": {},\n    \
+         \"admission_failovers\": {},\n    \"rejected_queue_full\": {}\n  }}",
+        m.completed,
+        stats.clock,
+        stats.requests_per_megacycle(),
+        stats.wall_secs,
+        m.completed as f64 / stats.wall_secs,
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        m.ticks,
+        m.max_queue_depth,
+        m.max_parked_depth,
+        m.admission_failovers,
+        m.rejected_queue_full,
+    )
+}
+
+fn print_leg(label: &str, stats: &LegStats) {
+    let m = &stats.metrics;
+    let h = &m.completion_cycles;
+    println!(
+        "{label:<22} {:>10} {:>14.0} {:>12.1} {:>10.0} {:>10.0} {:>10.0} {:>8} {:>9.1}",
+        m.completed,
+        stats.clock,
+        stats.requests_per_megacycle(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        m.ticks,
+        m.completed as f64 / stats.wall_secs,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "target/BENCH_serve_load.json".into());
+
+    let total = if quick { 8_192 } else { 1_000_000 };
+    let baseline_total = total.min(20_000);
+    let (base_shards, base_cap) = (1usize, 64usize);
+    let (new_shards, new_cap) = (8usize, 4_096usize);
+
+    println!("# serve_load_study: sustained mixed load, GH200, {PRODUCERS} producers");
+    println!(
+        "# mix per 500 requests: 1 spmm + 1 skinny(16x16x256) + 2 relu-epilogue + 496 dense 16^3 fp16"
+    );
+    println!(
+        "# sharded leg: {total} requests at shards={new_shards} cap={new_cap}; \
+         baseline leg: {baseline_total} requests at shards={base_shards} cap={base_cap}\n"
+    );
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>12} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "config", "requests", "sim cycles", "req/Mcycle", "p50", "p99", "p999", "ticks", "wall r/s"
+    );
+    let baseline = run_leg(base_shards, base_cap, baseline_total);
+    print_leg("single-queue baseline", &baseline);
+    let sharded = run_leg(new_shards, new_cap, total);
+    print_leg("sharded admission", &sharded);
+
+    let speedup = sharded.requests_per_megacycle() / baseline.requests_per_megacycle();
+    println!("\nsimulated throughput speedup (sharded / baseline): {speedup:.2}x");
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output dir");
+        }
+    }
+    let json = format!(
+        "{{\n  \"study\": \"serve_load_study\",\n  \"device\": \"GH200\",\n  \
+         \"quick\": {quick},\n  \"producers\": {PRODUCERS},\n\
+         {},\n{},\n  \"speedup\": {speedup:.3},\n  \
+         \"gate\": \"sharded >= 2x baseline simulated throughput; quick p99 within 1.5x reference\"\n}}\n",
+        leg_json("baseline", base_shards, base_cap, &baseline),
+        leg_json("sharded", new_shards, new_cap, &sharded),
+    );
+    std::fs::write(&out, json).expect("write BENCH_serve_load.json");
+    let prom_out = format!("{}.prom", out.trim_end_matches(".json"));
+    std::fs::write(&prom_out, &sharded.prometheus).expect("write prometheus export");
+    println!("wrote {out} and {prom_out}");
+
+    let mut failed = false;
+    if speedup < 2.0 {
+        eprintln!("FAIL: sharded throughput {speedup:.2}x under the 2x acceptance bar");
+        failed = true;
+    }
+    if quick {
+        // Latency regression gate against the checked-in reference run.
+        let reference: serde_json::Value =
+            serde_json::from_str(include_str!("../../data/serve_load_baseline.json"))
+                .expect("reference JSON parses");
+        let ref_p99 = reference["sharded"]["p99_cycles"]
+            .as_f64()
+            .expect("reference carries sharded.p99_cycles");
+        let p99 = sharded.metrics.completion_cycles.p99();
+        let bound = ref_p99 * 1.5;
+        if p99 > bound {
+            eprintln!(
+                "FAIL: sharded p99 {p99:.0} cycles regressed past 1.5x the checked-in \
+                 reference ({ref_p99:.0} -> bound {bound:.0})"
+            );
+            failed = true;
+        } else {
+            println!("p99 {p99:.0} cycles within 1.5x of checked-in reference {ref_p99:.0}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: >= 2x sustained-throughput acceptance bar");
+}

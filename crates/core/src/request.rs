@@ -163,8 +163,9 @@ pub struct GemmRequest {
     /// Device the request is destined for (used by [`GemmRequest::run`]
     /// and by service layers for placement).
     pub device: Option<DeviceSpec>,
-    /// Service deadline in simulated device cycles, measured from the
-    /// moment the request becomes runnable. `None` = best effort.
+    /// End-to-end service deadline in simulated device cycles,
+    /// charged from the clock at admission — retries and backoff
+    /// parking all spend this same budget. `None` = best effort.
     pub deadline_cycles: Option<f64>,
 }
 
@@ -301,7 +302,8 @@ impl GemmRequest {
         self
     }
 
-    /// Service deadline in simulated cycles from runnable.
+    /// End-to-end service deadline in simulated cycles, charged from
+    /// admission across every retry.
     pub fn deadline(mut self, cycles: f64) -> Self {
         self.deadline_cycles = Some(cycles);
         self

@@ -363,6 +363,17 @@ impl FleetMetrics {
             "kami_fleet_completion_cycles_p99 {}",
             self.completion_cycles.p99()
         );
+        series(
+            &mut out,
+            "completion_cycles_p999",
+            "Fleet-wide p99.9 completion latency, simulated cycles",
+            "gauge",
+        );
+        let _ = writeln!(
+            out,
+            "kami_fleet_completion_cycles_p999 {}",
+            self.completion_cycles.p999()
+        );
         out
     }
 }
@@ -555,6 +566,13 @@ impl FleetServer {
     /// than bouncing the client. Only when every eligible replica is
     /// full does the queue-full error surface.
     pub fn submit(&self, request: ServeRequest) -> Result<FleetTicket, ServeError> {
+        self.submit_shared(Arc::new(request))
+    }
+
+    /// Route and admit an already-`Arc`'d request — the zero-copy
+    /// path. Every spill candidate is offered the same allocation; the
+    /// payload is never cloned however many replicas are probed.
+    pub fn submit_shared(&self, request: Arc<ServeRequest>) -> Result<FleetTicket, ServeError> {
         let decision = match self.plan_route(&request) {
             Ok(d) => d,
             Err(e) => {
@@ -585,7 +603,7 @@ impl FleetServer {
         }
         let mut last_err = None;
         for (rank, cand) in order.iter().enumerate() {
-            match self.submit_to(cand.replica, request.clone()) {
+            match self.submit_shared_to(cand.replica, Arc::clone(&request)) {
                 Ok(t) => {
                     let mut stats = self.router.lock().unwrap_or_else(|p| p.into_inner());
                     stats.routed += 1;
@@ -621,8 +639,17 @@ impl FleetServer {
         replica: usize,
         request: ServeRequest,
     ) -> Result<FleetTicket, ServeError> {
+        self.submit_shared_to(replica, Arc::new(request))
+    }
+
+    /// Admit an already-`Arc`'d request on a specific replica.
+    pub fn submit_shared_to(
+        &self,
+        replica: usize,
+        request: Arc<ServeRequest>,
+    ) -> Result<FleetTicket, ServeError> {
         let r = &self.replicas[replica];
-        let ticket = r.server.submit(request)?;
+        let ticket = r.server.submit_shared(request)?;
         Ok(FleetTicket {
             replica,
             device: r.device().name.clone(),

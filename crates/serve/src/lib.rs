@@ -19,12 +19,20 @@
 //!
 //! Service semantics:
 //!
-//! * **Backpressure** — the queue is bounded; submissions beyond
-//!   capacity bounce with [`ServeError::QueueFull`].
-//! * **Deadlines** — each request may carry a per-attempt budget in
-//!   simulated cycles; a missed deadline requeues with exponential
-//!   backoff, and once retries are exhausted the request completes via
-//!   a *degraded serial* replay rather than being dropped.
+//! * **Sharded admission** — `submit` stripes over per-shard locked
+//!   sub-queues (home shard by producer thread, failover to siblings),
+//!   payloads move into `Arc`'d storage at admission, and tickets
+//!   resolve through a lock-free one-shot cell, so neither admission
+//!   nor completion contends on the dispatcher's state lock.
+//! * **Backpressure** — the global admission bound is atomic;
+//!   submissions beyond capacity bounce with
+//!   [`ServeError::QueueFull`]. Parked-in-backoff retries are already
+//!   admitted and exempt from the bound.
+//! * **Deadlines** — each request may carry an *end-to-end* budget in
+//!   simulated cycles, charged from admission across every retry; a
+//!   missed deadline requeues with exponential backoff, and once
+//!   retries are exhausted the request completes via a *degraded
+//!   serial* replay rather than being dropped.
 //! * **Graceful drain** — `shutdown()` stops admission,
 //!   `shutdown_and_drain()` finishes everything already queued.
 //! * **Observability** — per-request and per-tick metrics

@@ -116,6 +116,12 @@ impl CycleHistogram {
         self.percentile(0.99)
     }
 
+    /// Extreme-tail completion latency (upper-bound estimate), in
+    /// cycles — the sustained-load study's headline tail metric.
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+
     /// Fold another histogram into this one — fixed boundaries make
     /// this exact, which is what fleet rollup relies on.
     pub fn merge(&mut self, other: &CycleHistogram) {
@@ -157,9 +163,19 @@ pub struct Metrics {
     pub service_cycles_sum: f64,
     /// Sum over groups of their makespans (device busy time).
     pub group_cycles_sum: f64,
-    /// Largest queue depth observed at submit time.
+    /// Largest *freshly admitted* depth observed at submit time (the
+    /// depth the admission bound applies to; parked retries are
+    /// tracked by `max_parked_depth`).
     pub max_queue_depth: usize,
-    /// Per-completion latency (queue + service cycles) histogram;
+    /// Largest parked-in-backoff depth observed at requeue time.
+    /// Parked retries are already admitted and exempt from the
+    /// admission bound — this is their separate account.
+    pub max_parked_depth: usize,
+    /// Submissions whose home admission shard was at its soft cap and
+    /// landed on a sibling shard instead of bouncing.
+    pub admission_failovers: u64,
+    /// End-to-end completion latency histogram in simulated cycles
+    /// (admission to completion, retries and backoff parking included);
     /// fixed power-of-two buckets so fleet rollups merge exactly.
     pub completion_cycles: CycleHistogram,
     pub per_tick: Vec<TickRecord>,
@@ -244,6 +260,11 @@ impl Metrics {
             "Simulated device-busy cycles across groups",
             self.group_cycles_sum,
         );
+        counter(
+            "admission_failovers_total",
+            "Submissions that landed on a sibling shard",
+            self.admission_failovers as f64,
+        );
         let mut gauge = |name: &str, help: &str, v: f64| {
             let _ = writeln!(out, "# HELP kami_serve_{name} {help}");
             let _ = writeln!(out, "# TYPE kami_serve_{name} gauge");
@@ -251,8 +272,13 @@ impl Metrics {
         };
         gauge(
             "max_queue_depth",
-            "Largest queue depth seen at submit",
+            "Largest admitted queue depth seen at submit",
             self.max_queue_depth as f64,
+        );
+        gauge(
+            "max_parked_depth",
+            "Largest parked-in-backoff depth seen at requeue",
+            self.max_parked_depth as f64,
         );
         gauge(
             "coalesce_factor",
@@ -273,6 +299,11 @@ impl Metrics {
             "completion_cycles_p99",
             "P99 completion latency in simulated cycles (bucket upper bound)",
             self.completion_cycles.p99(),
+        );
+        gauge(
+            "completion_cycles_p999",
+            "P99.9 completion latency in simulated cycles (bucket upper bound)",
+            self.completion_cycles.p999(),
         );
         out
     }

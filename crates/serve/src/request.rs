@@ -57,8 +57,9 @@ impl Workload {
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     pub workload: Workload,
-    /// Simulated-cycle budget per attempt, measured from the moment the
-    /// attempt became eligible to run. `None` = no deadline.
+    /// End-to-end simulated-cycle budget, measured from the clock at
+    /// admission — retries and their backoff parking all spend this
+    /// same budget. `None` = no deadline.
     pub deadline_cycles: Option<f64>,
     /// Fleet placement constraint: when set, the request may only land
     /// on replicas whose [`DeviceSpec::name`] matches exactly. Ignored
@@ -101,7 +102,8 @@ impl ServeRequest {
         }
     }
 
-    /// Set the per-attempt deadline in simulated cycles.
+    /// Set the end-to-end deadline in simulated cycles (charged from
+    /// admission, across every retry).
     pub fn with_deadline(mut self, cycles: f64) -> Self {
         self.deadline_cycles = Some(cycles);
         self

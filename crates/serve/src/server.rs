@@ -1,5 +1,6 @@
-//! The service runtime: bounded admission, tick-based dispatch,
-//! coalescing, deadlines with retry and degraded-serial fallback.
+//! The service runtime: sharded bounded admission, tick-based dispatch,
+//! coalescing, end-to-end deadlines with retry and degraded-serial
+//! fallback.
 //!
 //! ## Clock model
 //!
@@ -9,6 +10,34 @@
 //! by the pool's makespan. Wall-clock time never enters the model —
 //! latency, deadlines, and backoff are all simulated cycles, so runs
 //! are exactly reproducible.
+//!
+//! ## Admission path
+//!
+//! Admission is striped over [`ServerConfig::admission_shards`]
+//! sub-queues with per-shard locks, so producers on different threads
+//! never contend on one mutex. `submit` reserves one slot of the
+//! *global* capacity (a single atomic), lands on the submitting
+//! thread's home shard, and fails over to a sibling shard when the home
+//! shard is at its soft per-shard cap — [`ServeError::QueueFull`] only
+//! surfaces when the global bound is truly exhausted. A tick drains all
+//! shards into one batch and orders it by admission id, which both
+//! preserves per-shard FIFO and makes the batch globally
+//! submission-ordered, so dispatch stays deterministic.
+//!
+//! Completion is equally lock-free: payloads live in `Arc`'d storage
+//! from admission (retries and the degraded-serial replay share the
+//! allocation instead of cloning), and tickets resolve through an
+//! atomic one-shot cell, so settling a request never touches the
+//! admission shards or blocks a producer.
+//!
+//! ## Deadlines
+//!
+//! `deadline_cycles` is **end-to-end**: the budget is charged from the
+//! clock at admission, across every retry and its backoff parking. A
+//! missed deadline requeues into a parked set (exempt from the
+//! admission bound — admitted work is never double-charged against
+//! fresh producers) until retries are exhausted, then completes via the
+//! degraded serial fallback rather than being dropped.
 //!
 //! ## Numerics
 //!
@@ -26,18 +55,29 @@ use crate::request::{ServeOutput, ServeRequest, Workload};
 use crate::ticket::{Completed, CompletionPath, Ticket, TicketInner};
 use kami_gpu_sim::{CostConfig, DeviceSpec, Trace};
 use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler, SparseWork};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Bounded admission queue: submissions beyond this depth bounce
-    /// with [`ServeError::QueueFull`].
+    /// Bounded admission: submissions beyond this *global* depth bounce
+    /// with [`ServeError::QueueFull`]. The bound covers freshly admitted
+    /// requests only; retries parked in backoff are already admitted and
+    /// tracked separately (see [`Metrics::max_parked_depth`]).
     pub queue_capacity: usize,
+    /// Sub-queues the admission path stripes over. Producers hash to a
+    /// home shard by thread and fail over to siblings before reporting
+    /// `QueueFull`; 1 = the single-queue baseline.
+    pub admission_shards: usize,
     /// Merge same-shape-class dense requests into shared work pools.
     /// Off = every request dispatches alone (the serial baseline).
     pub coalesce: bool,
+    /// Run a group's member numerics in parallel across worker threads.
+    /// Outputs are collected in member order, so results are
+    /// bit-identical to the sequential path.
+    pub parallel_execute: bool,
     /// Deadline misses tolerated before the serial fallback.
     pub max_retries: u32,
     /// Base requeue delay in simulated cycles; attempt `i` waits
@@ -66,7 +106,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             queue_capacity: 64,
+            admission_shards: 8,
             coalesce: true,
+            parallel_execute: true,
             max_retries: 2,
             backoff_cycles: 1024.0,
             cost: None,
@@ -77,11 +119,17 @@ impl Default for ServerConfig {
     }
 }
 
-/// A queued request attempt.
+/// A queued request attempt. The request payload is `Arc`'d at
+/// admission: retry attempts, coalesced group members, and the degraded
+/// replay all read the same allocation.
 struct Pending {
     id: u64,
-    request: ServeRequest,
-    /// Clock when the current attempt became eligible.
+    request: Arc<ServeRequest>,
+    /// Clock at admission — immutable; every deadline check and the
+    /// end-to-end latency histogram charge from here.
+    admitted_at: f64,
+    /// Clock when the current attempt becomes eligible (the backoff
+    /// gate — never used for deadline accounting).
     ready_at: f64,
     /// Dispatch attempts consumed so far.
     attempts: u32,
@@ -90,12 +138,91 @@ struct Pending {
     ticket: Arc<TicketInner>,
 }
 
+/// Striped admission: N sub-queues with per-shard locks under one
+/// atomic global capacity.
+struct AdmissionShards {
+    shards: Vec<Mutex<VecDeque<Pending>>>,
+    /// Admitted-but-not-yet-claimed requests across all shards
+    /// (incremented at reserve time, decremented at drain).
+    depth: AtomicUsize,
+    /// Soft per-shard bound steering `push` toward balance; the global
+    /// `capacity` is the only hard limit.
+    soft_cap: usize,
+    capacity: usize,
+}
+
+impl AdmissionShards {
+    fn new(shards: usize, capacity: usize) -> Self {
+        let n = shards.max(1);
+        AdmissionShards {
+            shards: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            depth: AtomicUsize::new(0),
+            soft_cap: capacity.div_ceil(n).max(1),
+            capacity,
+        }
+    }
+
+    /// Claim one slot of global capacity, or fail without side effects.
+    fn try_reserve(&self) -> bool {
+        if self.depth.fetch_add(1, Ordering::SeqCst) >= self.capacity {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// The submitting thread's home shard (stable per thread, so a
+    /// single producer keeps per-shard FIFO = its submission order).
+    fn home_shard(&self) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Enqueue under an already-reserved slot. Prefers the home shard,
+    /// fails over to the first sibling under the soft cap (the last
+    /// probed shard always accepts — capacity was reserved globally).
+    /// Returns `true` when a failover happened.
+    fn push(&self, home: usize, pending: Pending) -> bool {
+        let n = self.shards.len();
+        let mut pending = Some(pending);
+        for i in 0..n {
+            let idx = (home + i) % n;
+            let mut q = self.shards[idx].lock().unwrap_or_else(|p| p.into_inner());
+            if q.len() < self.soft_cap || i == n - 1 {
+                q.push_back(pending.take().expect("pushed at most once"));
+                return i > 0;
+            }
+        }
+        unreachable!("the last probed shard accepts unconditionally")
+    }
+
+    /// Claim every enqueued request, shard by shard (per-shard FIFO
+    /// preserved; the caller orders the combined batch by id).
+    fn drain_all(&self) -> Vec<Pending> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut q = shard.lock().unwrap_or_else(|p| p.into_inner());
+            out.extend(q.drain(..));
+        }
+        if !out.is_empty() {
+            self.depth.fetch_sub(out.len(), Ordering::SeqCst);
+        }
+        out
+    }
+
+    fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+}
+
 struct State {
-    queue: VecDeque<Pending>,
+    /// Retries parked in backoff. Already admitted — exempt from the
+    /// admission bound, accounted via [`Metrics::max_parked_depth`].
+    parked: VecDeque<Pending>,
     clock: f64,
-    next_id: u64,
     tick: u64,
-    shutting_down: bool,
     metrics: Metrics,
     trace: MergedTrace,
 }
@@ -135,7 +262,25 @@ pub struct Server {
     device: DeviceSpec,
     config: ServerConfig,
     plans: Arc<PlanCache>,
+    admission: AdmissionShards,
     state: Mutex<State>,
+    /// Monotone admission ids — also the deterministic dispatch order.
+    next_id: AtomicU64,
+    shutting_down: AtomicBool,
+    /// Mirror of `State::clock` (f64 bits) so `submit` stamps
+    /// `admitted_at` without the state lock.
+    clock_bits: AtomicU64,
+    // Admission-side counters live outside the state lock; `metrics()`
+    // composes them with the dispatch-side counters.
+    submitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutting_down: AtomicU64,
+    admission_failovers: AtomicU64,
+    max_queue_depth: AtomicUsize,
+    /// Dispatcher threads parked on `work_cv`; producers skip the
+    /// notify entirely while this is zero.
+    sleepers: AtomicUsize,
+    park: Mutex<()>,
     /// Signalled on submit and shutdown, so dispatcher threads can park.
     work_cv: Condvar,
     /// Serializes ticks: dispatch itself runs outside `state`, so
@@ -161,19 +306,29 @@ impl Server {
         config: ServerConfig,
         plans: Arc<PlanCache>,
     ) -> Self {
+        let admission = AdmissionShards::new(config.admission_shards, config.queue_capacity);
         Server {
             device: device.clone(),
             config,
             plans,
+            admission,
             state: Mutex::new(State {
-                queue: VecDeque::new(),
+                parked: VecDeque::new(),
                 clock: 0.0,
-                next_id: 0,
                 tick: 0,
-                shutting_down: false,
                 metrics: Metrics::default(),
                 trace: MergedTrace::default(),
             }),
+            next_id: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            clock_bits: AtomicU64::new(0.0f64.to_bits()),
+            submitted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shutting_down: AtomicU64::new(0),
+            admission_failovers: AtomicU64::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(()),
             work_cv: Condvar::new(),
             dispatch: Mutex::new(()),
         }
@@ -196,61 +351,101 @@ impl Server {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    fn publish_clock(&self, clock: f64) {
+        self.clock_bits.store(clock.to_bits(), Ordering::SeqCst);
+    }
+
     /// Admit a request. Returns a [`Ticket`] resolving when some thread
     /// ticks the queue dry, or a typed rejection under backpressure or
-    /// shutdown.
+    /// shutdown. The payload moves into `Arc`'d storage; submit with
+    /// [`Server::submit_shared`] to share an allocation you already
+    /// hold.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, ServeError> {
-        let mut st = self.locked();
-        if st.shutting_down {
-            st.metrics.rejected_shutting_down += 1;
+        self.submit_shared(Arc::new(request))
+    }
+
+    /// Admit an already-`Arc`'d request — the zero-copy admission path.
+    /// Retry attempts, coalesced dispatch, and the degraded-serial
+    /// replay all read this allocation; the server never clones the
+    /// payload.
+    pub fn submit_shared(&self, request: Arc<ServeRequest>) -> Result<Ticket, ServeError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            self.rejected_shutting_down.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::ShuttingDown);
         }
-        if st.queue.len() >= self.config.queue_capacity {
-            st.metrics.rejected_queue_full += 1;
+        if !self.admission.try_reserve() {
+            self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::QueueFull {
                 capacity: self.config.queue_capacity,
             });
         }
-        let id = st.next_id;
-        st.next_id += 1;
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let ticket = Arc::new(TicketInner::default());
-        let ready_at = st.clock;
-        st.queue.push_back(Pending {
-            id,
-            request,
-            ready_at,
-            attempts: 0,
-            cached: None,
-            ticket: Arc::clone(&ticket),
-        });
-        st.metrics.submitted += 1;
-        let depth = st.queue.len();
-        if depth > st.metrics.max_queue_depth {
-            st.metrics.max_queue_depth = depth;
+        let admitted_at = self.clock();
+        let home = self.admission.home_shard();
+        let failed_over = self.admission.push(
+            home,
+            Pending {
+                id,
+                request,
+                admitted_at,
+                ready_at: admitted_at,
+                attempts: 0,
+                cached: None,
+                ticket: Arc::clone(&ticket),
+            },
+        );
+        if failed_over {
+            self.admission_failovers.fetch_add(1, Ordering::Relaxed);
         }
-        drop(st);
-        self.work_cv.notify_all();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(self.admission.depth(), Ordering::Relaxed);
+        self.notify_work();
         Ok(Ticket { id, inner: ticket })
     }
 
-    /// Requests currently queued (including ones parked in backoff).
+    fn notify_work(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // The park lock orders this notify after a racing sleeper's
+            // under-lock work re-check, so the wakeup cannot be lost.
+            let _g = self.park.lock().unwrap_or_else(|p| p.into_inner());
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Requests in flight: freshly admitted plus parked-in-backoff.
     pub fn pending(&self) -> usize {
-        self.locked().queue.len()
+        self.admission.depth() + self.locked().parked.len()
     }
 
-    /// The simulated service clock.
+    /// Retries currently parked in backoff (admitted earlier; exempt
+    /// from the admission bound).
+    pub fn parked(&self) -> usize {
+        self.locked().parked.len()
+    }
+
+    /// The simulated service clock (lock-free read of the mirror the
+    /// dispatcher publishes).
     pub fn clock(&self) -> f64 {
-        self.locked().clock
+        f64::from_bits(self.clock_bits.load(Ordering::SeqCst))
     }
 
-    /// Snapshot the cumulative metrics.
+    /// Snapshot the cumulative metrics (admission-side atomic counters
+    /// composed with the dispatch-side state).
     pub fn metrics(&self) -> Metrics {
-        self.locked().metrics.clone()
+        let mut m = self.locked().metrics.clone();
+        m.submitted = self.submitted.load(Ordering::Relaxed);
+        m.rejected_queue_full = self.rejected_queue_full.load(Ordering::Relaxed);
+        m.rejected_shutting_down = self.rejected_shutting_down.load(Ordering::Relaxed);
+        m.admission_failovers = self.admission_failovers.load(Ordering::Relaxed);
+        m.max_queue_depth = self.max_queue_depth.load(Ordering::Relaxed);
+        m
     }
 
     /// Prometheus text exposition of the current metrics.
     pub fn to_prometheus(&self) -> String {
-        self.locked().metrics.to_prometheus()
+        self.metrics().to_prometheus()
     }
 
     /// The merged Chrome trace across every dispatched group (empty
@@ -262,7 +457,8 @@ impl Server {
     /// Stop admitting work. Queued requests still run; `drain` (or a
     /// dispatcher loop) finishes them.
     pub fn shutdown(&self) {
-        self.locked().shutting_down = true;
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let _g = self.park.lock().unwrap_or_else(|p| p.into_inner());
         self.work_cv.notify_all();
     }
 
@@ -278,17 +474,24 @@ impl Server {
         self.drain();
     }
 
+    fn has_work(&self) -> bool {
+        self.admission.depth() > 0 || !self.locked().parked.is_empty()
+    }
+
     /// Dispatcher loop for a dedicated thread: ticks whenever work is
     /// queued, parks when idle, returns after `shutdown()` once the
     /// queue is dry.
     pub fn run_dispatcher(&self) {
         loop {
             {
-                let mut st = self.locked();
-                while st.queue.is_empty() && !st.shutting_down {
-                    st = self.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                self.sleepers.fetch_add(1, Ordering::SeqCst);
+                let mut g = self.park.lock().unwrap_or_else(|p| p.into_inner());
+                while !self.has_work() && !self.shutting_down.load(Ordering::SeqCst) {
+                    g = self.work_cv.wait(g).unwrap_or_else(|p| p.into_inner());
                 }
-                if st.queue.is_empty() && st.shutting_down {
+                drop(g);
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                if !self.has_work() && self.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
             }
@@ -296,42 +499,57 @@ impl Server {
         }
     }
 
-    /// One dispatch round: pop every eligible request, coalesce, run
-    /// each group through the device scheduler, advance the clock,
-    /// resolve / requeue / degrade members against their deadlines.
+    /// One dispatch round: drain every shard, pop eligible parked
+    /// retries, coalesce, run each group through the device scheduler,
+    /// advance the clock, resolve / requeue / degrade members against
+    /// their end-to-end deadlines.
     pub fn tick(&self) -> TickSummary {
         let _serialize = self.dispatch.lock().unwrap_or_else(|p| p.into_inner());
 
         // Phase 1 (under the state lock): claim the eligible batch.
         let (batch, tick_no, clock_at_start) = {
             let mut st = self.locked();
-            if st.queue.is_empty() {
+            let mut batch = self.admission.drain_all();
+            if batch.is_empty() && st.parked.is_empty() {
                 return TickSummary {
                     tick: st.tick,
                     ..TickSummary::default()
                 };
             }
-            // Nothing eligible yet? Everything is parked in backoff —
-            // jump the clock to the earliest ready time.
-            let min_ready = st
-                .queue
-                .iter()
-                .map(|p| p.ready_at)
-                .fold(f64::INFINITY, f64::min);
-            if min_ready > st.clock {
-                st.clock = min_ready;
+            if batch.is_empty() {
+                // Everything is parked in backoff — jump the clock to
+                // the earliest ready time.
+                let min_ready = st
+                    .parked
+                    .iter()
+                    .map(|p| p.ready_at)
+                    .fold(f64::INFINITY, f64::min);
+                if min_ready > st.clock {
+                    st.clock = min_ready;
+                    self.publish_clock(min_ready);
+                }
             }
             let clock = st.clock;
-            let mut batch = Vec::new();
             let mut keep = VecDeque::new();
-            while let Some(p) = st.queue.pop_front() {
+            while let Some(p) = st.parked.pop_front() {
                 if p.ready_at <= clock {
                     batch.push(p);
                 } else {
                     keep.push_back(p);
                 }
             }
-            st.queue = keep;
+            st.parked = keep;
+            if batch.is_empty() {
+                return TickSummary {
+                    tick: st.tick,
+                    ..TickSummary::default()
+                };
+            }
+            // Admission ids are monotone per shard, so this both
+            // restores global submission order and preserves per-shard
+            // FIFO — dispatch order is deterministic however the
+            // producers were scheduled onto shards.
+            batch.sort_unstable_by_key(|p| p.id);
             st.tick += 1;
             st.metrics.ticks += 1;
             (batch, st.tick, clock)
@@ -347,16 +565,19 @@ impl Server {
         for group in groups {
             self.dispatch_group(group, tick_no, &mut summary);
         }
-        summary.advanced_cycles = self.locked().clock - clock_at_start;
+        summary.advanced_cycles = self.clock() - clock_at_start;
         self.record_tick(tick_no, &summary);
         summary
     }
 
     /// Partition a batch into dispatch groups. With coalescing on,
-    /// dense requests sharing `(m, n, k, precision)` merge; everything
-    /// else (sparse structure, batched, 2.5D, low-rank) runs solo.
+    /// dense requests sharing `(m, n, k, precision, epilogue)` merge;
+    /// everything else (sparse structure, batched, 2.5D, low-rank) runs
+    /// solo. Groups keep first-seen order — the index makes the lookup
+    /// O(1) per request instead of a linear scan over existing groups.
     fn coalesce(&self, batch: Vec<Pending>) -> Vec<Vec<Pending>> {
-        let mut groups: Vec<(Option<crate::request::CoalesceKey>, Vec<Pending>)> = Vec::new();
+        let mut groups: Vec<Vec<Pending>> = Vec::new();
+        let mut index: HashMap<crate::request::CoalesceKey, usize> = HashMap::new();
         for p in batch {
             let key = if self.config.coalesce {
                 p.request.coalesce_key()
@@ -364,65 +585,107 @@ impl Server {
                 None
             };
             match key {
-                Some(k) => {
-                    if let Some((_, members)) = groups.iter_mut().find(|(gk, _)| *gk == Some(k)) {
-                        members.push(p);
-                    } else {
-                        groups.push((Some(k), vec![p]));
+                Some(k) => match index.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        groups[*e.get()].push(p);
                     }
-                }
-                None => groups.push((None, vec![p])),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        groups.push(vec![p]);
+                    }
+                },
+                None => groups.push(vec![p]),
             }
         }
-        groups.into_iter().map(|(_, members)| members).collect()
+        groups
     }
 
-    /// Execute one group: numerics per member (cached across retries),
-    /// one schedule for the pool, then deadline bookkeeping per member.
-    fn dispatch_group(&self, mut group: Vec<Pending>, tick_no: u64, summary: &mut TickSummary) {
+    /// Execute one group: numerics per member (cached across retries,
+    /// optionally parallel across members), one schedule for the pool,
+    /// then end-to-end deadline bookkeeping per member. Tickets resolve
+    /// after the state lock drops — completion never blocks admission.
+    fn dispatch_group(&self, group: Vec<Pending>, tick_no: u64, summary: &mut TickSummary) {
         summary.dispatched += group.len();
         summary.groups += 1;
+        let mut resolutions: Vec<(Arc<TicketInner>, Result<Completed, ServeError>)> = Vec::new();
 
         // Numerics first — members whose engine run fails resolve with
-        // the typed error and drop out of the pool.
-        let mut failed = Vec::new();
-        group.retain_mut(|p| {
-            if p.cached.is_none() {
-                match self.execute_request(&p.request) {
-                    Ok(out) => p.cached = Some(out),
-                    Err(e) => {
-                        failed.push((std::mem::take(&mut p.ticket), e));
-                        return false;
-                    }
+        // the typed error and drop out of the pool. Retry attempts ride
+        // on the cached first-attempt payload and skip this entirely.
+        let need: Vec<usize> = group
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.cached.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let computed: Vec<Result<ServeOutput, ServeError>> =
+            if self.config.parallel_execute && need.len() > 1 {
+                use rayon::prelude::*;
+                // Ordered collect: outputs land back on their members in
+                // member order, so parallel and sequential execution are
+                // observationally identical.
+                let requests: Vec<&ServeRequest> =
+                    need.iter().map(|&i| group[i].request.as_ref()).collect();
+                requests
+                    .par_iter()
+                    .map(|r| self.execute_request(r))
+                    .collect()
+            } else {
+                need.iter()
+                    .map(|&i| self.execute_request(&group[i].request))
+                    .collect()
+            };
+        let mut errors: HashMap<usize, ServeError> = HashMap::new();
+        let mut group = group;
+        for (&i, out) in need.iter().zip(computed) {
+            match out {
+                Ok(o) => group[i].cached = Some(o),
+                Err(e) => {
+                    errors.insert(i, e);
                 }
             }
-            true
-        });
-        for (ticket, e) in failed {
-            summary.failed += 1;
-            self.locked().metrics.failed += 1;
-            ticket.resolve(Err(e));
         }
-        if group.is_empty() {
+        let mut live = Vec::with_capacity(group.len());
+        let mut newly_failed = 0u64;
+        for (idx, p) in group.into_iter().enumerate() {
+            if let Some(e) = errors.remove(&idx) {
+                summary.failed += 1;
+                newly_failed += 1;
+                resolutions.push((p.ticket, Err(e)));
+            } else {
+                live.push(p);
+            }
+        }
+        if newly_failed > 0 {
+            self.locked().metrics.failed += newly_failed;
+        }
+        if live.is_empty() {
+            for (ticket, outcome) in resolutions {
+                ticket.resolve(outcome);
+            }
             return;
         }
 
         // One schedule for the whole pool.
-        let (makespan, utilization, trace) = match self.schedule_group(&group) {
+        let (makespan, utilization, trace) = match self.schedule_group(&live) {
             Ok(out) => out,
             Err(e) => {
-                for p in group {
+                let n = live.len() as u64;
+                for p in live {
                     summary.failed += 1;
-                    self.locked().metrics.failed += 1;
-                    p.ticket.resolve(Err(ServeError::Sched(e.clone())));
+                    resolutions.push((p.ticket, Err(ServeError::Sched(e.clone()))));
+                }
+                self.locked().metrics.failed += n;
+                for (ticket, outcome) in resolutions {
+                    ticket.resolve(outcome);
                 }
                 return;
             }
         };
 
         // Advance the clock and settle every member against its
-        // deadline, all under one state lock.
-        let group_size = group.len();
+        // deadline, all under one state lock; resolutions fire after.
+        let group_size = live.len();
         summary.group_cycles += makespan;
         summary.util_weighted += utilization * makespan;
         let mut st = self.locked();
@@ -432,19 +695,28 @@ impl Server {
         if let Some(t) = &trace {
             st.trace.absorb(t, group_start);
         }
-        for mut p in group {
+        for mut p in live {
             p.attempts += 1;
             let finished = st.clock;
-            let elapsed = finished - p.ready_at;
+            // End-to-end deadline: elapsed charges from admission, not
+            // from this attempt's eligibility — retries and their
+            // backoff parking all spend the same budget.
+            let elapsed = finished - p.admitted_at;
             let missed = p.request.deadline_cycles.is_some_and(|d| elapsed > d);
             if missed && p.attempts <= self.config.max_retries {
                 // Retry with exponential backoff; the cached payload
-                // rides along so numerics never recompute.
+                // rides along so numerics never recompute. Parked
+                // retries are already admitted: they bypass the
+                // admission bound and are accounted separately.
                 let backoff = self.config.backoff_cycles * f64::powi(2.0, (p.attempts - 1) as i32);
                 p.ready_at = finished + backoff;
                 st.metrics.retries += 1;
                 summary.retried += 1;
-                st.queue.push_back(p);
+                st.parked.push_back(p);
+                let depth = st.parked.len();
+                if depth > st.metrics.max_parked_depth {
+                    st.metrics.max_parked_depth = depth;
+                }
                 continue;
             }
             let output = p.cached.take().expect("numerics cached before settle");
@@ -471,18 +743,27 @@ impl Server {
             st.metrics.service_cycles_sum += service_cycles;
             st.metrics
                 .completion_cycles
-                .record(queue_cycles + service_cycles);
+                .record(finished_at - p.admitted_at);
             summary.completed += 1;
-            p.ticket.resolve(Ok(Completed {
-                id: p.id,
-                output,
-                via,
-                attempts: p.attempts,
-                queue_cycles,
-                service_cycles,
-                finished_at,
-                tick: tick_no,
-            }));
+            resolutions.push((
+                p.ticket,
+                Ok(Completed {
+                    id: p.id,
+                    output,
+                    via,
+                    attempts: p.attempts,
+                    admitted_at: p.admitted_at,
+                    queue_cycles,
+                    service_cycles,
+                    finished_at,
+                    tick: tick_no,
+                }),
+            ));
+        }
+        self.publish_clock(st.clock);
+        drop(st);
+        for (ticket, outcome) in resolutions {
+            ticket.resolve(outcome);
         }
     }
 

@@ -2,11 +2,20 @@
 //!
 //! `submit` returns a [`Ticket`] immediately; the dispatcher resolves
 //! it when the request's group drains (or when the request fails).
-//! Waiting blocks on a condvar, so producer threads can park while the
-//! dispatcher ticks.
+//!
+//! Resolution is **lock-free**: the outcome lands in a one-shot value
+//! slot guarded by an atomic state machine (`EMPTY → WRITING → READY →
+//! TAKEN`), so the dispatcher's settle path never blocks on a client
+//! that is polling or waiting — and, crucially, never needs the
+//! server's global state mutex. Blocking [`Ticket::wait`] parks on a
+//! per-ticket condvar that the resolver only touches when a waiter has
+//! registered, so the uncontended completion path is a handful of
+//! atomic stores.
 
 use crate::error::ServeError;
 use crate::request::ServeOutput;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// How a request reached completion.
@@ -43,6 +52,9 @@ pub struct Completed {
     pub via: CompletionPath,
     /// Dispatch attempts consumed (1 = first try).
     pub attempts: u32,
+    /// Simulated clock when the request was admitted — the origin every
+    /// end-to-end deadline and latency measurement charges from.
+    pub admitted_at: f64,
     /// Simulated cycles spent eligible-but-waiting before the final
     /// attempt's group started.
     pub queue_cycles: f64,
@@ -55,17 +67,117 @@ pub struct Completed {
     pub tick: u64,
 }
 
-#[derive(Debug, Default)]
+impl Completed {
+    /// End-to-end latency in simulated cycles: admission to completion,
+    /// retries and backoff parking included.
+    pub fn latency_cycles(&self) -> f64 {
+        self.finished_at - self.admitted_at
+    }
+}
+
+/// One-shot state machine: `EMPTY → WRITING → READY → TAKEN`.
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const READY: u8 = 2;
+const TAKEN: u8 = 3;
+
+/// The shared half of a ticket: an atomic one-shot cell.
+///
+/// Safety model: the slot is written exactly once, by the thread that
+/// wins the `EMPTY → WRITING` transition, and read exactly once, by the
+/// thread that wins the `READY → TAKEN` transition. The `Release` store
+/// of `READY` publishes the write; the `Acquire` CAS to `TAKEN` claims
+/// exclusive read access. No two threads ever touch the slot
+/// concurrently.
 pub(crate) struct TicketInner {
-    slot: Mutex<Option<Result<Completed, ServeError>>>,
+    state: AtomicU8,
+    slot: UnsafeCell<Option<Result<Completed, ServeError>>>,
+    /// Threads parked (or about to park) in `wait`; the resolver only
+    /// pays for the condvar when this is nonzero.
+    waiters: AtomicUsize,
+    park: Mutex<()>,
     cv: Condvar,
 }
 
+// SAFETY: all slot access is serialized by the atomic state machine
+// (see the struct docs); every field it contains is Send.
+unsafe impl Send for TicketInner {}
+unsafe impl Sync for TicketInner {}
+
+impl Default for TicketInner {
+    fn default() -> Self {
+        TicketInner {
+            state: AtomicU8::new(EMPTY),
+            slot: UnsafeCell::new(None),
+            waiters: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TicketInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.state.load(Ordering::Acquire) {
+            EMPTY => "empty",
+            WRITING => "writing",
+            READY => "ready",
+            _ => "taken",
+        };
+        f.debug_struct("TicketInner")
+            .field("state", &state)
+            .finish()
+    }
+}
+
 impl TicketInner {
+    /// Publish the outcome (exactly once; a second resolve is a server
+    /// bug and is dropped). Lock-free unless a waiter is parked.
     pub(crate) fn resolve(&self, outcome: Result<Completed, ServeError>) {
-        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
-        *slot = Some(outcome);
-        self.cv.notify_all();
+        if self
+            .state
+            .compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            debug_assert!(false, "ticket resolved twice");
+            return;
+        }
+        // SAFETY: winning the EMPTY→WRITING CAS grants exclusive write
+        // access; no reader can observe the slot until READY is stored.
+        unsafe {
+            *self.slot.get() = Some(outcome);
+        }
+        self.state.store(READY, Ordering::SeqCst);
+        // Waiter registration (waiters += 1, then state check) and this
+        // (READY store, then waiters check) are both SeqCst, so either
+        // the waiter sees READY or we see the waiter — never neither.
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the park lock orders the notify after the waiter's
+            // under-lock re-check, so the wakeup cannot be lost.
+            let _g = self.park.lock().unwrap_or_else(|p| p.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Whether an outcome has been published (or already consumed).
+    fn is_done(&self) -> bool {
+        self.state.load(Ordering::Acquire) >= READY
+    }
+
+    /// Claim and take the outcome if published; `None` while in flight
+    /// (or if another thread already took it).
+    fn try_take(&self) -> Option<Result<Completed, ServeError>> {
+        if self
+            .state
+            .compare_exchange(READY, TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: winning the READY→TAKEN CAS grants exclusive read
+            // access, and the Acquire pairs with the resolver's store.
+            unsafe { (*self.slot.get()).take() }
+        } else {
+            None
+        }
     }
 }
 
@@ -84,32 +196,86 @@ impl Ticket {
 
     /// Whether the request has resolved (without consuming the result).
     pub fn is_done(&self) -> bool {
-        self.inner
-            .slot
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .is_some()
+        self.inner.is_done()
     }
 
     /// Take the outcome if resolved; `None` while still in flight.
     pub fn try_take(&self) -> Option<Result<Completed, ServeError>> {
-        self.inner
-            .slot
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .take()
+        self.inner.try_take()
     }
 
     /// Block until the request resolves and take the outcome. Some
     /// thread must be ticking the server (or `drain` must already have
     /// run) for this to return.
     pub fn wait(self) -> Result<Completed, ServeError> {
-        let mut slot = self.inner.slot.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(outcome) = slot.take() {
+            if let Some(outcome) = self.inner.try_take() {
                 return outcome;
             }
-            slot = self.inner.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+            // Register as a waiter, then re-check under the park lock:
+            // the resolver stores READY before probing `waiters`, and
+            // only notifies while holding `park`, so a waiter that saw
+            // no outcome under the lock is guaranteed a wakeup.
+            self.inner.waiters.fetch_add(1, Ordering::SeqCst);
+            let mut g = self.inner.park.lock().unwrap_or_else(|p| p.into_inner());
+            while !self.inner.is_done() {
+                g = self.inner.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+            drop(g);
+            self.inner.waiters.fetch_sub(1, Ordering::SeqCst);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(id: u64) -> Result<Completed, ServeError> {
+        Err(ServeError::ShuttingDown) // payload content is irrelevant here
+            .or(Err(ServeError::QueueFull {
+                capacity: id as usize,
+            }))
+    }
+
+    #[test]
+    fn one_shot_resolve_take_cycle() {
+        let t = TicketInner::default();
+        assert!(!t.is_done());
+        assert!(t.try_take().is_none());
+        t.resolve(done(3));
+        assert!(t.is_done());
+        let got = t.try_take().expect("ready outcome is takeable");
+        assert_eq!(got.unwrap_err(), ServeError::QueueFull { capacity: 3 });
+        // Taken: still done, but the value is gone.
+        assert!(t.is_done());
+        assert!(t.try_take().is_none());
+    }
+
+    #[test]
+    fn waiters_wake_across_threads() {
+        let inner = Arc::new(TicketInner::default());
+        let ticket = Ticket {
+            id: 0,
+            inner: Arc::clone(&inner),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(move || ticket.wait());
+            // Let the waiter park, then resolve from this thread.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            inner.resolve(done(9));
+            let got = waiter.join().expect("waiter panicked");
+            assert_eq!(got.unwrap_err(), ServeError::QueueFull { capacity: 9 });
+        });
+    }
+
+    #[test]
+    fn double_resolve_keeps_the_first_outcome() {
+        // Release builds drop the second resolve silently (the
+        // debug_assert documents it as a server bug).
+        let t = TicketInner::default();
+        t.resolve(done(1));
+        let first = t.try_take().expect("first resolve wins");
+        assert_eq!(first.unwrap_err(), ServeError::QueueFull { capacity: 1 });
     }
 }

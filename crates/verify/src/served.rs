@@ -29,7 +29,8 @@ use kami_serve::{Completed, Metrics, ServeRequest, Server, ServerConfig};
 pub struct ServedCase {
     /// Identical copies to submit — they coalesce into one work pool.
     pub copies: usize,
-    /// Per-attempt deadline in simulated cycles (`None` = best effort).
+    /// End-to-end deadline in simulated cycles, charged from admission
+    /// across every retry (`None` = best effort).
     pub deadline_cycles: Option<f64>,
     /// Server-level cost override: the fault-injection hook. Inflated
     /// costs blow schedule makespans past the deadline while leaving

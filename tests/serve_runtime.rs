@@ -13,6 +13,8 @@ use kami::prelude::*;
 use kami::serve::ServerConfig;
 use kami::sim::CostConfig;
 use kami::verify::{AlgoKind, Case, DeviceId, Harness, ServedCase};
+use proptest::prelude::*;
+use std::sync::Arc;
 
 fn pair(seed: u64) -> (Matrix, Matrix) {
     (
@@ -260,6 +262,326 @@ fn shutdown_is_graceful_and_coalescing_beats_serial() {
         speedup >= 1.5,
         "coalesced dispatch must beat serial by >= 1.5x on a same-shape burst, got {speedup:.2}x"
     );
+}
+
+/// Headline regression (PR 8): deadlines are **end-to-end**, charged
+/// from admission across every retry — not reset per attempt.
+///
+/// Construction: on attempt 1 the victim's tick first dispatches a
+/// heavy 512³ group (smaller admission id ⇒ earlier in the tick), so
+/// the victim finishes at `heavy + solo` cycles > deadline → retry.
+/// On attempt 2 the victim runs alone: its own makespan `solo` is
+/// inside the deadline, so per-attempt enforcement — the old bug,
+/// where the retry rewrote `ready_at` and elapsed was charged from it
+/// — would complete it as `Solo` within budget. End-to-end enforcement
+/// must see `heavy + solo + backoff + solo > deadline` and take the
+/// degraded path.
+#[test]
+fn deadline_is_end_to_end_not_per_attempt() {
+    let dev = device::gh200();
+    // Measure both makespans on throwaway servers (the clock model is
+    // deterministic, so these are exact).
+    let measure = |req: ServeRequest| -> f64 {
+        let server = Server::new(&dev);
+        let t = server.submit(req).unwrap();
+        server.tick();
+        t.wait().unwrap();
+        server.clock()
+    };
+    let heavy_req = || {
+        let a = Matrix::seeded_uniform(256, 256, 31);
+        let b = Matrix::seeded_uniform(256, 256, 32);
+        ServeRequest::gemm(a, b, Precision::Fp16)
+    };
+    let (a, b) = pair(700);
+    let solo = measure(ServeRequest::gemm(a, b, Precision::Fp16));
+    let heavy_makespan = measure(heavy_req());
+    let deadline = 2.0 * solo;
+    assert!(
+        heavy_makespan > deadline,
+        "test geometry broke: heavy {heavy_makespan} vs deadline {deadline}"
+    );
+
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: 64,
+            max_retries: 1,
+            backoff_cycles: 64.0,
+            ..ServerConfig::default()
+        },
+    );
+    // The heavy group admits first, so attempt 1's tick charges its
+    // makespan (far above `solo`, hence above the deadline) to the
+    // clock before the victim's own group runs.
+    let heavy = server.submit(heavy_req()).unwrap();
+    let (a, b) = pair(700);
+    let victim = server
+        .submit(ServeRequest::gemm(a, b, Precision::Fp16).with_deadline(deadline))
+        .unwrap();
+    server.shutdown_and_drain();
+    heavy.wait().unwrap();
+
+    let done = victim.wait().unwrap();
+    assert_eq!(done.attempts, 2);
+    assert!(
+        solo < deadline,
+        "attempt 2 finished inside the per-attempt window ({solo} < {deadline})"
+    );
+    assert!(
+        done.finished_at - done.admitted_at > deadline,
+        "but outside the end-to-end window"
+    );
+    assert_eq!(
+        done.via,
+        CompletionPath::DegradedSerial,
+        "end-to-end accounting must degrade this request; completing it \
+         as {:?} means the deadline was reset on retry",
+        done.via
+    );
+    let m = server.metrics();
+    assert_eq!(m.retries, 1);
+    assert_eq!(m.degraded_serial, 1);
+}
+
+/// Bugfix regression (PR 8): parked-in-backoff retries are already
+/// admitted — they must not occupy admission capacity (the old
+/// `push_back` requeue did, starving fresh producers) and must be
+/// accounted separately from the admitted depth.
+#[test]
+fn parked_retries_do_not_consume_admission_capacity() {
+    let dev = device::gh200();
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: 1,
+            max_retries: 2,
+            backoff_cycles: 128.0,
+            cost: Some(inflated_cost()),
+            ..ServerConfig::default()
+        },
+    );
+    let (a, b) = pair(40);
+    let t1 = server
+        .submit(ServeRequest::gemm(a, b, Precision::Fp16).with_deadline(10.0))
+        .unwrap();
+    server.tick();
+    assert_eq!(server.parked(), 1, "attempt 1 must park in backoff");
+    assert_eq!(server.pending(), 1);
+
+    // The old requeue would hold the only capacity slot here and bounce
+    // this fresh submit with QueueFull.
+    let (a, b) = pair(41);
+    let t2 = server
+        .submit(ServeRequest::gemm(a, b, Precision::Fp16))
+        .expect("parked retries must not consume admission capacity");
+    server.shutdown_and_drain();
+    assert_eq!(t1.wait().unwrap().via, CompletionPath::DegradedSerial);
+    t2.wait().unwrap();
+
+    let m = server.metrics();
+    assert_eq!(m.rejected_queue_full, 0);
+    assert_eq!(m.completed, 2);
+    // Admitted and parked depths are distinct accounts.
+    assert_eq!(m.max_queue_depth, 1);
+    assert!(m.max_parked_depth >= 1);
+}
+
+/// Zero-copy invariant (PR 8): the request payload is one `Arc`'d
+/// allocation from admission through retries and the degraded replay —
+/// the server never clones it.
+#[test]
+fn payload_allocation_is_shared_across_retries_and_degraded_replay() {
+    let dev = device::gh200();
+    let server = Server::with_config(
+        &dev,
+        ServerConfig {
+            queue_capacity: 4,
+            max_retries: 2,
+            backoff_cycles: 64.0,
+            cost: Some(inflated_cost()),
+            ..ServerConfig::default()
+        },
+    );
+    let (a, b) = pair(55);
+    let req = Arc::new(ServeRequest::gemm(a, b, Precision::Fp16).with_deadline(5.0));
+    let direct = req.execute(&dev).unwrap();
+
+    let t = server.submit_shared(Arc::clone(&req)).unwrap();
+    // Exactly two holders: this test and the server's Pending slot.
+    assert_eq!(Arc::strong_count(&req), 2, "admission cloned the payload");
+    server.tick();
+    assert_eq!(server.parked(), 1);
+    // The parked retry attempt still reads the same allocation.
+    assert_eq!(
+        Arc::strong_count(&req),
+        2,
+        "the retry path cloned the payload"
+    );
+    server.shutdown_and_drain();
+    let done = t.wait().unwrap();
+    assert_eq!(done.via, CompletionPath::DegradedSerial);
+    // Completion dropped the server's only reference — at no point did
+    // the retry or degraded replay hold a copy of the operands.
+    assert_eq!(Arc::strong_count(&req), 1);
+
+    let served = done.output.into_dense().unwrap().into_single().unwrap();
+    let want = direct.into_dense().unwrap().into_single().unwrap();
+    assert_eq!(served.c.as_slice(), want.c.as_slice());
+}
+
+/// Small, fast shapes for the sharded-admission proptests.
+fn small_request(seed: u64) -> ServeRequest {
+    let a = Matrix::seeded_uniform(16, 16, seed);
+    let b = Matrix::seeded_uniform(16, 16, seed + 10_000);
+    ServeRequest::gemm(a, b, Precision::Fp16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Sharded admission (a): a single producer's batch dispatches in
+    /// submission order whatever the shard count — per-shard FIFO plus
+    /// the id-ordered drain reconstruct global order, observable as
+    /// monotone finish times across solo groups.
+    #[test]
+    fn sharded_admission_preserves_submission_order(
+        n in 2usize..10,
+        shards in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let dev = device::gh200();
+        let server = Server::with_config(
+            &dev,
+            ServerConfig {
+                queue_capacity: 64,
+                admission_shards: shards,
+                coalesce: false,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..n)
+            .map(|i| server.submit(small_request(seed + i as u64)).unwrap())
+            .collect();
+        server.tick();
+        let mut finishes = Vec::new();
+        for t in tickets {
+            let done = t.wait().expect("dispatched in one tick");
+            finishes.push((done.id, done.finished_at));
+        }
+        for w in finishes.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "ids must follow submission order");
+            prop_assert!(
+                w[0].1 <= w[1].1,
+                "dispatch reordered submissions: {:?}",
+                finishes
+            );
+        }
+    }
+
+    /// Sharded admission (b): when the home shard is at its soft cap,
+    /// submissions fail over to sibling shards; QueueFull surfaces only
+    /// once the *global* capacity is exhausted.
+    #[test]
+    fn shard_failover_fills_global_capacity_before_queue_full(
+        shards in 2usize..9,
+        capacity in 4usize..17,
+    ) {
+        let dev = device::gh200();
+        let server = Server::with_config(
+            &dev,
+            ServerConfig {
+                queue_capacity: capacity,
+                admission_shards: shards,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..capacity)
+            .map(|i| {
+                server
+                    .submit(small_request(i as u64))
+                    .expect("global capacity not yet exhausted")
+            })
+            .collect();
+        prop_assert_eq!(
+            server.submit(small_request(9_000)).unwrap_err(),
+            ServeError::QueueFull { capacity }
+        );
+        let m = server.metrics();
+        // One producer thread has one home shard, whose soft cap
+        // (ceil(capacity / shards)) is below the global capacity — so
+        // filling the bound forces at least one failover.
+        prop_assert!(
+            m.admission_failovers > 0,
+            "filling {} slots over {} shards never failed over",
+            capacity,
+            shards
+        );
+        prop_assert_eq!(m.rejected_queue_full, 1);
+        server.shutdown_and_drain();
+        for t in tickets {
+            t.wait().expect("admitted requests complete");
+        }
+    }
+
+    /// Sharded admission (c): drain-exactly-once under concurrent
+    /// producers and two dispatcher threads — every admitted ticket
+    /// resolves once, ids never collide, nothing is lost or duplicated.
+    #[test]
+    fn concurrent_producers_and_dispatchers_complete_exactly_once(
+        producers in 1usize..5,
+        per_producer in 1usize..7,
+        shards in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let dev = device::gh200();
+        let server = Server::with_config(
+            &dev,
+            ServerConfig {
+                queue_capacity: 64,
+                admission_shards: shards,
+                ..ServerConfig::default()
+            },
+        );
+        let ids = std::thread::scope(|s| {
+            let d1 = s.spawn(|| server.run_dispatcher());
+            let d2 = s.spawn(|| server.run_dispatcher());
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let server = &server;
+                    s.spawn(move || {
+                        (0..per_producer)
+                            .map(|i| {
+                                let t = server
+                                    .submit(small_request(seed + (p * 100 + i) as u64))
+                                    .expect("well under capacity");
+                                t.wait().expect("must complete").id
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            let mut ids: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("producer panicked"))
+                .collect();
+            server.shutdown();
+            d1.join().expect("dispatcher 1 panicked");
+            d2.join().expect("dispatcher 2 panicked");
+            ids.sort_unstable();
+            ids
+        });
+        let n = producers * per_producer;
+        prop_assert_eq!(ids.len(), n);
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), n, "a ticket resolved twice or ids collided");
+        let m = server.metrics();
+        prop_assert_eq!(m.submitted, n as u64);
+        prop_assert_eq!(m.completed, n as u64);
+        prop_assert_eq!(m.failed, 0);
+        prop_assert_eq!(server.pending(), 0);
+    }
 }
 
 #[test]
