@@ -78,7 +78,12 @@ pub fn run_gemm_kernel_with_cost(
     let bb = gmem.upload("B", b, prec);
     let cb = gmem.alloc_zeroed("C", m, n, c_prec);
     let kernel = build(ab, bb, cb);
-    let report = Engine::with_cost(device, cost).run_passes(&kernel, &mut gmem)?;
+    // Baselines pin the reference SimBackend deliberately: they are the
+    // comparison yardstick for KAMI's own runs and carry no KamiConfig
+    // that could select anything else.
+    let report = Engine::with_cost(device, cost)
+        .run_kernel(&kernel, &mut gmem, &kami_gpu_sim::RunOptions::default())?
+        .report;
     Ok(BaselineResult {
         c: gmem.download(cb),
         report,

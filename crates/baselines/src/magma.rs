@@ -57,7 +57,10 @@ pub fn gemm(
     let cb = gmem.alloc_zeroed("C", mp, np, prec.accumulator());
     let kernel = build_kernel(prec, mp, np, kp, ab, bb, cb);
     let cost = CostConfig::default().with_mma_efficiency(MMA_EFFICIENCY);
-    let report = Engine::with_cost(device, cost).run_passes(&kernel, &mut gmem)?;
+    // Reference SimBackend, as for every baseline (see common.rs).
+    let report = Engine::with_cost(device, cost)
+        .run_kernel(&kernel, &mut gmem, &kami_gpu_sim::RunOptions::default())?
+        .report;
     Ok(BaselineResult {
         c: gmem.download(cb).submatrix(0, 0, m, n),
         report,

@@ -1,14 +1,14 @@
 //! Dump a Chrome-tracing timeline of one KAMI block kernel.
 //!
 //! ```text
-//! cargo run --release -p kami-bench --bin trace_kernel -- [1d|2d|3d] [n] [out.json]
+//! cargo run --release -p kami-bench --bin trace_kernel -- [1d|2d|3d] [n] [out.json] [sim|native]
 //! ```
 //!
 //! Open the output in chrome://tracing or <https://ui.perfetto.dev> — one
 //! track per warp, ops colored by category (smem store/load, mma, ...).
 
 use kami_core::{Algo, KamiConfig};
-use kami_gpu_sim::{device, Engine, GlobalMemory, Matrix, Precision};
+use kami_gpu_sim::{device, BackendKind, Engine, GlobalMemory, Matrix, Precision, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +22,13 @@ fn main() {
         .get(3)
         .cloned()
         .unwrap_or_else(|| format!("trace_{}_{n}.json", algo.label().to_lowercase()));
+    // Backend affects numerics only — the trace and cycle report come
+    // from the cost pass — but exposing it keeps the bin an easy smoke
+    // check for the seam.
+    let backend: BackendKind = args
+        .get(4)
+        .map(|s| s.parse().expect("backend is sim|native"))
+        .unwrap_or_default();
 
     let dev = device::gh200();
     let prec = Precision::Fp16;
@@ -40,9 +47,14 @@ fn main() {
         Algo::ThreeD => kami_core::algo3d::build_kernel(&cfg, n, n, n, ab, bb, cb, prec),
     };
 
-    let (report, trace) = Engine::new(&dev)
-        .run_passes_traced(&kernel, &mut gmem)
+    let arts = Engine::new(&dev)
+        .run_kernel(
+            &kernel,
+            &mut gmem,
+            &RunOptions::default().traced().with_backend(backend),
+        )
         .expect("runs");
+    let (report, trace) = (arts.report, arts.trace.expect("traced run"));
     std::fs::write(&out, trace.to_chrome_json()).expect("write trace");
     println!(
         "{} {}x{}x{} on {}: {:.0} cycles, {} events -> {}",

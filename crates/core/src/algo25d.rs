@@ -31,6 +31,8 @@ pub struct Kami25dConfig {
     pub c: usize,
     pub precision: Precision,
     pub cost: kami_gpu_sim::CostConfig,
+    /// Execution backend for the execute pass (numerics only).
+    pub backend: kami_gpu_sim::BackendKind,
 }
 
 impl Kami25dConfig {
@@ -40,7 +42,13 @@ impl Kami25dConfig {
             c,
             precision,
             cost: kami_gpu_sim::CostConfig::default(),
+            backend: kami_gpu_sim::BackendKind::default(),
         }
+    }
+
+    pub fn with_backend(mut self, backend: kami_gpu_sim::BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     pub fn warps(&self) -> usize {
@@ -190,7 +198,13 @@ pub fn gemm_25d(
     let bb = gmem.upload("B", b, prec);
     let cb = gmem.alloc_zeroed("C", m, n, c_prec);
     let kernel = build_kernel(cfg, m, n, k, ab, bb, cb, c_prec);
-    let report = Engine::with_cost(device, cfg.cost.clone()).run_passes(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cfg.cost.clone())
+        .run_kernel(
+            &kernel,
+            &mut gmem,
+            &kami_gpu_sim::RunOptions::default().with_backend(cfg.backend),
+        )?
+        .report;
     Ok(GemmResult {
         c: gmem.download(cb),
         report,

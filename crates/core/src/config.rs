@@ -2,7 +2,7 @@
 //! and how much of the operands to park in shared memory (§4.7 slicing).
 
 use crate::error::KamiError;
-use kami_gpu_sim::{CostConfig, DeviceSpec, Precision};
+use kami_gpu_sim::{BackendKind, CostConfig, DeviceSpec, Precision};
 use serde::{Deserialize, Serialize};
 
 /// The three communication-avoiding schemes of the paper (§4.3–4.5).
@@ -74,6 +74,12 @@ pub struct KamiConfig {
     pub smem_fraction: f64,
     /// Cycle-model parameters.
     pub cost: CostConfig,
+    /// Execution backend for the execute pass (numerics only — plans,
+    /// cost reports, and results are identical across backends).
+    /// `BackendKind`'s deserializer maps a missing field to the
+    /// reference simulator, so configurations serialized before the
+    /// seam existed still load.
+    pub backend: BackendKind,
 }
 
 impl KamiConfig {
@@ -90,6 +96,7 @@ impl KamiConfig {
             precision,
             smem_fraction: 0.0,
             cost: CostConfig::default(),
+            backend: BackendKind::default(),
         }
     }
 
@@ -105,6 +112,11 @@ impl KamiConfig {
 
     pub fn with_cost(mut self, cost: CostConfig) -> Self {
         self.cost = cost;
+        self
+    }
+
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -216,6 +228,24 @@ mod tests {
             cfg.validate(&dev, 64, 64, 64),
             Err(KamiError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn configs_serialized_before_the_backend_seam_deserialize_to_sim() {
+        let v = Serialize::to_value(
+            &KamiConfig::new(Algo::TwoD, Precision::Fp16).with_backend(BackendKind::Native),
+        );
+        let serde::Value::Object(pairs) = v else {
+            panic!("config serializes to an object");
+        };
+        let stripped = serde::Value::Object(
+            pairs
+                .into_iter()
+                .filter(|(key, _)| key != "backend")
+                .collect(),
+        );
+        let cfg = <KamiConfig as Deserialize>::from_value(&stripped).unwrap();
+        assert_eq!(cfg.backend, BackendKind::Sim);
     }
 
     #[test]

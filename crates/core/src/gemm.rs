@@ -81,7 +81,10 @@ pub(crate) fn build_gemm_kernel(
     }
 }
 
-/// Run a built kernel through the requested engine path.
+/// Run a built kernel through the requested engine path. The split
+/// pipeline honors `cfg.backend`; the legacy oracle is always the
+/// interleaved interpreter (it predates the seam and exists to check
+/// every backend against).
 pub(crate) fn run_kernel(
     device: &DeviceSpec,
     cfg: &KamiConfig,
@@ -96,7 +99,7 @@ pub(crate) fn run_kernel(
             let planned = engine.plan(kernel)?;
             let layout = gmem.layout();
             let report = engine.cost(&planned, &layout)?;
-            engine.execute(&planned, gmem)?;
+            engine.execute_with(cfg.backend, &planned, gmem)?;
             Ok(report)
         }
     }

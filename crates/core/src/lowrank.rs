@@ -123,7 +123,13 @@ pub fn lowrank_gemm_colsplit(
     let bb = gmem.upload("V", v, prec);
     let cb = gmem.alloc_zeroed("C", m, n, c_prec);
     let kernel = build_colsplit_kernel(cfg, m, n, k, ab, bb, cb, c_prec);
-    let report = Engine::with_cost(device, cfg.cost.clone()).run_passes(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cfg.cost.clone())
+        .run_kernel(
+            &kernel,
+            &mut gmem,
+            &kami_gpu_sim::RunOptions::default().with_backend(cfg.backend),
+        )?
+        .report;
     Ok(GemmResult {
         c: gmem.download(cb),
         report,

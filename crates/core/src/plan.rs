@@ -14,7 +14,9 @@
 use crate::config::KamiConfig;
 use crate::error::KamiError;
 use crate::gemm::{build_gemm_kernel, c_precision, run_fallback_ladder, GemmResult};
-use kami_gpu_sim::{DeviceSpec, Engine, ExecutionReport, GlobalMemory, GmemLayout, Matrix};
+use kami_gpu_sim::{
+    BackendKind, DeviceSpec, Engine, ExecutionReport, GlobalMemory, GmemLayout, Matrix,
+};
 
 /// A costed shape class: everything the cost pass produced for
 /// `(cfg, m, n, k)` on one device, with no operand values involved.
@@ -87,12 +89,29 @@ pub fn gemm_cost_auto(
 /// real operands. The kernel is rebuilt deterministically from the
 /// plan's shape class (buffer ids depend only on declaration order), so
 /// the run skips the cost pass entirely and the returned report is the
-/// plan's cached one.
+/// plan's cached one. Executes on the plan's configured backend
+/// (`plan.cfg.backend`).
 pub fn gemm_execute_plan(
     device: &DeviceSpec,
     plan: &GemmPlan,
     a: &Matrix,
     b: &Matrix,
+) -> Result<GemmResult, KamiError> {
+    gemm_execute_plan_with(device, plan, a, b, plan.cfg.backend)
+}
+
+/// [`gemm_execute_plan`] on an explicit [`BackendKind`], overriding the
+/// plan's own. Plans are backend-independent (the cost pass never
+/// touches matrix data), so shared plan caches hand the same
+/// [`GemmPlan`] to executors with different backend choices — this is
+/// the entry they use, and what `kami-serve`'s warm path calls with
+/// its `ServerConfig` backend.
+pub fn gemm_execute_plan_with(
+    device: &DeviceSpec,
+    plan: &GemmPlan,
+    a: &Matrix,
+    b: &Matrix,
+    backend: BackendKind,
 ) -> Result<GemmResult, KamiError> {
     if a.rows() != plan.m || a.cols() != plan.k || b.rows() != plan.k || b.cols() != plan.n {
         return Err(KamiError::ShapeMismatch {
@@ -119,7 +138,7 @@ pub fn gemm_execute_plan(
     let kernel = build_gemm_kernel(cfg, plan.m, plan.n, plan.k, ab, bb, cb, c_prec);
     let engine = Engine::with_cost(device, cfg.cost.clone());
     let planned = engine.plan(&kernel)?;
-    engine.execute(&planned, &mut gmem)?;
+    engine.execute_with(backend, &planned, &mut gmem)?;
     Ok(GemmResult {
         c: gmem.download(cb),
         report: plan.report.clone(),
@@ -166,6 +185,36 @@ mod tests {
         let split = gemm_execute_plan(&dev, &plan, &a, &b).unwrap();
         assert_eq!(split.c.max_abs_diff(&full.c), 0.0);
         assert_eq!(split.report.cycles, full.report.cycles);
+    }
+
+    #[test]
+    fn execute_plan_native_backend_is_bit_identical() {
+        let dev = gh200();
+        for algo in Algo::ALL {
+            let cfg = KamiConfig::new(algo, Precision::Fp16);
+            let plan = gemm_cost(&dev, &cfg, 32, 32, 32).unwrap();
+            let a = Matrix::seeded_uniform(32, 32, 11);
+            let b = Matrix::seeded_uniform(32, 32, 12);
+            let sim = gemm_execute_plan_with(&dev, &plan, &a, &b, BackendKind::Sim).unwrap();
+            let nat = gemm_execute_plan_with(&dev, &plan, &a, &b, BackendKind::Native).unwrap();
+            assert_eq!(
+                sim.c.max_abs_diff(&nat.c),
+                0.0,
+                "{}: native diverges",
+                algo.label()
+            );
+            // A config carrying the backend routes through the same path.
+            let plan_native = gemm_cost(
+                &dev,
+                &cfg.clone().with_backend(BackendKind::Native),
+                32,
+                32,
+                32,
+            )
+            .unwrap();
+            let via_cfg = gemm_execute_plan(&dev, &plan_native, &a, &b).unwrap();
+            assert_eq!(sim.c.max_abs_diff(&via_cfg.c), 0.0);
+        }
     }
 
     #[test]

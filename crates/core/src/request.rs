@@ -40,9 +40,10 @@ use crate::gemm::{
 };
 use crate::lowrank::exec_lowrank_gemm;
 use crate::model::skinny::{is_tall_skinny, SKINNY_CHUNK_K};
+use crate::plan::{gemm_cost, gemm_cost_auto, gemm_execute_plan_with, GemmPlan};
 use crate::tallskinny::gemm_skinny;
 use crate::tune::{tune, SharedTuner};
-use kami_gpu_sim::{CostConfig, DeviceSpec, Matrix, Precision};
+use kami_gpu_sim::{BackendKind, CostConfig, DeviceSpec, Matrix, Precision};
 
 /// The operation a [`GemmRequest`] describes.
 #[derive(Debug, Clone)]
@@ -160,6 +161,10 @@ pub struct GemmRequest {
     pub smem_fraction: Option<f64>,
     /// Cost-model override (fault injection, overlap mode, ...).
     pub cost: Option<CostConfig>,
+    /// Execution-backend override (numerics only; plans, cost reports,
+    /// and results are identical across backends). `None` keeps the
+    /// resolved configuration's backend.
+    pub backend: Option<BackendKind>,
     /// Device the request is destined for (used by [`GemmRequest::run`]
     /// and by service layers for placement).
     pub device: Option<DeviceSpec>,
@@ -182,6 +187,7 @@ impl GemmRequest {
             warps: None,
             smem_fraction: None,
             cost: None,
+            backend: None,
             device: None,
             deadline_cycles: None,
         }
@@ -243,6 +249,7 @@ impl GemmRequest {
         r.warps = Some(cfg.warps);
         r.smem_fraction = Some(cfg.smem_fraction);
         r.cost = Some(cfg.cost.clone());
+        r.backend = Some(cfg.backend);
         r
     }
 
@@ -273,6 +280,12 @@ impl GemmRequest {
     /// Override the cost-model parameters.
     pub fn cost(mut self, cost: CostConfig) -> Self {
         self.cost = Some(cost);
+        self
+    }
+
+    /// Override the execution backend for the execute pass.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -410,8 +423,69 @@ impl GemmRequest {
         Ok(self.apply_overrides(cfg))
     }
 
-    /// The explicit warp/fraction/cost overrides, applied on top of a
-    /// resolved base configuration.
+    /// The dense operand pair of a pass-level request, or a typed error
+    /// for op kinds the split cost/execute pipeline does not describe
+    /// (batched, 2.5D, low-rank) and for non-plain requests (the plan's
+    /// kernel is the plain product — alpha/beta and epilogues change it).
+    fn plan_operands(&self) -> Result<(&Matrix, &Matrix), KamiError> {
+        if !self.is_plain() {
+            return Err(KamiError::Unsupported {
+                detail: "pass-level entry points describe plain products only \
+                     (alpha = 1, beta = 0, no C0, no epilogue)"
+                    .into(),
+            });
+        }
+        match &self.op {
+            Op::Gemm { a, b } | Op::GemmAuto { a, b } => Ok((a, b)),
+            other => Err(KamiError::Unsupported {
+                detail: format!(
+                    "pass-level entry points cover strict/auto block GEMM, not {}",
+                    other.label()
+                ),
+            }),
+        }
+    }
+
+    /// Cost pass only — the request-driven twin of
+    /// [`crate::gemm_cost`]: resolve the configuration on `device`
+    /// (honoring every override, including [`GemmRequest::backend`])
+    /// and charge cycles for the request's shape class without touching
+    /// operand values. The returned [`GemmPlan`] feeds
+    /// [`GemmRequest::execute_with_plan`] or any shared plan cache.
+    pub fn cost_plan(&self, device: &DeviceSpec) -> Result<GemmPlan, KamiError> {
+        self.plan_operands()?;
+        let (m, n, k) = self.shape();
+        let cfg = self.resolve_config(device)?;
+        gemm_cost(device, &cfg, m, n, k)
+    }
+
+    /// [`GemmRequest::cost_plan`] with the §4.7 preset-ratio fallback
+    /// ladder — the request-driven twin of [`crate::gemm_cost_auto`].
+    pub fn cost_plan_auto(&self, device: &DeviceSpec) -> Result<GemmPlan, KamiError> {
+        self.plan_operands()?;
+        let (m, n, k) = self.shape();
+        let cfg = self.resolve_config(device)?;
+        gemm_cost_auto(device, &cfg, m, n, k)
+    }
+
+    /// Execute pass only — the request-driven twin of
+    /// [`crate::gemm_execute_plan`]: run this request's operands
+    /// through a previously costed plan. The request's
+    /// [`GemmRequest::backend`] override, when set, takes precedence
+    /// over the plan's own, so one cached plan serves executors with
+    /// different backend choices.
+    pub fn execute_with_plan(
+        &self,
+        device: &DeviceSpec,
+        plan: &GemmPlan,
+    ) -> Result<GemmResult, KamiError> {
+        let (a, b) = self.plan_operands()?;
+        let backend = self.backend.unwrap_or(plan.cfg.backend);
+        gemm_execute_plan_with(device, plan, a, b, backend)
+    }
+
+    /// The explicit warp/fraction/cost/backend overrides, applied on
+    /// top of a resolved base configuration.
     fn apply_overrides(&self, mut cfg: KamiConfig) -> KamiConfig {
         cfg.precision = self.precision;
         if let Some(w) = self.warps {
@@ -422,6 +496,9 @@ impl GemmRequest {
         }
         if let Some(c) = &self.cost {
             cfg.cost = c.clone();
+        }
+        if let Some(bk) = self.backend {
+            cfg.backend = bk;
         }
         cfg
     }
@@ -514,6 +591,9 @@ impl GemmRequest {
                 let mut cfg25 = Kami25dConfig::new(*q, *c, self.precision);
                 if let Some(cost) = &self.cost {
                     cfg25.cost = cost.clone();
+                }
+                if let Some(bk) = self.backend {
+                    cfg25.backend = bk;
                 }
                 gemm_25d(device, &cfg25, a, b)
             }
@@ -608,6 +688,89 @@ mod tests {
         let cfg = KamiConfig::new(Algo::OneD, Precision::Fp64);
         let direct = crate::gemm::gemm_scaled(&dev, &cfg, 2.0, &a, &b, -1.0, &c0).unwrap();
         assert_eq!(via.c.max_abs_diff(&direct.c), 0.0);
+    }
+
+    #[test]
+    fn pass_level_twins_match_free_functions() {
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(32, 32, 21);
+        let b = Matrix::seeded_uniform(32, 32, 22);
+        let req = GemmRequest::gemm(a.clone(), b.clone())
+            .precision(Precision::Fp16)
+            .algo(Algo::TwoD);
+        let plan = req.cost_plan(&dev).unwrap();
+        let cfg = req.resolve_config(&dev).unwrap();
+        let direct = crate::plan::gemm_cost(&dev, &cfg, 32, 32, 32).unwrap();
+        assert_eq!(
+            serde_json::to_string(&plan.report).unwrap(),
+            serde_json::to_string(&direct.report).unwrap()
+        );
+        let via = req.execute_with_plan(&dev, &plan).unwrap();
+        let free = crate::plan::gemm_execute_plan(&dev, &direct, &a, &b).unwrap();
+        assert_eq!(via.c.max_abs_diff(&free.c), 0.0);
+        // The auto twin escalates like the free ladder.
+        let big = GemmRequest::gemm(
+            Matrix::seeded_uniform(128, 128, 23),
+            Matrix::seeded_uniform(128, 128, 24),
+        )
+        .precision(Precision::Fp16)
+        .algo(Algo::OneD);
+        let auto = big.cost_plan_auto(&dev).unwrap();
+        assert!(auto.smem_fraction > 0.0);
+    }
+
+    #[test]
+    fn backend_override_flows_into_resolved_config_and_plan_execute() {
+        use kami_gpu_sim::BackendKind;
+        let dev = gh200();
+        let a = Matrix::seeded_uniform(32, 32, 25);
+        let b = Matrix::seeded_uniform(32, 32, 26);
+        let req = GemmRequest::gemm(a.clone(), b.clone())
+            .precision(Precision::Fp16)
+            .algo(Algo::TwoD)
+            .backend(BackendKind::Native);
+        assert_eq!(
+            req.resolve_config(&dev).unwrap().backend,
+            BackendKind::Native
+        );
+        // from_config pins the source configuration's backend.
+        let cfg = KamiConfig::new(Algo::TwoD, Precision::Fp16).with_backend(BackendKind::Native);
+        let pinned = GemmRequest::from_config(
+            Op::Gemm {
+                a: a.clone(),
+                b: b.clone(),
+            },
+            &cfg,
+        );
+        assert_eq!(pinned.backend, Some(BackendKind::Native));
+        // Native execution through the request twins is bit-identical.
+        let plan = req.cost_plan(&dev).unwrap();
+        let native = req.execute_with_plan(&dev, &plan).unwrap();
+        let sim = req
+            .clone()
+            .backend(BackendKind::Sim)
+            .execute_with_plan(&dev, &plan)
+            .unwrap();
+        assert_eq!(native.c.max_abs_diff(&sim.c), 0.0);
+    }
+
+    #[test]
+    fn pass_level_twins_reject_unsupported_ops() {
+        let dev = gh200();
+        let req = GemmRequest::lowrank(Matrix::zeros(16, 4), Matrix::zeros(4, 16));
+        assert!(matches!(
+            req.cost_plan(&dev),
+            Err(KamiError::Unsupported { .. })
+        ));
+        let scaled = GemmRequest::gemm(Matrix::zeros(16, 16), Matrix::zeros(16, 16)).scaled(
+            2.0,
+            1.0,
+            Matrix::zeros(16, 16),
+        );
+        assert!(matches!(
+            scaled.cost_plan_auto(&dev),
+            Err(KamiError::Unsupported { .. })
+        ));
     }
 
     #[test]

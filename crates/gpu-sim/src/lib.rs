@@ -76,7 +76,10 @@ pub use occupancy::{
     analyze as analyze_occupancy, analyze_on_chip as analyze_occupancy_on_chip,
     analyze_stream as analyze_occupancy_stream, Limiter, Occupancy, StreamSteady,
 };
-pub use passes::PlannedKernel;
+pub use passes::{
+    BackendKind, ExecBackend, ExecOutcome, NativeBackend, PlannedKernel, RunArtifacts, RunOptions,
+    SimBackend,
+};
 pub use precision::Precision;
 pub use program::{gelu, BlockKernel, Op, UnaryFunc, WarpProgram};
 pub use report::ExecutionReport;

@@ -23,6 +23,7 @@
 //! [`CostConfig`](crate::cost::CostConfig): cycles are the cost pass's
 //! business alone.
 
+use super::backend::{BackendKind, ExecBackend, ExecOutcome};
 use super::PlannedKernel;
 use crate::cost::PhaseTally;
 use crate::engine::{detect_races, frag_decl, overlap, require_init, Engine};
@@ -32,6 +33,51 @@ use crate::memory::global::{BufferId, GlobalMemory};
 use crate::memory::shared::SharedMemory;
 use crate::program::Op;
 use rayon::prelude::*;
+
+/// The reference execution backend: the rayon journaled interpreter
+/// re-homed behind the [`ExecBackend`] seam. Conflict-free phases fan
+/// out across warps; anything the static analysis cannot prove safe
+/// runs through the legacy serial loop with full race detection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimBackend;
+
+impl ExecBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn execute(
+        &self,
+        engine: &Engine<'_>,
+        plan: &PlannedKernel<'_>,
+        gmem: &mut GlobalMemory,
+    ) -> Result<ExecOutcome, SimError> {
+        let p = plan.warps;
+        let mut smem = SharedMemory::new(engine.device.smem_capacity);
+        let mut frags: Vec<Vec<FragValue>> = plan
+            .kernel
+            .warps
+            .iter()
+            .map(|w| w.frags.iter().cloned().map(FragValue::new).collect())
+            .collect();
+
+        let mut fast_phases = 0usize;
+        for phase in 0..plan.phases {
+            if p > 1 && engine.phase_is_parallel_safe(plan, phase, gmem) {
+                engine.run_phase_parallel(plan, phase, gmem, &mut smem, &mut frags)?;
+                fast_phases += 1;
+            } else {
+                engine.run_phase_serial(plan, phase, gmem, &mut smem, &mut frags)?;
+            }
+        }
+        Ok(ExecOutcome {
+            backend: BackendKind::Sim,
+            phases: plan.phases,
+            fast_phases,
+            fallback_phases: plan.phases - fast_phases,
+        })
+    }
+}
 
 /// One warp's journaled side effects from an isolated parallel run.
 #[derive(Default)]
@@ -68,37 +114,34 @@ fn windows_overlap(a: &GmemAccess, b: &GmemAccess) -> bool {
 }
 
 impl<'a> Engine<'a> {
-    /// Execute pass: run the planned kernel's numerics against `gmem`.
-    /// Bit-identical to the state [`Engine::run`] leaves behind
-    /// (fragment values, shared/global memory contents, global traffic
-    /// counters) on every kernel that runs to completion.
+    /// Execute pass: run the planned kernel's numerics against `gmem`
+    /// through the reference [`SimBackend`]. Bit-identical to the state
+    /// [`Engine::run`] leaves behind (fragment values, shared/global
+    /// memory contents, global traffic counters) on every kernel that
+    /// runs to completion.
     pub fn execute(
         &self,
         plan: &PlannedKernel<'_>,
         gmem: &mut GlobalMemory,
     ) -> Result<(), SimError> {
-        let p = plan.warps;
-        let mut smem = SharedMemory::new(self.device.smem_capacity);
-        let mut frags: Vec<Vec<FragValue>> = plan
-            .kernel
-            .warps
-            .iter()
-            .map(|w| w.frags.iter().cloned().map(FragValue::new).collect())
-            .collect();
+        SimBackend.execute(self, plan, gmem).map(|_| ())
+    }
 
-        for phase in 0..plan.phases {
-            if p > 1 && self.phase_is_parallel_safe(plan, phase, gmem) {
-                self.run_phase_parallel(plan, phase, gmem, &mut smem, &mut frags)?;
-            } else {
-                self.run_phase_serial(plan, phase, gmem, &mut smem, &mut frags)?;
-            }
-        }
-        Ok(())
+    /// Execute pass through a selectable [`ExecBackend`]. Every backend
+    /// leaves bit-identical state; the returned [`ExecOutcome`] reports
+    /// which paths the phases took.
+    pub fn execute_with(
+        &self,
+        backend: BackendKind,
+        plan: &PlannedKernel<'_>,
+        gmem: &mut GlobalMemory,
+    ) -> Result<ExecOutcome, SimError> {
+        backend.backend().execute(self, plan, gmem)
     }
 
     /// Legacy-identical interleaved interpretation of one phase: warps
     /// in order, ops in program order, with same-phase race detection.
-    fn run_phase_serial(
+    pub(crate) fn run_phase_serial(
         &self,
         plan: &PlannedKernel<'_>,
         phase: usize,
@@ -132,7 +175,7 @@ impl<'a> Engine<'a> {
 
     /// Fan one conflict-free phase out across warps, then settle journaled
     /// side effects in warp order.
-    fn run_phase_parallel(
+    pub(crate) fn run_phase_parallel(
         &self,
         plan: &PlannedKernel<'_>,
         phase: usize,
@@ -271,7 +314,11 @@ impl<'a> Engine<'a> {
     /// interleaved engine's state exactly. Anything uncertain — overlap,
     /// out-of-range ids, out-of-bounds windows, same-phase global
     /// read-after-write — routes to the serial fallback instead.
-    fn phase_is_parallel_safe(
+    ///
+    /// [`NativeBackend`](super::native::NativeBackend) reuses this
+    /// analysis to gate its lean serial loop: op addresses are static
+    /// literals, so the static verdict equals runtime behavior.
+    pub(crate) fn phase_is_parallel_safe(
         &self,
         plan: &PlannedKernel<'_>,
         phase: usize,

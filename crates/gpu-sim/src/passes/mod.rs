@@ -8,18 +8,28 @@
 //!    [`GmemLayout`](crate::memory::global::GmemLayout): it reproduces
 //!    the legacy engine's [`ExecutionReport`] and [`Trace`] exactly,
 //!    including every simulation fault, without touching matrix data.
-//! 3. **execute** ([`Engine::execute`], in [`exec`]) — numerics only: a
-//!    rayon-parallel per-warp interpreter for conflict-free phases with
-//!    a serial interleaved fallback, bit-identical to the legacy engine
-//!    including accumulation order.
+//! 3. **execute** ([`Engine::execute_with`], in [`backend`]) — numerics
+//!    only, behind the [`ExecBackend`] seam: the reference
+//!    [`SimBackend`] (rayon-parallel with a serial
+//!    interleaved fallback) or the host-speed
+//!    [`NativeBackend`], both bit-identical to
+//!    the legacy engine including accumulation order.
 //!
-//! [`Engine::run_passes`] chains the three; [`Engine::run`] remains the
+//! [`Engine::run_kernel`] chains the three under a [`RunOptions`]
+//! (trace flag, cost override, backend); [`Engine::run`] remains the
 //! legacy interleaved loop the pipeline is differentially checked
 //! against.
 
+pub mod backend;
 pub mod cost;
 pub mod exec;
+pub mod native;
 
+pub use backend::{BackendKind, ExecBackend, ExecOutcome};
+pub use exec::SimBackend;
+pub use native::NativeBackend;
+
+use crate::cost::CostConfig;
 use crate::engine::Engine;
 use crate::error::SimError;
 use crate::memory::global::GlobalMemory;
@@ -117,34 +127,109 @@ impl<'a> Engine<'a> {
         })
     }
 
-    /// The full pipeline in one call: plan → cost → execute. Equivalent
+    /// The full pipeline in one call: plan → cost → execute, equivalent
     /// to [`Engine::run`] (bit-identical numerics and report) with the
-    /// passes separable.
+    /// passes separable and the execute pass behind the selected
+    /// [`ExecBackend`].
+    pub fn run_kernel(
+        &self,
+        kernel: &BlockKernel,
+        gmem: &mut GlobalMemory,
+        opts: &RunOptions,
+    ) -> Result<RunArtifacts, SimError> {
+        let eng = match &opts.cost {
+            Some(cost) => Engine {
+                device: self.device,
+                cost: cost.clone(),
+            },
+            None => Engine {
+                device: self.device,
+                cost: self.cost.clone(),
+            },
+        };
+        let plan = eng.plan(kernel)?;
+        let layout = gmem.layout();
+        let (report, trace) = if opts.traced {
+            let (report, trace) = eng.cost_traced(&plan, &layout)?;
+            (report, Some(trace))
+        } else {
+            (eng.cost(&plan, &layout)?, None)
+        };
+        let exec = eng.execute_with(opts.backend, &plan, gmem)?;
+        Ok(RunArtifacts {
+            report,
+            trace,
+            exec,
+        })
+    }
+
+    /// Pre-`RunOptions` form of [`Self::run_kernel`]: default options,
+    /// report only.
+    #[doc(hidden)]
     pub fn run_passes(
         &self,
         kernel: &BlockKernel,
         gmem: &mut GlobalMemory,
     ) -> Result<ExecutionReport, SimError> {
-        let plan = self.plan(kernel)?;
-        let layout = gmem.layout();
-        let report = self.cost(&plan, &layout)?;
-        self.execute(&plan, gmem)?;
-        Ok(report)
+        self.run_kernel(kernel, gmem, &RunOptions::default())
+            .map(|a| a.report)
     }
 
-    /// Like [`Self::run_passes`], additionally producing the cost pass's
-    /// [`Trace`] (equivalent to [`Engine::run_traced`]).
+    /// Pre-`RunOptions` form of [`Self::run_kernel`] with tracing on.
+    #[doc(hidden)]
     pub fn run_passes_traced(
         &self,
         kernel: &BlockKernel,
         gmem: &mut GlobalMemory,
     ) -> Result<(ExecutionReport, Trace), SimError> {
-        let plan = self.plan(kernel)?;
-        let layout = gmem.layout();
-        let (report, trace) = self.cost_traced(&plan, &layout)?;
-        self.execute(&plan, gmem)?;
-        Ok((report, trace))
+        let arts = self.run_kernel(kernel, gmem, &RunOptions::default().traced())?;
+        let trace = arts.trace.expect("traced run always carries a trace");
+        Ok((arts.report, trace))
     }
+}
+
+/// Options of one [`Engine::run_kernel`] call — the single entry point
+/// that superseded the `run_passes`/`run_passes_traced` pair.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Produce the cost pass's [`Trace`] alongside the report.
+    pub traced: bool,
+    /// Override the engine's [`CostConfig`] for this run (`None` keeps
+    /// the engine's own).
+    pub cost: Option<CostConfig>,
+    /// Execution backend for the execute pass.
+    pub backend: BackendKind,
+}
+
+impl RunOptions {
+    /// Enable trace capture.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Override the cost-model parameters for this run.
+    pub fn with_cost(mut self, cost: CostConfig) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Select the execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// What one [`Engine::run_kernel`] call produced.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The cost pass's cycle/traffic/register report.
+    pub report: ExecutionReport,
+    /// The cost pass's timeline, when [`RunOptions::traced`] was set.
+    pub trace: Option<Trace>,
+    /// Which backend executed and how its phases split.
+    pub exec: ExecOutcome,
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use kami_core::model::skinny;
 use kami_core::plan::{gemm_cost, gemm_cost_auto, GemmPlan};
 use kami_core::tune::{SharedTuner, TunedConfig};
 use kami_core::{KamiConfig, KamiError};
-use kami_gpu_sim::{occupancy, CostConfig, DeviceSpec, Occupancy, Precision};
+use kami_gpu_sim::{occupancy, BackendKind, CostConfig, DeviceSpec, Occupancy, Precision};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -242,6 +242,15 @@ impl PlanCache {
     /// [`kami_core::gemm_auto`]); the cached plan then carries the
     /// escalated `smem_fraction`. Callers pair the result with
     /// [`kami_core::gemm_execute_plan`] for execute-only runs.
+    ///
+    /// Plans are backend-independent (the cost pass never touches
+    /// matrix data), so the cache key ignores `cfg.backend` and the
+    /// cached plan is normalized to the default backend — whichever
+    /// configuration first costed a shape class, a bare
+    /// `gemm_execute_plan` of the cached plan runs the reference
+    /// simulator. Executors wanting a specific backend pass it
+    /// explicitly via [`kami_core::gemm_execute_plan_with`] (as
+    /// `kami-serve`'s warm path does with its `ServerConfig` backend).
     pub fn gemm_plan_for(
         &self,
         device: &DeviceSpec,
@@ -268,11 +277,15 @@ impl PlanCache {
             return Ok(hit.clone());
         }
         self.cost_misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(if auto {
+        let mut costed = if auto {
             gemm_cost_auto(device, cfg, m, n, k)?
         } else {
             gemm_cost(device, cfg, m, n, k)?
-        });
+        };
+        // Normalize so the cached plan's default-execute backend never
+        // depends on which configuration costed the shape class first.
+        costed.cfg.backend = BackendKind::default();
+        let plan = Arc::new(costed);
         Ok(self.locked_costs().entry(key).or_insert(plan).clone())
     }
 

@@ -185,6 +185,38 @@ mod tests {
     }
 
     #[test]
+    fn native_backend_server_is_bit_identical_on_the_warm_path() {
+        let dev = gh200();
+        let sim_server = Server::new(&dev);
+        let native_server = Server::with_config(
+            &dev,
+            ServerConfig {
+                backend: kami_gpu_sim::BackendKind::Native,
+                ..ServerConfig::default()
+            },
+        );
+        // Two rounds so the second request on each server hits a warm
+        // plan cache — the execute-only path the backend knob governs.
+        let mut sim_out = Vec::new();
+        let mut native_out = Vec::new();
+        for round in 0..2 {
+            let ts = sim_server.submit(dense(round)).unwrap();
+            let tn = native_server.submit(dense(round)).unwrap();
+            sim_server.tick();
+            native_server.tick();
+            sim_out.push(dense_c(ts.wait().unwrap().output));
+            native_out.push(dense_c(tn.wait().unwrap().output));
+        }
+        for (s, n) in sim_out.iter().zip(&native_out) {
+            assert_eq!(
+                s.as_slice(),
+                n.as_slice(),
+                "native warm path must be bit-identical to the sim server"
+            );
+        }
+    }
+
+    #[test]
     fn scaled_epilogue_skips_the_fast_path_and_still_serves() {
         let dev = gh200();
         let server = Server::new(&dev);

@@ -53,7 +53,7 @@ use crate::error::ServeError;
 use crate::metrics::{MergedTrace, Metrics, TickRecord};
 use crate::request::{ServeOutput, ServeRequest, Workload};
 use crate::ticket::{Completed, CompletionPath, Ticket, TicketInner};
-use kami_gpu_sim::{CostConfig, DeviceSpec, Trace};
+use kami_gpu_sim::{BackendKind, CostConfig, DeviceSpec, Trace};
 use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler, SparseWork};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -100,6 +100,13 @@ pub struct ServerConfig {
     /// order. Scheduling, costs, and the clock still use the server's
     /// own device. `None` (the default) = numerics on the same device.
     pub numeric_device: Option<DeviceSpec>,
+    /// Execution backend for the warm fast path (cached cost pass +
+    /// execute-only run). Backends are bit-identical, so this is a
+    /// throughput knob, not a numerics one; [`BackendKind::Native`]
+    /// runs host-speed SIMD microkernels end-to-end on warm requests.
+    /// Requests leaving the fast path honor their own
+    /// `GemmRequest::backend` override instead.
+    pub backend: BackendKind,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +122,7 @@ impl Default for ServerConfig {
             decomposition: Decomposition::Auto,
             capture_trace: false,
             numeric_device: None,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -798,7 +806,11 @@ impl Server {
                 let plan =
                     self.plans
                         .gemm_plan_for(ndev, &cfg, a.rows(), b.cols(), a.cols(), auto)?;
-                let res = kami_core::gemm_execute_plan(ndev, &plan, a, b)?;
+                // Cached plans are backend-independent; execute on the
+                // server's configured backend regardless of which
+                // configuration first populated the cache.
+                let res =
+                    kami_core::gemm_execute_plan_with(ndev, &plan, a, b, self.config.backend)?;
                 return Ok(ServeOutput::Dense(kami_core::GemmResponse::Single(res)));
             }
         }

@@ -118,7 +118,13 @@ pub fn spgemm(
         Algo::TwoD => build_2d(cfg, q, a, b, &sym, ab, bb, cb),
         Algo::ThreeD => build_3d(cfg, q, a, b, &sym, ab, bb, cb),
     };
-    let report = Engine::with_cost(device, cfg.cost.clone()).run_passes(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cfg.cost.clone())
+        .run_kernel(
+            &kernel,
+            &mut gmem,
+            &kami_gpu_sim::RunOptions::default().with_backend(cfg.backend),
+        )?
+        .report;
 
     // Assemble sparse C from the dense buffer along the symbolic pattern.
     let c_dense = gmem.download(cb);

@@ -135,7 +135,13 @@ pub fn spmm(
         Algo::TwoD => build_2d(cfg, q, a, ab, bb, cb, bs, m, n, k, c_prec),
         Algo::ThreeD => build_3d(cfg, q, a, ab, bb, cb, bs, m, n, k, c_prec),
     };
-    let report = Engine::with_cost(device, cfg.cost.clone()).run_passes(&kernel, &mut gmem)?;
+    let report = Engine::with_cost(device, cfg.cost.clone())
+        .run_kernel(
+            &kernel,
+            &mut gmem,
+            &kami_gpu_sim::RunOptions::default().with_backend(cfg.backend),
+        )?
+        .report;
     let useful_flops = 2 * (bs * bs * n) as u64 * a.nnz_blocks() as u64;
     Ok(SpmmResult {
         c: gmem.download(cb),

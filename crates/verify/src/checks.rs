@@ -26,11 +26,11 @@ use kami_core::model::cycles::{self, ModelParams};
 use kami_core::model::{epilogue as epilogue_model, skinny};
 use kami_core::tallskinny::chunk_count;
 use kami_core::{
-    algo25d, combine_partials, gemm, gemm_cost, gemm_execute_plan, gemm_fused, gemm_fused_legacy,
-    gemm_legacy, gemm_padded, gemm_scaled, gemm_skinny, gemm_t, reference_gemm, Algo, Epilogue,
-    GemmRequest, KamiConfig, KamiError, MatOp, Op, SKINNY_CHUNK_K,
+    algo25d, combine_partials, gemm, gemm_cost, gemm_execute_plan_with, gemm_fused,
+    gemm_fused_legacy, gemm_legacy, gemm_padded, gemm_scaled, gemm_skinny, gemm_t, reference_gemm,
+    Algo, Epilogue, GemmRequest, KamiConfig, KamiError, MatOp, Op, SKINNY_CHUNK_K,
 };
-use kami_gpu_sim::{CostConfig, CostMode, Matrix, Precision};
+use kami_gpu_sim::{BackendKind, CostConfig, CostMode, Matrix, Precision};
 use kami_sched::{BlockWork, PlanCache, SchedError, Scheduler};
 use kami_sparse::{random_block_sparse, reference_spmm, spgemm, spmm, BlockOrder};
 
@@ -406,11 +406,12 @@ fn check_dense_model(
     Ok(())
 }
 
-/// Split-engine parity: `gemm_cost` + `gemm_execute_plan` (the plan →
-/// cost → execute pipeline, with its rayon fast-path executor) against
-/// `gemm_legacy` (the interleaved engine). Output bits, the full
-/// report, and any error must all be identical — zero tolerance, since
-/// the refactor promises bit-exactness including accumulation order.
+/// Split-engine parity: `gemm_cost` + `gemm_execute_plan_with` (the
+/// plan → cost → execute pipeline) against `gemm_legacy` (the
+/// interleaved engine), for **every** [`BackendKind`]. Output bits, the
+/// full report, and any error must all be identical — zero tolerance,
+/// since the backend seam promises bit-exactness including accumulation
+/// order.
 fn check_exec_parity(
     case: &Case,
     cfg: &KamiConfig,
@@ -420,58 +421,66 @@ fn check_exec_parity(
 ) -> Result<(), Mismatch> {
     let device = case.device.spec();
     let legacy = gemm_legacy(&device, cfg, a, b);
-    let split = gemm_cost(&device, cfg, case.m, case.n, case.k)
-        .and_then(|plan| gemm_execute_plan(&device, &plan, a, b));
-    match (legacy, split) {
-        (Ok(l), Ok(s)) => {
-            let diff = s.c.max_abs_diff(&l.c);
-            if diff != 0.0 {
+    for backend in BackendKind::ALL {
+        let split = gemm_cost(&device, cfg, case.m, case.n, case.k)
+            .and_then(|plan| gemm_execute_plan_with(&device, &plan, a, b, backend));
+        match (&legacy, &split) {
+            (Ok(l), Ok(s)) => {
+                let diff = s.c.max_abs_diff(&l.c);
+                if diff != 0.0 {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!(
+                            "{} split-engine ({backend}) output differs from legacy by {diff:.3e} \
+                             (must be bit-identical)",
+                            algo.label()
+                        ),
+                    ));
+                }
+                let l_rep = serde_json::to_string(&l.report).unwrap_or_default();
+                let s_rep = serde_json::to_string(&s.report).unwrap_or_default();
+                if l_rep != s_rep {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!(
+                            "{} cost-pass report ({backend}) diverges from the legacy run",
+                            algo.label()
+                        ),
+                    ));
+                }
+            }
+            (Err(le), Err(se)) => {
+                if format!("{le:?}") != format!("{se:?}") {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!(
+                            "{} legacy error `{le}` != split ({backend}) error `{se}`",
+                            algo.label()
+                        ),
+                    ));
+                }
+            }
+            (Ok(_), Err(e)) => {
                 return Err(fail(
                     CheckKind::ExecParity,
                     format!(
-                        "{} split-engine output differs from legacy by {diff:.3e} \
-                         (must be bit-identical)",
+                        "{} legacy engine ran but split engine ({backend}) failed: {e}",
                         algo.label()
                     ),
-                ));
+                ))
             }
-            let l_rep = serde_json::to_string(&l.report).unwrap_or_default();
-            let s_rep = serde_json::to_string(&s.report).unwrap_or_default();
-            if l_rep != s_rep {
+            (Err(e), Ok(_)) => {
                 return Err(fail(
                     CheckKind::ExecParity,
                     format!(
-                        "{} cost-pass report diverges from the legacy run",
+                        "{} split engine ({backend}) ran but legacy engine failed: {e}",
                         algo.label()
                     ),
-                ));
+                ))
             }
-            Ok(())
         }
-        (Err(le), Err(se)) => {
-            if format!("{le:?}") != format!("{se:?}") {
-                return Err(fail(
-                    CheckKind::ExecParity,
-                    format!("{} legacy error `{le}` != split error `{se}`", algo.label()),
-                ));
-            }
-            Ok(())
-        }
-        (Ok(_), Err(e)) => Err(fail(
-            CheckKind::ExecParity,
-            format!(
-                "{} legacy engine ran but split engine failed: {e}",
-                algo.label()
-            ),
-        )),
-        (Err(e), Ok(_)) => Err(fail(
-            CheckKind::ExecParity,
-            format!(
-                "{} split engine ran but legacy engine failed: {e}",
-                algo.label()
-            ),
-        )),
     }
+    Ok(())
 }
 
 /// The fused-epilogue plane, three seams at once:
@@ -585,29 +594,50 @@ fn check_epilogue(
 
     match gemm_fused_legacy(&device, cfg, a, b, &epi) {
         Ok(legacy) => {
-            let diff = fused.c.max_abs_diff(&legacy.c);
-            if diff != 0.0 {
-                return Err(fail(
-                    CheckKind::ExecParity,
-                    format!(
-                        "{} fused {} split output differs from legacy by {diff:.3e} \
-                         (must be bit-identical)",
-                        algo.label(),
-                        kind.label()
-                    ),
-                ));
-            }
-            let l_rep = serde_json::to_string(&legacy.report).unwrap_or_default();
-            let s_rep = serde_json::to_string(&fused.report).unwrap_or_default();
-            if l_rep != s_rep {
-                return Err(fail(
-                    CheckKind::ExecParity,
-                    format!(
-                        "{} fused {} split report diverges from the legacy run",
-                        algo.label(),
-                        kind.label()
-                    ),
-                ));
+            // Every backend's fused split run must reproduce the legacy
+            // twin; the default-backend run is already in hand.
+            for backend in BackendKind::ALL {
+                let split = if backend == cfg.backend {
+                    Ok(fused.clone())
+                } else {
+                    gemm_fused(&device, &cfg.clone().with_backend(backend), a, b, &epi)
+                };
+                let split = match split {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Err(fail(
+                            CheckKind::ExecParity,
+                            format!(
+                                "{} fused split engine ({backend}) failed where legacy ran: {e}",
+                                algo.label()
+                            ),
+                        ))
+                    }
+                };
+                let diff = split.c.max_abs_diff(&legacy.c);
+                if diff != 0.0 {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!(
+                            "{} fused {} split ({backend}) output differs from legacy by \
+                             {diff:.3e} (must be bit-identical)",
+                            algo.label(),
+                            kind.label()
+                        ),
+                    ));
+                }
+                let l_rep = serde_json::to_string(&legacy.report).unwrap_or_default();
+                let s_rep = serde_json::to_string(&split.report).unwrap_or_default();
+                if l_rep != s_rep {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!(
+                            "{} fused {} split ({backend}) report diverges from the legacy run",
+                            algo.label(),
+                            kind.label()
+                        ),
+                    ));
+                }
             }
         }
         Err(e) => {
@@ -797,6 +827,44 @@ fn check_skinny(
                 CheckKind::ExecParity,
                 format!("gemm_skinny ran but the {entry} entry failed: {e}"),
             ))
+        }
+    }
+
+    // Backend parity on the k-split path itself: every backend's chunk
+    // runs and pairwise-tree merge must reproduce the default run bit
+    // for bit, report included.
+    for backend in BackendKind::ALL {
+        if backend == cfg.backend {
+            continue;
+        }
+        let cfg_b = cfg.clone().with_backend(backend);
+        match gemm_skinny(&device, &cfg_b, a, b, epi.as_ref()) {
+            Ok(r) => {
+                let diff = r.c.max_abs_diff(&res.c);
+                if diff != 0.0 {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!(
+                            "skinny path on {backend} differs from the default backend by \
+                             {diff:.3e} (must be bit-identical)"
+                        ),
+                    ));
+                }
+                let l_rep = serde_json::to_string(&r.report).unwrap_or_default();
+                let s_rep = serde_json::to_string(&res.report).unwrap_or_default();
+                if l_rep != s_rep {
+                    return Err(fail(
+                        CheckKind::ExecParity,
+                        format!("skinny report on {backend} diverges from the default backend"),
+                    ));
+                }
+            }
+            Err(e) => {
+                return Err(fail(
+                    CheckKind::ExecParity,
+                    format!("skinny path ran on the default backend but {backend} failed: {e}"),
+                ))
+            }
         }
     }
     Ok(CaseOutcome::Pass)

@@ -54,7 +54,7 @@ pub mod prelude {
         batched_gemm, gemm, gemm_auto, gemm_padded, lowrank_gemm, Algo, GemmRequest, GemmResponse,
         KamiConfig, KamiError, Op,
     };
-    pub use kami_gpu_sim::{device, DeviceSpec, Matrix, Precision};
+    pub use kami_gpu_sim::{device, BackendKind, DeviceSpec, Matrix, Precision};
     pub use kami_sched::{
         spgemm_scheduled, spmm_scheduled, BlockWork, Decomposition, PlanCache, SchedError,
         ScheduleReport, Scheduled, Scheduler, SparseWork,
