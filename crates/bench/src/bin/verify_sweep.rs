@@ -68,7 +68,7 @@ fn main() -> ExitCode {
         requests: 200,
         seed: cfg.seed,
         replicas_per_class: 2,
-        inject: None,
+        ..FleetServedCase::default()
     };
     match fleet_case.replay() {
         Ok(replay) => {
@@ -79,10 +79,35 @@ fn main() -> ExitCode {
                 replay.fleet.replicas.len(),
                 replay.fleet.completion_cycles.p99(),
             );
-            ExitCode::SUCCESS
         }
         Err(m) => {
             eprintln!("fleet replay FAILED: {m}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // The same seam with the observation channel live: feedback on,
+    // every class mis-modeled 2x — placement may shift, bits may not.
+    let feedback_case = FleetServedCase {
+        requests: 60,
+        seed: cfg.seed,
+        replicas_per_class: 2,
+        feedback: true,
+        ..FleetServedCase::default()
+    };
+    match feedback_case.replay() {
+        Ok(replay) => {
+            println!(
+                "feedback replay: {} requests bit-identical with feedback live \
+                 ({} observations, {} corrections)",
+                replay.requests,
+                replay.fleet.plan_cache.feedback_observations,
+                replay.fleet.plan_cache.feedback_corrections,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(m) => {
+            eprintln!("feedback replay FAILED: {m}");
             ExitCode::FAILURE
         }
     }

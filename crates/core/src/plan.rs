@@ -37,6 +37,16 @@ pub struct GemmPlan {
     pub smem_fraction: f64,
 }
 
+impl GemmPlan {
+    /// Approximate bytes this plan keeps resident: the inline struct
+    /// plus the report's heap allocations. A bounded plan cache charges
+    /// this against its byte budget; it is an estimate for budgeting,
+    /// not an exact allocator measurement.
+    pub fn approx_resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.report.approx_heap_bytes()
+    }
+}
+
 /// Cost pass only: validate `(cfg, m, n, k)` on `device`, build the
 /// kernel against a shape-only global layout, and charge cycles.
 /// Touches no matrix data; fails with exactly the error a full run of

@@ -42,6 +42,16 @@ impl ExecutionReport {
         self.smem_bytes_written + self.smem_bytes_read
     }
 
+    /// Approximate heap bytes this report keeps resident (device name,
+    /// per-phase breakdown, per-warp register usage) — what a bounded
+    /// plan cache charges against its byte budget beyond the inline
+    /// struct size.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.device_name.capacity()
+            + self.phase_costs.capacity() * std::mem::size_of::<PhaseCost>()
+            + self.registers_per_warp.capacity() * std::mem::size_of::<RegisterUsage>()
+    }
+
     /// Worst per-warp register usage in the block.
     pub fn max_registers(&self) -> RegisterUsage {
         self.registers_per_warp

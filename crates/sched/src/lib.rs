@@ -40,6 +40,7 @@
 //!          report.achieved_tflops, report.decomposition.label());
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod plan;
 pub mod schedule;
@@ -47,9 +48,15 @@ pub mod scheduled;
 pub mod sparse;
 pub mod work;
 
+pub use cache::{
+    AdmissionPolicy, BoundedCache, CacheConfig, CacheCounters, CacheWeight, FeedbackConfig,
+    RatioHistogram, RATIO_BUCKETS,
+};
 pub use error::SchedError;
-pub use plan::{BlockCost, PlanCache, PlanEntry};
-pub use schedule::{estimate_batched_device, Decomposition, ScheduleReport, Scheduler, SmStats};
+pub use plan::{BlockCost, PlanCache, PlanCacheStats, PlanEntry};
+pub use schedule::{
+    estimate_batched_device, Decomposition, SchedConfig, ScheduleReport, Scheduler, SmStats,
+};
 pub use scheduled::{Scheduled, ScheduledSpgemm, ScheduledSpmm};
 pub use sparse::{
     spgemm_scheduled, spmm_scheduled, SparseCost, SparseKind, SparseScheduleReport, SparseWork,

@@ -10,6 +10,7 @@
 //! from the cache without re-tuning; hit/miss counters make that
 //! observable.
 
+use crate::cache::{BoundedCache, CacheConfig, CacheCounters, CacheWeight, RatioHistogram};
 use crate::schedule::Decomposition;
 use crate::work::WorkItem;
 use kami_core::model::skinny;
@@ -19,8 +20,8 @@ use kami_core::{KamiConfig, KamiError};
 use kami_gpu_sim::{occupancy, BackendKind, CostConfig, DeviceSpec, Occupancy, Precision};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Per-block cost quantities of one tuned shape on one device, in the
 /// batched regime (global I/O included — §5.4).
@@ -104,24 +105,170 @@ type CostKey = (
     bool,         // §4.7 auto-escalation requested
 );
 
+/// Approximate resident bytes of one tuned-plan entry. The entry is
+/// almost entirely inline (`TunedConfig`, `BlockCost`, `Occupancy`
+/// carry no heap allocations), so its size plus a small slack for
+/// map overhead is honest.
+impl CacheWeight for PlanEntry {
+    fn weight_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 64
+    }
+}
+
+/// Cost-pass plans carry a heap-allocated [`ExecutionReport`]
+/// (per-phase cycle breakdown); the core crate sizes it.
+///
+/// [`ExecutionReport`]: kami_gpu_sim::ExecutionReport
+impl CacheWeight for Arc<GemmPlan> {
+    fn weight_bytes(&self) -> usize {
+        self.approx_resident_bytes()
+    }
+}
+
+/// Exponentially weighted moving average of observed/predicted ratios
+/// for one shape class (first observation seeds the average).
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    value: f64,
+    n: u64,
+}
+
+impl Ewma {
+    fn observe(&mut self, x: f64, alpha: f64) {
+        self.value = if self.n == 0 {
+            x
+        } else {
+            alpha * x + (1.0 - alpha) * self.value
+        };
+        self.n += 1;
+    }
+}
+
+/// Observed-over-predicted state for one shape class: an entry-wide
+/// EWMA plus one per decomposition actually launched, so `Auto`
+/// re-ranking can correct each candidate by the ratio *its* launches
+/// exhibited.
+#[derive(Debug, Clone, Default)]
+struct FeedbackEntry {
+    overall: Ewma,
+    per_decomposition: HashMap<Decomposition, Ewma>,
+}
+
+/// Counter snapshot of the whole plan plane: both bounded stores plus
+/// the feedback loop. Embedded in `kami-serve`'s `Metrics` /
+/// `FleetMetrics` rollups.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanCacheStats {
+    /// Tuned-plan store (shape → config + block cost).
+    pub plans: CacheCounters,
+    /// Cost-pass store (shape class → [`GemmPlan`]).
+    pub costs: CacheCounters,
+    /// Observed executions recorded into the feedback plane.
+    pub feedback_observations: u64,
+    /// Makespan estimates actually corrected by an observed ratio.
+    pub feedback_corrections: u64,
+    /// Distribution of observed/predicted makespan ratios.
+    pub ratio: RatioHistogram,
+}
+
+impl PlanCacheStats {
+    /// Entries resident across both stores.
+    pub fn entries(&self) -> usize {
+        self.plans.entries + self.costs.entries
+    }
+
+    /// Approximate bytes resident across both stores.
+    pub fn resident_bytes(&self) -> usize {
+        self.plans.resident_bytes + self.costs.resident_bytes
+    }
+
+    /// Evictions across both stores.
+    pub fn evictions(&self) -> u64 {
+        self.plans.evictions + self.costs.evictions
+    }
+
+    /// Admission (Bloom/oversize) rejections across both stores.
+    pub fn admission_rejected(&self) -> u64 {
+        self.plans.admission_rejected + self.costs.admission_rejected
+    }
+
+    /// Stampedes avoided (single-flight waits) across both stores.
+    pub fn stampedes_avoided(&self) -> u64 {
+        self.plans.stampedes_avoided + self.costs.stampedes_avoided
+    }
+
+    /// Fold another snapshot into this one (bucket-wise exact; used by
+    /// fleet rollups when replicas carry private caches).
+    pub fn merge(&mut self, other: &PlanCacheStats) {
+        let add = |a: &mut CacheCounters, b: &CacheCounters| {
+            a.entries += b.entries;
+            a.resident_bytes += b.resident_bytes;
+            a.hits += b.hits;
+            a.misses += b.misses;
+            a.evictions += b.evictions;
+            a.admission_rejected += b.admission_rejected;
+            a.stampedes_avoided += b.stampedes_avoided;
+        };
+        add(&mut self.plans, &other.plans);
+        add(&mut self.costs, &other.costs);
+        self.feedback_observations += other.feedback_observations;
+        self.feedback_corrections += other.feedback_corrections;
+        self.ratio.merge(&other.ratio);
+    }
+}
+
 /// Thread-safe plan cache shared across launches (and across SM workers
-/// within a launch).
-#[derive(Default)]
+/// within a launch). Both stores sit on [`BoundedCache`]: the default
+/// [`CacheConfig`] keeps them unbounded with admit-always (exactly the
+/// historical `HashMap` behavior); a budgeted config holds a long
+/// mixed trace to a fixed memory footprint with Bloom-doorkept
+/// admission. Misses are single-flight — concurrent cold lookups of
+/// one shape class run the tuning sweep / cost pass once.
 pub struct PlanCache {
     tuner: SharedTuner,
-    plans: Mutex<HashMap<PlanKey, PlanEntry>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    config: CacheConfig,
+    plans: BoundedCache<PlanKey, PlanEntry>,
     /// Shape-class-keyed cost-pass results: repeated shapes skip the
     /// cost pass entirely and run execute-only.
-    costs: Mutex<HashMap<CostKey, Arc<GemmPlan>>>,
-    cost_hits: AtomicUsize,
-    cost_misses: AtomicUsize,
+    costs: BoundedCache<CostKey, Arc<GemmPlan>>,
+    /// Observed/predicted ratio state per shape class (feedback arm
+    /// only; empty while `config.feedback.enabled` is false).
+    feedback: Mutex<HashMap<PlanKey, FeedbackEntry>>,
+    observations: AtomicU64,
+    corrections: AtomicU64,
+    ratio_hist: Mutex<RatioHistogram>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
 }
 
 impl PlanCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache with explicit budget/admission/feedback knobs. The
+    /// default config reproduces the unbounded, feedback-free cache
+    /// bit-for-bit — that arm is what every golden test pins.
+    pub fn with_config(config: CacheConfig) -> Self {
+        PlanCache {
+            tuner: SharedTuner::default(),
+            plans: BoundedCache::new(&config),
+            costs: BoundedCache::new(&config),
+            feedback: Mutex::new(HashMap::new()),
+            observations: AtomicU64::new(0),
+            corrections: AtomicU64::new(0),
+            ratio_hist: Mutex::new(RatioHistogram::default()),
+            config,
+        }
+    }
+
+    /// The configuration this cache runs under.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
     }
 
     /// The underlying shared tuner (exposes `candidates_tried` and its
@@ -132,37 +279,52 @@ impl PlanCache {
 
     /// Plans served from the cache without tuning or simulating.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.plans.hits() as usize
     }
 
     /// Plans that ran the tuning sweep plus one representative block.
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.plans.misses() as usize
     }
 
     /// Cost-pass results served from the shape-class cache.
     pub fn cost_hits(&self) -> usize {
-        self.cost_hits.load(Ordering::Relaxed)
+        self.costs.hits() as usize
     }
 
     /// Shape classes that actually ran the cost pass.
     pub fn cost_misses(&self) -> usize {
-        self.cost_misses.load(Ordering::Relaxed)
+        self.costs.misses() as usize
+    }
+
+    /// Concurrent misses that waited on an in-flight tuning sweep or
+    /// cost pass instead of duplicating it (both stores).
+    pub fn stampedes_avoided(&self) -> usize {
+        (self.plans.stampedes_avoided() + self.costs.stampedes_avoided()) as usize
     }
 
     pub fn len(&self) -> usize {
-        self.locked().len()
+        self.plans.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Lock the plan map, recovering from a poisoned mutex (a panicking
-    /// SM worker must not take the whole cache down — the map itself is
-    /// never left mid-update).
-    fn locked(&self) -> MutexGuard<'_, HashMap<PlanKey, PlanEntry>> {
-        self.plans.lock().unwrap_or_else(|p| p.into_inner())
+    /// Counter snapshot of the whole plan plane (both stores plus the
+    /// feedback loop).
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            plans: self.plans.counters(),
+            costs: self.costs.counters(),
+            feedback_observations: self.observations.load(Ordering::Relaxed),
+            feedback_corrections: self.corrections.load(Ordering::Relaxed),
+            ratio: self
+                .ratio_hist
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone(),
+        }
     }
 
     /// The plan for one work-item shape, tuning and profiling on first
@@ -186,14 +348,8 @@ impl PlanCache {
         cost: Option<&CostConfig>,
     ) -> Result<(PlanEntry, bool), KamiError> {
         let key = self.key(device, item, cost);
-        if let Some(hit) = self.locked().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((hit.clone(), true));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let entry = self.build_plan(device, item, cost)?;
-        let mut plans = self.locked();
-        Ok((plans.entry(key).or_insert(entry).clone(), false))
+        self.plans
+            .get_or_try_compute(key, || self.build_plan(device, item, cost))
     }
 
     /// Record the decomposition a launch chose for this shape, so the
@@ -216,9 +372,8 @@ impl PlanCache {
         decomposition: Decomposition,
     ) {
         let key = self.key(device, item, cost);
-        if let Some(entry) = self.locked().get_mut(&key) {
-            entry.decomposition = decomposition;
-        }
+        self.plans
+            .update(&key, |entry| entry.decomposition = decomposition);
     }
 
     fn key(&self, device: &DeviceSpec, item: &WorkItem, cost: Option<&CostConfig>) -> PlanKey {
@@ -230,10 +385,6 @@ impl PlanCache {
             item.precision,
             cost_tag(cost),
         )
-    }
-
-    fn locked_costs(&self) -> MutexGuard<'_, HashMap<CostKey, Arc<GemmPlan>>> {
-        self.costs.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The costed [`GemmPlan`] for one shape class, running the cost
@@ -272,21 +423,103 @@ impl PlanCache {
             cost_tag(Some(&cfg.cost)),
             auto,
         );
-        if let Some(hit) = self.locked_costs().get(&key) {
-            self.cost_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+        let (plan, _) = self.costs.get_or_try_compute(key, || {
+            let mut costed = if auto {
+                gemm_cost_auto(device, cfg, m, n, k)?
+            } else {
+                gemm_cost(device, cfg, m, n, k)?
+            };
+            // Normalize so the cached plan's default-execute backend
+            // never depends on which configuration costed the shape
+            // class first.
+            costed.cfg.backend = BackendKind::default();
+            Ok::<_, KamiError>(Arc::new(costed))
+        })?;
+        Ok(plan)
+    }
+
+    /// Record one observed execution of a uniform shape class: the
+    /// makespan the model predicted at dispatch vs the cycles the
+    /// execution actually took. Feeds the per-shape EWMA of
+    /// observed/predicted ratios the `Auto` re-ranker and
+    /// [`PlanCache::predict_makespan`] consult. No-op while feedback is
+    /// disabled (the control arm records nothing and reads nothing —
+    /// behavior is bit-identical to a cache without this method).
+    pub fn observe_execution(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        cost: Option<&CostConfig>,
+        decomposition: Decomposition,
+        predicted_cycles: f64,
+        observed_cycles: f64,
+    ) {
+        let fb = &self.config.feedback;
+        if !fb.enabled
+            || !predicted_cycles.is_finite()
+            || predicted_cycles <= 0.0
+            || !observed_cycles.is_finite()
+            || observed_cycles <= 0.0
+        {
+            return;
         }
-        self.cost_misses.fetch_add(1, Ordering::Relaxed);
-        let mut costed = if auto {
-            gemm_cost_auto(device, cfg, m, n, k)?
-        } else {
-            gemm_cost(device, cfg, m, n, k)?
+        let ratio = observed_cycles / predicted_cycles;
+        let key = self.key(device, item, cost);
+        {
+            let mut map = self.feedback.lock().unwrap_or_else(|p| p.into_inner());
+            let entry = map.entry(key).or_default();
+            entry.overall.observe(ratio, fb.alpha);
+            entry
+                .per_decomposition
+                .entry(decomposition)
+                .or_default()
+                .observe(ratio, fb.alpha);
+        }
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        self.ratio_hist
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .record(ratio);
+    }
+
+    /// Multiplier that corrects a model-predicted makespan for this
+    /// shape class by its observed/predicted EWMA. Returns exactly
+    /// `1.0` unless feedback is enabled, the class has at least
+    /// `min_observations` recorded, **and** the ratio diverges from
+    /// 1 by more than the configured threshold — so a well-calibrated
+    /// model is never perturbed. Prefers the ratio observed under
+    /// `decomposition` (when given), falling back to the entry-wide
+    /// EWMA; each non-unit return counts one feedback correction.
+    pub fn correction_factor(
+        &self,
+        device: &DeviceSpec,
+        item: &WorkItem,
+        cost: Option<&CostConfig>,
+        decomposition: Option<Decomposition>,
+    ) -> f64 {
+        let fb = &self.config.feedback;
+        if !fb.enabled {
+            return 1.0;
+        }
+        let key = self.key(device, item, cost);
+        let ewma = {
+            let map = self.feedback.lock().unwrap_or_else(|p| p.into_inner());
+            let Some(entry) = map.get(&key) else {
+                return 1.0;
+            };
+            decomposition
+                .and_then(|d| entry.per_decomposition.get(&d))
+                .filter(|e| e.n >= fb.min_observations)
+                .copied()
+                .or_else(|| (entry.overall.n >= fb.min_observations).then_some(entry.overall))
         };
-        // Normalize so the cached plan's default-execute backend never
-        // depends on which configuration costed the shape class first.
-        costed.cfg.backend = BackendKind::default();
-        let plan = Arc::new(costed);
-        Ok(self.locked_costs().entry(key).or_insert(plan).clone())
+        match ewma {
+            Some(e) if (e.value - 1.0).abs() > fb.divergence => {
+                self.corrections.fetch_add(1, Ordering::Relaxed);
+                e.value
+            }
+            _ => 1.0,
+        }
     }
 
     /// Predicted device-level makespan, in cycles, for `work` on
@@ -302,6 +535,12 @@ impl PlanCache {
     /// Errors surface device infeasibility (e.g. FP64 work on a device
     /// without FP64 MMA shapes) — a router treats those replicas as
     /// ineligible rather than failing the request.
+    ///
+    /// When feedback is enabled and the class has diverged from its
+    /// predictions, the model makespan is multiplied by the observed
+    /// EWMA ratio ([`PlanCache::correction_factor`]) — the fleet router
+    /// then places against what executions actually cost, not what the
+    /// mis-modeled device claims.
     pub fn predict_makespan(
         &self,
         device: &DeviceSpec,
@@ -312,7 +551,13 @@ impl PlanCache {
         if let Some(c) = cost {
             scheduler = scheduler.with_cost(c.clone());
         }
-        Ok(scheduler.run(work, self)?.makespan_cycles)
+        let report = scheduler.run(work, self)?;
+        let mut makespan = report.makespan_cycles;
+        if self.config.feedback.enabled && !work.items.is_empty() && work.is_uniform() {
+            makespan *=
+                self.correction_factor(device, &work.items[0], cost, Some(report.decomposition));
+        }
+        Ok(makespan)
     }
 
     /// Tune the shape, then cost the winner to extract the block-level

@@ -308,18 +308,32 @@ impl<'a> Scheduler<'a> {
                 (Decomposition::SkinnyK, p, ms)
             }
             Decomposition::Auto if g > 1 => {
+                // Candidates are ranked on the model makespan scaled by
+                // the shape class's observed/predicted EWMA for that
+                // decomposition ([`PlanCache::correction_factor`]) —
+                // exactly 1.0 when feedback is off or calibrated, so
+                // the control arm ranks on the raw model. The *chosen*
+                // candidate's reported makespan stays the model's: the
+                // dispatch clock charges what prediction would, and
+                // observation corrects the next ranking instead.
+                let rank = |d: Decomposition, ms: f64| {
+                    ms * plans.correction_factor(self.device, &item, self.cost.as_ref(), Some(d))
+                };
                 let mut best = (Decomposition::DataParallel, dp, dp_makespan);
+                let mut best_rank = rank(Decomposition::DataParallel, dp_makespan);
                 let sk = split(false);
                 let ms = makespan(&sk);
-                if ms < best.2 {
+                let r = rank(Decomposition::StreamK, ms);
+                if r < best_rank {
                     best = (Decomposition::StreamK, sk, ms);
+                    best_rank = r;
                 }
                 // Only tall-skinny shapes run the k-split path whose
                 // tree fixup Skinny-K models.
                 if skinny {
                     let skt = split(true);
                     let ms = makespan(&skt);
-                    if ms < best.2 {
+                    if rank(Decomposition::SkinnyK, ms) < best_rank {
                         best = (Decomposition::SkinnyK, skt, ms);
                     }
                 }
@@ -704,6 +718,47 @@ pub(crate) fn build_trace(
         report.makespan_cycles,
         per_sm_events,
     )
+}
+
+/// One bundle of every scheduler-plane knob: decomposition choice,
+/// cost-model override, and the plan-cache budget/feedback
+/// configuration. `ServerConfig` and `FleetSpec` thread the `cache`
+/// section through to the caches they construct; standalone users can
+/// build a matched scheduler + cache pair from one value.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Decomposition to request (default `Auto`).
+    pub decomposition: Decomposition,
+    /// Cost-model override for profiling and makespans.
+    pub cost: Option<CostConfig>,
+    /// Plan-cache budget/admission/feedback knobs.
+    pub cache: crate::cache::CacheConfig,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            decomposition: Decomposition::Auto,
+            cost: None,
+            cache: crate::cache::CacheConfig::default(),
+        }
+    }
+}
+
+impl SchedConfig {
+    /// A scheduler honoring this bundle's decomposition and cost knobs.
+    pub fn scheduler<'a>(&self, device: &'a DeviceSpec) -> Scheduler<'a> {
+        let mut s = Scheduler::new(device).with_decomposition(self.decomposition);
+        if let Some(c) = &self.cost {
+            s = s.with_cost(c.clone());
+        }
+        s
+    }
+
+    /// A plan cache honoring this bundle's cache knobs.
+    pub fn plan_cache(&self) -> PlanCache {
+        PlanCache::with_config(self.cache.clone())
+    }
 }
 
 /// Device-level counterpart of [`kami_core::estimate_batched`]: model a

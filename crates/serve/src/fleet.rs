@@ -37,12 +37,12 @@
 //! FP64 traffic automatically routes to the classes that can model it.
 
 use crate::error::ServeError;
-use crate::metrics::{CycleHistogram, Metrics};
+use crate::metrics::{write_plan_cache_series, CycleHistogram, Metrics};
 use crate::request::{ServeRequest, Workload};
 use crate::server::{Server, ServerConfig};
 use crate::ticket::{Completed, Ticket};
 use kami_gpu_sim::{device, CostConfig, DeviceSpec};
-use kami_sched::{BlockWork, PlanCache, Scheduler, SparseWork};
+use kami_sched::{BlockWork, CacheConfig, PlanCache, PlanCacheStats, Scheduler, SparseWork};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,6 +56,13 @@ pub struct DeviceClass {
     /// fault-injection hook. Cost-only by construction: numerics run on
     /// the fleet's numeric device and never see this config.
     pub cost: Option<CostConfig>,
+    /// "Reality" cost model for this class's replicas
+    /// ([`ServerConfig::true_cost`]): dispatches re-cost under it,
+    /// the clock charges the observed makespan, and the observation
+    /// channel records observed/predicted ratios. The mis-modeled-device
+    /// hook: `cost` changes what the model *believes*, `true_cost`
+    /// changes what execution *costs*.
+    pub true_cost: Option<CostConfig>,
 }
 
 impl DeviceClass {
@@ -64,6 +71,7 @@ impl DeviceClass {
             device,
             replicas,
             cost: None,
+            true_cost: None,
         }
     }
 }
@@ -76,6 +84,10 @@ pub struct FleetSpec {
     /// The device whose engine produces every payload, regardless of
     /// placement (see the module docs on the numerics plane).
     pub numeric_device: DeviceSpec,
+    /// Budget/admission/feedback knobs for the *shared* plan cache all
+    /// replicas route and dispatch through. Default = unbounded +
+    /// no-feedback (the historical fleet).
+    pub cache: CacheConfig,
 }
 
 impl FleetSpec {
@@ -87,6 +99,7 @@ impl FleetSpec {
                 .map(|d| DeviceClass::new(d, replicas))
                 .collect(),
             numeric_device: device::gh200(),
+            cache: CacheConfig::default(),
         }
     }
 
@@ -97,12 +110,19 @@ impl FleetSpec {
         FleetSpec {
             classes: vec![DeviceClass::new(device_spec.clone(), replicas)],
             numeric_device: device::gh200(),
+            cache: CacheConfig::default(),
         }
     }
 
     /// Pin the numerics-plane device.
     pub fn with_numeric_device(mut self, d: DeviceSpec) -> Self {
         self.numeric_device = d;
+        self
+    }
+
+    /// Set the shared plan cache's budget/admission/feedback knobs.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -239,6 +259,9 @@ pub struct FleetMetrics {
     pub router: RouterStats,
     /// All replicas' completion latencies, merged.
     pub completion_cycles: CycleHistogram,
+    /// The shared plan cache's account (one cache serves every
+    /// replica, so this is fleet-wide, not a per-replica rollup).
+    pub plan_cache: PlanCacheStats,
 }
 
 impl FleetMetrics {
@@ -374,6 +397,7 @@ impl FleetMetrics {
             "kami_fleet_completion_cycles_p999 {}",
             self.completion_cycles.p999()
         );
+        write_plan_cache_series(&mut out, "kami_fleet", &self.plan_cache);
         out
     }
 }
@@ -402,13 +426,15 @@ impl FleetServer {
     }
 
     pub fn with_config(spec: FleetSpec, config: FleetConfig) -> Self {
-        let plans = Arc::new(PlanCache::new());
+        let plans = Arc::new(PlanCache::with_config(spec.cache.clone()));
         let mut replicas = Vec::with_capacity(spec.total_replicas());
         for (class_idx, class) in spec.classes.iter().enumerate() {
             for _ in 0..class.replicas {
                 let server_cfg = ServerConfig {
                     cost: class.cost.clone(),
+                    true_cost: class.true_cost.clone(),
                     numeric_device: Some(spec.numeric_device.clone()),
+                    cache: spec.cache.clone(),
                     ..config.server.clone()
                 };
                 replicas.push(Replica {
@@ -717,6 +743,7 @@ impl FleetServer {
                 .unwrap_or_else(|p| p.into_inner())
                 .clone(),
             completion_cycles: completion,
+            plan_cache: self.plans.stats(),
         }
     }
 

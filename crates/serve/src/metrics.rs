@@ -3,6 +3,7 @@
 //! dispatched group.
 
 use kami_gpu_sim::Trace;
+use kami_sched::{PlanCacheStats, RatioHistogram, RATIO_BUCKETS};
 use std::fmt::Write as _;
 
 /// One dispatcher tick's account.
@@ -178,6 +179,10 @@ pub struct Metrics {
     /// (admission to completion, retries and backoff parking included);
     /// fixed power-of-two buckets so fleet rollups merge exactly.
     pub completion_cycles: CycleHistogram,
+    /// Plan-plane snapshot: both bounded stores (entries, resident
+    /// bytes, evictions, admission rejections, stampedes avoided) plus
+    /// the observation-feedback loop.
+    pub plan_cache: PlanCacheStats,
     pub per_tick: Vec<TickRecord>,
 }
 
@@ -305,8 +310,104 @@ impl Metrics {
             "P99.9 completion latency in simulated cycles (bucket upper bound)",
             self.completion_cycles.p999(),
         );
+        write_plan_cache_series(&mut out, "kami_serve", &self.plan_cache);
         out
     }
+}
+
+/// Append the plan-cache observability series under `prefix` —
+/// shared by the per-server (`kami_serve`) and fleet (`kami_fleet`)
+/// exports so both expose identical names.
+pub(crate) fn write_plan_cache_series(out: &mut String, prefix: &str, pc: &PlanCacheStats) {
+    let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+        let _ = writeln!(out, "# HELP {prefix}_{name} {help}");
+        let _ = writeln!(out, "# TYPE {prefix}_{name} gauge");
+        let _ = writeln!(out, "{prefix}_{name} {v}");
+    };
+    gauge(
+        out,
+        "plan_cache_entries",
+        "Entries resident across both plan-plane stores",
+        pc.entries() as f64,
+    );
+    gauge(
+        out,
+        "plan_cache_resident_bytes",
+        "Approximate bytes resident across both plan-plane stores",
+        pc.resident_bytes() as f64,
+    );
+    let counter = |out: &mut String, name: &str, help: &str, v: f64| {
+        let _ = writeln!(out, "# HELP {prefix}_{name} {help}");
+        let _ = writeln!(out, "# TYPE {prefix}_{name} counter");
+        let _ = writeln!(out, "{prefix}_{name} {v}");
+    };
+    counter(
+        out,
+        "plan_cache_hits_total",
+        "Plan-plane lookups served from cache (both stores)",
+        (pc.plans.hits + pc.costs.hits) as f64,
+    );
+    counter(
+        out,
+        "plan_cache_misses_total",
+        "Plan-plane lookups that ran the tuning sweep or cost pass",
+        (pc.plans.misses + pc.costs.misses) as f64,
+    );
+    counter(
+        out,
+        "plan_cache_evictions_total",
+        "Entries displaced by the cache budget",
+        pc.evictions() as f64,
+    );
+    counter(
+        out,
+        "plan_cache_admission_rejected_total",
+        "Computed values the Bloom doorkeeper (or oversize check) declined to cache",
+        pc.admission_rejected() as f64,
+    );
+    counter(
+        out,
+        "plan_cache_stampedes_avoided_total",
+        "Concurrent misses that waited on an in-flight compute",
+        pc.stampedes_avoided() as f64,
+    );
+    counter(
+        out,
+        "plan_cache_feedback_observations_total",
+        "Observed executions recorded into the feedback plane",
+        pc.feedback_observations as f64,
+    );
+    counter(
+        out,
+        "plan_cache_feedback_corrections_total",
+        "Makespan estimates corrected by an observed ratio",
+        pc.feedback_corrections as f64,
+    );
+    write_ratio_histogram(out, prefix, &pc.ratio);
+}
+
+/// Append the observed/predicted makespan ratio histogram as a
+/// Prometheus histogram (`_bucket{le=..}` cumulative series plus
+/// `_sum` and `_count`).
+fn write_ratio_histogram(out: &mut String, prefix: &str, h: &RatioHistogram) {
+    let name = "plan_cache_feedback_ratio";
+    let _ = writeln!(
+        out,
+        "# HELP {prefix}_{name} Observed/predicted makespan ratio per dispatched shape class"
+    );
+    let _ = writeln!(out, "# TYPE {prefix}_{name} histogram");
+    let mut acc = 0u64;
+    for (i, &c) in h.counts().iter().enumerate() {
+        acc += c;
+        if i + 1 == RATIO_BUCKETS {
+            let _ = writeln!(out, "{prefix}_{name}_bucket{{le=\"+Inf\"}} {acc}");
+        } else {
+            let le = RatioHistogram::upper_bound(i);
+            let _ = writeln!(out, "{prefix}_{name}_bucket{{le=\"{le}\"}} {acc}");
+        }
+    }
+    let _ = writeln!(out, "{prefix}_{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{prefix}_{name}_count {}", h.count());
 }
 
 /// Merged device trace: every dispatched group's per-SM trace, offset
@@ -347,9 +448,30 @@ mod tests {
             "kami_serve_completed_total 5",
             "kami_serve_coalesce_factor 2",
             "# TYPE kami_serve_ticks_total counter",
+            "kami_serve_plan_cache_entries 0",
+            "kami_serve_plan_cache_evictions_total 0",
+            "kami_serve_plan_cache_admission_rejected_total 0",
+            "kami_serve_plan_cache_stampedes_avoided_total 0",
+            "kami_serve_plan_cache_feedback_corrections_total 0",
+            "kami_serve_plan_cache_feedback_ratio_count 0",
+            "kami_serve_plan_cache_feedback_ratio_bucket{le=\"+Inf\"} 0",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn prometheus_exports_plan_cache_ratio_histogram() {
+        let mut m = Metrics::default();
+        m.plan_cache.ratio.record(1.0);
+        m.plan_cache.ratio.record(8.0);
+        m.plan_cache.feedback_observations = 2;
+        let text = m.to_prometheus();
+        assert!(text.contains("kami_serve_plan_cache_feedback_observations_total 2"));
+        assert!(text.contains("kami_serve_plan_cache_feedback_ratio_count 2"));
+        assert!(text.contains("kami_serve_plan_cache_feedback_ratio_sum 9"));
+        // Cumulative le series ends at the catch-all.
+        assert!(text.contains("kami_serve_plan_cache_feedback_ratio_bucket{le=\"+Inf\"} 2"));
     }
 
     #[test]

@@ -54,7 +54,9 @@ use crate::metrics::{MergedTrace, Metrics, TickRecord};
 use crate::request::{ServeOutput, ServeRequest, Workload};
 use crate::ticket::{Completed, CompletionPath, Ticket, TicketInner};
 use kami_gpu_sim::{BackendKind, CostConfig, DeviceSpec, Trace};
-use kami_sched::{BlockWork, Decomposition, PlanCache, Scheduler, SparseWork};
+use kami_sched::{
+    BlockWork, CacheConfig, Decomposition, PlanCache, Scheduler, SparseWork, WorkItem,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -107,6 +109,20 @@ pub struct ServerConfig {
     /// Requests leaving the fast path honor their own
     /// `GemmRequest::backend` override instead.
     pub backend: BackendKind,
+    /// Plan-cache budget/admission/feedback knobs for the cache this
+    /// server constructs (ignored by [`Server::with_shared_plans`],
+    /// where the caller owns the cache). The default is unbounded +
+    /// no-feedback — exactly the historical cache.
+    pub cache: CacheConfig,
+    /// "Reality" cost model for observed execution. When set, every
+    /// dense dispatch is re-costed under this model (same work, same
+    /// decomposition the model chose) and the *observed* makespan is
+    /// what the clock charges and what feeds the plan cache's
+    /// observation channel — the serving twin of a device whose real
+    /// timing diverges from its cost model. `None` (the default) means
+    /// observation equals prediction: the feedback loop measures ratio
+    /// 1.0 and corrects nothing, keeping behavior bit-identical.
+    pub true_cost: Option<CostConfig>,
 }
 
 impl Default for ServerConfig {
@@ -123,8 +139,26 @@ impl Default for ServerConfig {
             capture_trace: false,
             numeric_device: None,
             backend: BackendKind::default(),
+            cache: CacheConfig::default(),
+            true_cost: None,
         }
     }
+}
+
+/// One dispatched group's schedule: the model makespan, the observed
+/// makespan (differs only under [`ServerConfig::true_cost`]), and — for
+/// uniform dense pools — the shape class and chosen decomposition the
+/// observation channel reports on.
+struct GroupSchedule {
+    /// Makespan the cost model predicted.
+    makespan: f64,
+    /// Makespan the execution actually took (equals `makespan` without
+    /// a true-cost model). The clock charges this.
+    observed: f64,
+    utilization: f64,
+    trace: Option<Trace>,
+    /// Uniform dense pools only: shape class + chosen decomposition.
+    class: Option<(WorkItem, Decomposition)>,
 }
 
 /// A queued request attempt. The request payload is `Arc`'d at
@@ -302,7 +336,8 @@ impl Server {
     }
 
     pub fn with_config(device: &DeviceSpec, config: ServerConfig) -> Self {
-        Self::with_shared_plans(device, config, Arc::new(PlanCache::new()))
+        let plans = Arc::new(PlanCache::with_config(config.cache.clone()));
+        Self::with_shared_plans(device, config, plans)
     }
 
     /// Build a server over an externally owned [`PlanCache`]. Fleet
@@ -448,6 +483,7 @@ impl Server {
         m.rejected_shutting_down = self.rejected_shutting_down.load(Ordering::Relaxed);
         m.admission_failovers = self.admission_failovers.load(Ordering::Relaxed);
         m.max_queue_depth = self.max_queue_depth.load(Ordering::Relaxed);
+        m.plan_cache = self.plans.stats();
         m
     }
 
@@ -675,7 +711,7 @@ impl Server {
         }
 
         // One schedule for the whole pool.
-        let (makespan, utilization, trace) = match self.schedule_group(&live) {
+        let sched = match self.schedule_group(&live) {
             Ok(out) => out,
             Err(e) => {
                 let n = live.len() as u64;
@@ -690,6 +726,20 @@ impl Server {
                 return;
             }
         };
+        // Close the loop: report the observed execution of this shape
+        // class back into the plan cache (no-op unless feedback is on).
+        if let Some((item, decomposition)) = sched.class {
+            self.plans.observe_execution(
+                &self.device,
+                &item,
+                self.config.cost.as_ref(),
+                decomposition,
+                sched.makespan,
+                sched.observed,
+            );
+        }
+        let makespan = sched.observed;
+        let utilization = sched.utilization;
 
         // Advance the clock and settle every member against its
         // deadline, all under one state lock; resolutions fire after.
@@ -700,7 +750,7 @@ impl Server {
         let group_start = st.clock;
         st.clock += makespan;
         st.metrics.group_cycles_sum += makespan;
-        if let Some(t) = &trace {
+        if let Some(t) = &sched.trace {
             st.trace.absorb(t, group_start);
         }
         for mut p in live {
@@ -819,10 +869,7 @@ impl Server {
 
     /// Model one group's device-level execution: makespan, utilization,
     /// and (optionally) the per-SM trace.
-    fn schedule_group(
-        &self,
-        group: &[Pending],
-    ) -> Result<(f64, f64, Option<Trace>), kami_sched::SchedError> {
+    fn schedule_group(&self, group: &[Pending]) -> Result<GroupSchedule, kami_sched::SchedError> {
         let mut scheduler =
             Scheduler::new(&self.device).with_decomposition(self.config.decomposition);
         if let Some(c) = &self.config.cost {
@@ -851,13 +898,34 @@ impl Server {
             items.extend(p.request.work_items());
         }
         let work = BlockWork::new(items);
-        if self.config.capture_trace {
+        let (report, trace) = if self.config.capture_trace {
             let (report, trace) = scheduler.run_traced(&work, &self.plans)?;
-            Ok((report.makespan_cycles, report.utilization, Some(trace)))
+            (report, Some(trace))
         } else {
-            let report = scheduler.run(&work, &self.plans)?;
-            Ok((report.makespan_cycles, report.utilization, None))
-        }
+            (scheduler.run(&work, &self.plans)?, None)
+        };
+        // Observed execution: with a true-cost model configured, the
+        // pool is re-costed under *reality* (same work, same
+        // decomposition the model just chose) — that is what the clock
+        // will charge and what the observation channel reports.
+        let observed = match &self.config.true_cost {
+            None => report.makespan_cycles,
+            Some(tc) => {
+                let truth = Scheduler::new(&self.device)
+                    .with_decomposition(report.decomposition)
+                    .with_cost(tc.clone());
+                truth.run(&work, &self.plans)?.makespan_cycles
+            }
+        };
+        let class = (work.is_uniform() && !work.items.is_empty())
+            .then(|| (work.items[0], report.decomposition));
+        Ok(GroupSchedule {
+            makespan: report.makespan_cycles,
+            observed,
+            utilization: report.utilization,
+            trace,
+            class,
+        })
     }
 
     fn run_sparse(
@@ -865,22 +933,22 @@ impl Server {
         scheduler: &Scheduler<'_>,
         work: &SparseWork,
         traced: bool,
-    ) -> Result<(f64, f64, Option<Trace>), kami_sched::SchedError> {
-        if traced {
+    ) -> Result<GroupSchedule, kami_sched::SchedError> {
+        let (report, trace) = if traced {
             let (report, trace) = scheduler.run_sparse_traced(work, &self.plans)?;
-            Ok((
-                report.schedule.makespan_cycles,
-                report.schedule.utilization,
-                Some(trace),
-            ))
+            (report, Some(trace))
         } else {
-            let report = scheduler.run_sparse(work, &self.plans)?;
-            Ok((
-                report.schedule.makespan_cycles,
-                report.schedule.utilization,
-                None,
-            ))
-        }
+            (scheduler.run_sparse(work, &self.plans)?, None)
+        };
+        // Sparse work keeps model cost as observed: the feedback loop
+        // covers uniform dense shape classes only.
+        Ok(GroupSchedule {
+            makespan: report.schedule.makespan_cycles,
+            observed: report.schedule.makespan_cycles,
+            utilization: report.schedule.utilization,
+            trace,
+            class: None,
+        })
     }
 
     fn record_tick(&self, tick_no: u64, summary: &TickSummary) {

@@ -51,6 +51,10 @@ pub enum CheckKind {
     /// bit-identity across placements, ticket conservation, and cost
     /// coherence between same-class replicas.
     Fleet,
+    /// Feedback-enabled replay on a mis-modeled server vs the direct
+    /// engine call: the observation channel may re-rank plans and
+    /// correct makespans, but payloads must stay bit-identical.
+    Feedback,
 }
 
 impl CheckKind {
@@ -63,6 +67,7 @@ impl CheckKind {
             CheckKind::Served => "Served",
             CheckKind::ExecParity => "ExecParity",
             CheckKind::Fleet => "Fleet",
+            CheckKind::Feedback => "Feedback",
         }
     }
 }
@@ -108,6 +113,13 @@ pub struct Harness {
     /// (the `Served` check). Off by default: it spins up a server per
     /// case, which sweeps usually don't want to pay.
     pub serve: bool,
+    /// Also replay each dense case through a server whose cache has
+    /// the feedback channel *on* and whose execution is deliberately
+    /// mis-modeled (`true_cost` slower than the model), then hold the
+    /// payloads to bit-identity anyway (the `Feedback` check). Proves
+    /// observation-driven re-ranking is schedule-only. Off by default
+    /// for the same reason as `serve`.
+    pub feedback: bool,
 }
 
 impl Harness {
@@ -310,6 +322,12 @@ pub fn run_case(
     // Check 5 (opt-in): served replay vs the direct call.
     if harness.serve {
         crate::served::check_served(case, harness)?;
+    }
+
+    // Check 6 (opt-in): feedback-enabled replay on a mis-modeled
+    // server — corrections may fire, payloads must not move.
+    if harness.feedback {
+        crate::served::check_feedback(case, harness)?;
     }
 
     Ok(CaseOutcome::Pass)

@@ -71,6 +71,13 @@ pub struct FleetServedCase {
     /// exactly one GH200 replica. Cost-plane only — numerics must stay
     /// bit-identical while the twin probe catches the divergence.
     pub inject: Option<CostConfig>,
+    /// Run the replay with the observation channel live: the shared
+    /// cache gets feedback enabled and every class's execution
+    /// secretly runs its MMAs at half the modeled rate
+    /// (`true_cost`, uniform within each class so the twin probe
+    /// stays coherent). Placement and schedules may shift; every
+    /// bit-identity and conservation check must hold regardless.
+    pub feedback: bool,
 }
 
 impl Default for FleetServedCase {
@@ -80,6 +87,7 @@ impl Default for FleetServedCase {
             seed: 1,
             replicas_per_class: 2,
             inject: None,
+            feedback: false,
         }
     }
 }
@@ -106,6 +114,15 @@ impl FleetServedCase {
             let mut injected = DeviceClass::new(device::gh200(), 1);
             injected.cost = Some(cost.clone());
             spec.classes.insert(1, injected);
+        }
+        if self.feedback {
+            spec.cache = kami_sched::CacheConfig::default().with_feedback();
+            for class in &mut spec.classes {
+                class.true_cost = Some(CostConfig {
+                    mma_efficiency: 0.5,
+                    ..CostConfig::default()
+                });
+            }
         }
         spec
     }
@@ -297,6 +314,23 @@ mod tests {
         assert_eq!(replay.fleet.completed(), 10);
         assert_eq!(replay.single.completed, 10);
         assert_eq!(replay.probe_cycles.0, replay.probe_cycles.1);
+    }
+
+    #[test]
+    fn feedback_enabled_fleet_replay_stays_bit_identical() {
+        let case = FleetServedCase {
+            requests: 10,
+            feedback: true,
+            ..FleetServedCase::default()
+        };
+        let replay = case
+            .replay()
+            .expect("feedback may move schedules, never bits");
+        assert_eq!(replay.fleet.completed(), 10);
+        assert!(
+            replay.fleet.plan_cache.feedback_observations >= 1,
+            "a mis-modeled fleet must record observations"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::case::{Case, CaseAlgo};
 use crate::checks::{CaseOutcome, CheckKind, Harness, Mismatch};
 use kami_core::{GemmRequest, GemmResult, KamiError, Op};
 use kami_gpu_sim::{CostConfig, Matrix};
+use kami_sched::CacheConfig;
 use kami_serve::{Completed, Metrics, ServeRequest, Server, ServerConfig};
 
 /// How to replay one case through the service.
@@ -40,6 +41,17 @@ pub struct ServedCase {
     pub max_retries: u32,
     /// Base backoff in simulated cycles between retry attempts.
     pub backoff_cycles: f64,
+    /// Submission rounds: each round submits `copies` and drains the
+    /// queue before the next, so round 2 dispatches *after* round 1's
+    /// observations have landed in the cache. 1 = the classic replay.
+    pub rounds: usize,
+    /// Plan-cache knobs for the server under test (budget, admission,
+    /// feedback). Default = unbounded + no-feedback.
+    pub cache: CacheConfig,
+    /// "Reality" cost model ([`kami_serve::ServerConfig::true_cost`]):
+    /// makes the server's execution disagree with its own model, which
+    /// is what gives the feedback channel something to observe.
+    pub true_cost: Option<CostConfig>,
 }
 
 impl Default for ServedCase {
@@ -50,6 +62,9 @@ impl Default for ServedCase {
             server_cost: None,
             max_retries: 2,
             backoff_cycles: 64.0,
+            rounds: 1,
+            cache: CacheConfig::default(),
+            true_cost: None,
         }
     }
 }
@@ -118,21 +133,25 @@ impl ServedCase {
                 max_retries: self.max_retries,
                 backoff_cycles: self.backoff_cycles,
                 cost: self.server_cost.clone(),
+                cache: self.cache.clone(),
+                true_cost: self.true_cost.clone(),
                 ..ServerConfig::default()
             },
         );
-        let tickets: Vec<_> = (0..self.copies)
-            .map(|_| {
+        let mut tickets = Vec::with_capacity(self.copies * self.rounds.max(1));
+        for _ in 0..self.rounds.max(1) {
+            for _ in 0..self.copies {
                 let mut req = ServeRequest::dense(base.clone());
                 if let Some(d) = self.deadline_cycles {
                     req = req.with_deadline(d);
                 }
-                server.submit(req).map_err(|e| Mismatch {
+                tickets.push(server.submit(req).map_err(|e| Mismatch {
                     kind: CheckKind::Served,
                     detail: format!("submit rejected within capacity: {e}"),
-                })
-            })
-            .collect::<Result<_, _>>()?;
+                })?);
+            }
+            server.drain();
+        }
         server.shutdown_and_drain();
 
         let mut completions = Vec::with_capacity(tickets.len());
@@ -228,6 +247,47 @@ pub(crate) fn check_served(case: &Case, harness: &Harness) -> Result<CaseOutcome
     }
 }
 
+/// The `Feedback` cross-check: replay on a server whose cache has the
+/// observation channel on and whose execution runs 4x slower than its
+/// model believes (`mma_efficiency: 0.25`). Round 2 dispatches after
+/// round 1's observations land, so any correction-driven re-ranking is
+/// live — and the payloads must still match the direct call bit-wise.
+/// For plain dense cases (uniform pools) the channel must also have
+/// recorded at least one observation, or the hook is dead wire.
+pub(crate) fn check_feedback(case: &Case, harness: &Harness) -> Result<CaseOutcome, Mismatch> {
+    let served = ServedCase {
+        rounds: 2,
+        cache: CacheConfig::default().with_feedback(),
+        true_cost: Some(CostConfig {
+            mma_efficiency: 0.25,
+            ..CostConfig::default()
+        }),
+        ..ServedCase::default()
+    };
+    match served.replay(case, harness)? {
+        Some(replay) => {
+            replay
+                .check(served.copies * served.rounds)
+                .map_err(|m| Mismatch {
+                    kind: CheckKind::Feedback,
+                    detail: m.detail,
+                })?;
+            if matches!(case.algo, CaseAlgo::Dense(_))
+                && replay.metrics.plan_cache.feedback_observations == 0
+            {
+                return Err(Mismatch {
+                    kind: CheckKind::Feedback,
+                    detail: "feedback-enabled replay on a mis-modeled server recorded zero \
+                             observations — the channel is disconnected"
+                        .into(),
+                });
+            }
+            Ok(CaseOutcome::Pass)
+        }
+        None => Ok(CaseOutcome::Pass),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +322,44 @@ mod tests {
             .expect("replay must not mismatch")
             .expect("a generated skinny fp16 case is servable");
         replay.check(served.copies).expect("bit-identity");
+    }
+
+    #[test]
+    fn run_case_with_feedback_flag_passes_clean() {
+        use kami_sched::PlanCache;
+        let harness = Harness {
+            feedback: true,
+            ..Harness::default()
+        };
+        let case = Case::generate(DeviceId::Gh200, AlgoKind::TwoD, Precision::Fp16, 7);
+        let plans = PlanCache::new();
+        crate::checks::run_case(&case, &harness, &plans).expect("clean case must pass");
+    }
+
+    #[test]
+    fn feedback_check_observes_and_stays_bit_identical() {
+        let case = Case::generate(DeviceId::Gh200, AlgoKind::OneD, Precision::Fp16, 13);
+        let harness = Harness::default();
+        let served = ServedCase {
+            rounds: 2,
+            cache: CacheConfig::default().with_feedback(),
+            true_cost: Some(CostConfig {
+                mma_efficiency: 0.25,
+                ..CostConfig::default()
+            }),
+            ..ServedCase::default()
+        };
+        let replay = served
+            .replay(&case, &harness)
+            .expect("replay must not mismatch")
+            .expect("a generated 1D fp16 case is servable");
+        replay
+            .check(served.copies * served.rounds)
+            .expect("feedback must not touch payloads");
+        assert!(
+            replay.metrics.plan_cache.feedback_observations >= 1,
+            "mis-modeled server must record observations"
+        );
     }
 
     #[test]

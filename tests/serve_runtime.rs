@@ -207,6 +207,7 @@ fn verify_served_seam_covers_the_fault_injected_path() {
         server_cost: Some(inflated_cost()),
         max_retries: 1,
         backoff_cycles: 32.0,
+        ..ServedCase::default()
     };
     let replay = served
         .replay(&case, &harness)
